@@ -1,0 +1,152 @@
+//! A typed facade over the OS API surface.
+//!
+//! The applications issue calls through [`AppEnv::api_call`] with raw
+//! names and buffer lists; this module provides the strongly-typed
+//! wrappers a ported application's shim layer would expose (§6.1's
+//! generated "wrapper function that will be executed inside the
+//! enclave"). Each method charges the full configured interface path.
+
+use sgx_sdk::BufArg;
+use sgx_sim::Addr;
+
+use crate::env::AppEnv;
+use crate::error::Result;
+
+/// Typed OS calls over an [`AppEnv`].
+///
+/// Borrow it fresh per call site: `OsApi::new(&mut env).getpid()?`.
+#[derive(Debug)]
+pub struct OsApi<'e> {
+    env: &'e mut AppEnv,
+}
+
+impl<'e> OsApi<'e> {
+    /// Wraps an environment.
+    pub fn new(env: &'e mut AppEnv) -> Self {
+        OsApi { env }
+    }
+
+    /// `read(2)`: receive up to `cap` bytes into `buf` (an `[out]` ocall).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn read(&mut self, buf: Addr, cap: u64) -> Result<()> {
+        self.env.api_call("read", &[BufArg::new(buf, cap)])
+    }
+
+    /// `sendmsg(2)`: transmit `len` bytes from `buf` (an `[in]` ocall).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn sendmsg(&mut self, buf: Addr, len: u64) -> Result<()> {
+        self.env.api_call("sendmsg", &[BufArg::new(buf, len)])
+    }
+
+    /// `recvfrom(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn recvfrom(&mut self, buf: Addr, cap: u64) -> Result<()> {
+        self.env.api_call("recvfrom", &[BufArg::new(buf, cap)])
+    }
+
+    /// `sendto(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn sendto(&mut self, buf: Addr, len: u64) -> Result<()> {
+        self.env.api_call("sendto", &[BufArg::new(buf, len)])
+    }
+
+    /// `write(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn write(&mut self, buf: Addr, len: u64) -> Result<()> {
+        self.env.api_call("write", &[BufArg::new(buf, len)])
+    }
+
+    /// `poll(2)` (no buffers cross the boundary in the shim).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn poll(&mut self) -> Result<()> {
+        self.env.api_call("poll", &[])
+    }
+
+    /// `time(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn time(&mut self) -> Result<()> {
+        self.env.api_call("time", &[])
+    }
+
+    /// `getpid(2)` — the call OpenSSL issues per crypto context (§6.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn getpid(&mut self) -> Result<()> {
+        self.env.api_call("getpid", &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::IfaceMode;
+    use crate::openvpn;
+    use sgx_sim::SimConfig;
+
+    #[test]
+    fn typed_calls_count_like_raw_calls() {
+        let mut env = AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            IfaceMode::Sdk,
+            &openvpn::api_table(),
+            8 << 20,
+        )
+        .unwrap();
+        env.enter_main().unwrap();
+        let buf = env.alloc_data(2048).unwrap();
+        {
+            let mut os = OsApi::new(&mut env);
+            os.poll().unwrap();
+            os.time().unwrap();
+            os.getpid().unwrap();
+            os.recvfrom(buf, 1024).unwrap();
+            os.sendto(buf, 1024).unwrap();
+            os.write(buf, 512).unwrap();
+            os.read(buf, 256).unwrap();
+        }
+        let counts = env.api_counts();
+        for name in ["poll", "time", "getpid", "recvfrom", "sendto", "write", "read"] {
+            assert_eq!(counts[name], 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn typed_calls_cost_the_configured_interface() {
+        let mut env = AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            IfaceMode::Sdk,
+            &openvpn::api_table(),
+            8 << 20,
+        )
+        .unwrap();
+        env.enter_main().unwrap();
+        OsApi::new(&mut env).getpid().unwrap(); // warm
+        let t0 = env.machine.now();
+        OsApi::new(&mut env).getpid().unwrap();
+        let cost = (env.machine.now() - t0).get();
+        assert!(cost > 7_000, "an SDK-mode getpid is a full ocall: {cost}");
+    }
+}

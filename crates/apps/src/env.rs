@@ -1,0 +1,445 @@
+//! The application environment: one machine + one call interface.
+//!
+//! Every ported application runs against an [`AppEnv`] in one of four
+//! modes — the four bars of the paper's Figs. 10/11:
+//!
+//! | mode | boundary crossing |
+//! |---|---|
+//! | [`IfaceMode::Native`] | plain syscalls (~150 cycles + kernel copy) |
+//! | [`IfaceMode::Sdk`] | full SDK ocalls/ecalls (8,200+ cycles) |
+//! | [`IfaceMode::HotCalls`] | HotCalls (~620 cycles) |
+//! | [`IfaceMode::HotCallsNrz`] | HotCalls + No-Redundant-Zeroing |
+
+use std::collections::BTreeMap;
+
+use hotcalls::sim::SimHotCalls;
+use hotcalls::HotCallConfig;
+use sgx_sdk::edl::{parse_edl, Direction};
+use sgx_sdk::edger8r::{edger8r, Proxies};
+use sgx_sdk::{BufArg, EnclaveCtx, MarshalOptions};
+use sgx_sim::{Addr, Cycles, EnclaveBuildOptions, Machine, SimConfig};
+
+use crate::error::Result;
+use crate::porting::{generate_edl, ApiDecl};
+
+/// Cost of a plain Linux syscall trap (paper cites ~150 cycles, after
+/// FlexSC).
+pub const SYSCALL_TRAP: u64 = 150;
+
+/// The four interface configurations of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IfaceMode {
+    /// No enclave: the unmodified application.
+    Native,
+    /// Straightforward SGX port using SDK ecalls/ocalls.
+    Sdk,
+    /// SGX port with HotCalls for the frequent calls.
+    HotCalls,
+    /// HotCalls plus the No-Redundant-Zeroing marshalling fix.
+    HotCallsNrz,
+}
+
+impl IfaceMode {
+    /// All four modes, in the order the figures plot them.
+    pub const ALL: [IfaceMode; 4] = [
+        IfaceMode::Native,
+        IfaceMode::Sdk,
+        IfaceMode::HotCalls,
+        IfaceMode::HotCallsNrz,
+    ];
+
+    /// Human-readable label used by the benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IfaceMode::Native => "native",
+            IfaceMode::Sdk => "sgx-sdk",
+            IfaceMode::HotCalls => "hotcalls",
+            IfaceMode::HotCallsNrz => "hotcalls+nrz",
+        }
+    }
+
+    /// Does this mode run inside an enclave?
+    pub fn in_enclave(&self) -> bool {
+        !matches!(self, IfaceMode::Native)
+    }
+}
+
+/// A rate-accumulator driving the auxiliary API-call mix.
+///
+/// Table 2 gives per-second call rates; per request/packet these are
+/// fractional (e.g. openVPN issues ~3.4 `poll`s per packet). The mix
+/// accumulates fractional credits and fires a call each time a credit
+/// crosses 1.0, reproducing the aggregate rates exactly.
+#[derive(Debug, Clone)]
+pub struct ApiMix {
+    entries: Vec<(&'static str, f64, f64)>,
+}
+
+impl ApiMix {
+    /// Builds a mix from (name, calls-per-event) pairs.
+    pub fn new(rates: &[(&'static str, f64)]) -> Self {
+        ApiMix {
+            entries: rates.iter().map(|&(n, r)| (n, r, 0.0)).collect(),
+        }
+    }
+
+    /// Advances one event (request/packet); returns the calls to issue.
+    pub fn tick(&mut self) -> Vec<&'static str> {
+        let mut fire = Vec::new();
+        for (name, rate, acc) in &mut self.entries {
+            *acc += *rate;
+            while *acc >= 1.0 {
+                fire.push(*name);
+                *acc -= 1.0;
+            }
+        }
+        fire
+    }
+}
+
+/// One machine + one application interface.
+#[derive(Debug)]
+pub struct AppEnv {
+    /// The simulated machine (virtual clock, caches, MEE, EPC).
+    pub machine: Machine,
+    mode: IfaceMode,
+    proxies: Proxies,
+    ctx: Option<EnclaveCtx>,
+    hot: Option<SimHotCalls>,
+    api_costs: BTreeMap<&'static str, u64>,
+    api_counts: BTreeMap<&'static str, u64>,
+    /// Untrusted bounce buffer used as the native syscall copy target.
+    native_bounce: Addr,
+    start: Cycles,
+}
+
+impl AppEnv {
+    /// Builds an environment for `mode` with the application's API table.
+    /// `heap_bytes` sizes the enclave's secure heap (the application's
+    /// data set lives there in enclave modes).
+    ///
+    /// # Errors
+    ///
+    /// Fails if EDL generation/parsing or enclave construction fails.
+    pub fn new(
+        config: SimConfig,
+        mode: IfaceMode,
+        apis: &[ApiDecl],
+        heap_bytes: u64,
+    ) -> Result<Self> {
+        let mut machine = Machine::new(config);
+        let edl_src = generate_edl(apis);
+        let edl = parse_edl(&edl_src).map_err(sgx_sdk::SdkError::Edl)?;
+        let proxies = edger8r(&edl)?;
+        let api_costs = apis.iter().map(|a| (a.name, a.os_cost)).collect();
+        let native_bounce = machine.alloc_untrusted(64 * 1024, 4096);
+
+        let (ctx, hot) = if mode.in_enclave() {
+            let eid = machine.build_enclave(EnclaveBuildOptions {
+                heap_bytes: heap_bytes + (4 << 20), // app data + SDK scratch
+                ..EnclaveBuildOptions::default()
+            })?;
+            let options = MarshalOptions {
+                no_redundant_zeroing: mode == IfaceMode::HotCallsNrz,
+                optimized_memset: false,
+            };
+            let ctx = EnclaveCtx::new(&mut machine, eid, &edl, options)?;
+            let hot = if matches!(mode, IfaceMode::HotCalls | IfaceMode::HotCallsNrz) {
+                Some(SimHotCalls::new(&mut machine, &ctx, HotCallConfig::default())?)
+            } else {
+                None
+            };
+            (Some(ctx), hot)
+        } else {
+            (None, None)
+        };
+
+        let start = machine.now();
+        Ok(AppEnv {
+            machine,
+            mode,
+            proxies,
+            ctx,
+            hot,
+            api_costs,
+            api_counts: BTreeMap::new(),
+            native_bounce,
+            start,
+        })
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> IfaceMode {
+        self.mode
+    }
+
+    /// Allocates application data: enclave heap in enclave modes, regular
+    /// memory natively.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the respective arena is exhausted.
+    pub fn alloc_data(&mut self, size: u64) -> Result<Addr> {
+        match &self.ctx {
+            Some(ctx) => Ok(self.machine.alloc_enclave_heap(ctx.eid, size, 64)?),
+            None => Ok(self.machine.alloc_untrusted(size, 64)),
+        }
+    }
+
+    /// Enters the enclave's long-running `ecall_main` (openVPN/lighttpd
+    /// pattern). A no-op natively.
+    ///
+    /// # Errors
+    ///
+    /// Fails if already entered.
+    pub fn enter_main(&mut self) -> Result<()> {
+        if let Some(ctx) = &mut self.ctx {
+            ctx.enter_main(&mut self.machine)?;
+        }
+        Ok(())
+    }
+
+    /// Issues one OS API call through the configured interface. `bufs`
+    /// supplies the declared buffer arguments (application data addresses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures.
+    pub fn api_call(&mut self, name: &'static str, bufs: &[BufArg]) -> Result<()> {
+        *self.api_counts.entry(name).or_insert(0) += 1;
+        let os_cost = self.api_costs.get(name).copied().unwrap_or(300);
+
+        match self.mode {
+            IfaceMode::Native => {
+                let m = &mut self.machine;
+                m.charge(Cycles::new(SYSCALL_TRAP + os_cost));
+                // Kernel copy between user buffer and kernel space.
+                let plan = self.proxies.ocall(name)?;
+                for (step, arg) in plan.steps.iter().zip(bufs.iter()) {
+                    let bounce = self.native_bounce;
+                    match step.direction {
+                        Direction::In => {
+                            m.read(arg.addr, arg.len)?;
+                            m.write(bounce, arg.len)?;
+                        }
+                        Direction::Out => {
+                            m.read(bounce, arg.len)?;
+                            m.write(arg.addr, arg.len)?;
+                        }
+                        Direction::InOut => {
+                            m.read(arg.addr, arg.len)?;
+                            m.write(arg.addr, arg.len)?;
+                        }
+                        Direction::UserCheck => {}
+                    }
+                }
+                Ok(())
+            }
+            IfaceMode::Sdk => {
+                let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
+                ctx.ocall(&mut self.machine, name, bufs, |_, m, _| {
+                    m.charge(Cycles::new(SYSCALL_TRAP + os_cost));
+                    Ok(())
+                })?;
+                Ok(())
+            }
+            IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
+                let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
+                let hot = self.hot.as_mut().expect("hot mode has channel");
+                hot.hot_ocall(&mut self.machine, ctx, name, bufs, |_, m, _| {
+                    m.charge(Cycles::new(SYSCALL_TRAP + os_cost));
+                    Ok(())
+                })?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Calls back *into* the enclave (the `RunEnclaveFunction` ecall the
+    /// paper adds for libevent-style callbacks). `body` is the trusted
+    /// work; natively it is just invoked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface failures or `body` errors.
+    pub fn run_enclave_function<R>(
+        &mut self,
+        body: impl FnOnce(&mut AppEnv) -> Result<R>,
+    ) -> Result<R> {
+        *self.api_counts.entry("RunEnclaveFucntion").or_insert(0) += 1;
+        match self.mode {
+            IfaceMode::Native => {
+                // A plain function call through libevent.
+                self.machine.charge(Cycles::new(40));
+                body(self)
+            }
+            IfaceMode::Sdk => {
+                // Charge the full ecall path around the body. The body needs
+                // `&mut self` (it issues nested api_calls), so the ecall
+                // shell is run with an empty SDK body and the trusted work
+                // follows within the entered window.
+                let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
+                ctx.enter_main(&mut self.machine)?;
+                self.machine
+                    .charge(Cycles::new(self.machine.config().sdk.ecall_untrusted_sw / 2));
+                let r = body(self);
+                let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
+                ctx.leave_main(&mut self.machine)?;
+                r
+            }
+            IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
+                let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
+                let hot = self.hot.as_mut().expect("hot mode has channel");
+                // The hot-ecall transport shell (the user_check
+                // start_routine pointer travels as-is)...
+                let routine = BufArg::new(self.native_bounce, 8);
+                hot.hot_ecall(
+                    &mut self.machine,
+                    ctx,
+                    "RunEnclaveFunction",
+                    &[routine],
+                    |_, _, _| Ok(()),
+                )?;
+                // ...then the trusted body.
+                body(self)
+            }
+        }
+    }
+
+    /// Charges pure application compute.
+    pub fn compute(&mut self, cycles: u64) {
+        self.machine.charge(Cycles::new(cycles));
+    }
+
+    /// Virtual seconds elapsed since construction.
+    pub fn elapsed_secs(&self) -> f64 {
+        (self.machine.now() - self.start).as_secs(self.machine.config().core_ghz)
+    }
+
+    /// Elapsed virtual cycles since construction.
+    pub fn elapsed(&self) -> Cycles {
+        self.machine.now() - self.start
+    }
+
+    /// API call counts (all modes), keyed by symbol — the raw material of
+    /// Table 2. The `RunEnclaveFucntion` key reproduces the paper's own
+    /// spelling of its ecall.
+    pub fn api_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.api_counts
+    }
+
+    /// Total edge calls issued (enclave modes: ocalls + ecalls).
+    pub fn total_calls(&self) -> u64 {
+        self.api_counts.values().sum()
+    }
+
+    /// Cycles spent inside the call interface so far (enclave modes only;
+    /// zero natively). Drives Table 2's "Core Time" column.
+    pub fn interface_cycles(&self) -> Cycles {
+        match (&self.ctx, &self.hot) {
+            (Some(ctx), _) => ctx.stats().total_cycles(),
+            _ => Cycles::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::porting::ApiDecl;
+    use sgx_sim::SimConfig;
+
+    fn apis() -> Vec<ApiDecl> {
+        vec![
+            ApiDecl::receives("read", 600),
+            ApiDecl::sends("sendmsg", 800),
+            ApiDecl::plain("getpid", 80),
+        ]
+    }
+
+    fn env(mode: IfaceMode) -> AppEnv {
+        AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            mode,
+            &apis(),
+            1 << 20,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn native_calls_are_cheap_sdk_calls_are_not() {
+        let mut native = env(IfaceMode::Native);
+        let buf = native.alloc_data(2048).unwrap();
+        native.api_call("getpid", &[]).unwrap();
+        let s = native.machine.now();
+        native.api_call("getpid", &[]).unwrap();
+        let native_cost = (native.machine.now() - s).get();
+
+        let mut sdk = env(IfaceMode::Sdk);
+        let _ = buf;
+        sdk.enter_main().unwrap();
+        sdk.api_call("getpid", &[]).unwrap();
+        let s = sdk.machine.now();
+        sdk.api_call("getpid", &[]).unwrap();
+        let sdk_cost = (sdk.machine.now() - s).get();
+
+        assert!(native_cost < 600, "native syscall: {native_cost}");
+        assert!(
+            sdk_cost > 7_000,
+            "sdk ocall should cost thousands: {sdk_cost}"
+        );
+    }
+
+    #[test]
+    fn hot_mode_is_between_native_and_sdk() {
+        let mut hot = env(IfaceMode::HotCalls);
+        hot.enter_main().unwrap();
+        hot.api_call("getpid", &[]).unwrap();
+        let s = hot.machine.now();
+        hot.api_call("getpid", &[]).unwrap();
+        let cost = (hot.machine.now() - s).get();
+        assert!((300..2_500).contains(&cost), "hot call cost: {cost}");
+    }
+
+    #[test]
+    fn buffered_calls_move_data_in_all_modes() {
+        for mode in IfaceMode::ALL {
+            let mut e = env(mode);
+            let data = e.alloc_data(2048).unwrap();
+            e.enter_main().unwrap();
+            e.api_call("sendmsg", &[BufArg::new(data, 2048)]).unwrap();
+            e.api_call("read", &[BufArg::new(data, 2048)]).unwrap();
+            assert_eq!(e.api_counts()["read"], 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn api_mix_reproduces_fractional_rates() {
+        let mut mix = ApiMix::new(&[("poll", 3.4), ("getpid", 0.5), ("time", 1.0)]);
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for _ in 0..1000 {
+            for name in mix.tick() {
+                *counts.entry(name).or_insert(0) += 1;
+            }
+        }
+        assert!((3_399..=3_400).contains(&counts["poll"]), "{}", counts["poll"]);
+        assert_eq!(counts["getpid"], 500);
+        assert_eq!(counts["time"], 1_000);
+    }
+
+    #[test]
+    fn run_enclave_function_counts_and_nests() {
+        let mut e = env(IfaceMode::Sdk);
+        let data = e.alloc_data(64).unwrap();
+        let r = e
+            .run_enclave_function(|e| {
+                e.api_call("sendmsg", &[BufArg::new(data, 64)])?;
+                Ok(7u32)
+            })
+            .unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(e.api_counts()["RunEnclaveFucntion"], 1);
+        assert_eq!(e.api_counts()["sendmsg"], 1);
+    }
+}

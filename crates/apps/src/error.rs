@@ -1,0 +1,75 @@
+//! Application-layer errors.
+
+use core::fmt;
+
+/// Errors from the ported applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AppError {
+    /// The call interface failed.
+    HotCall(hotcalls::HotCallError),
+    /// The SDK layer failed.
+    Sdk(sgx_sdk::SdkError),
+    /// A protocol parse error (malformed request bytes).
+    Protocol(String),
+    /// The requested resource does not exist (missing key, missing file).
+    NotFound,
+    /// The store or filesystem is full.
+    Full,
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::HotCall(e) => write!(f, "hotcall: {e}"),
+            AppError::Sdk(e) => write!(f, "sdk: {e}"),
+            AppError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            AppError::NotFound => write!(f, "not found"),
+            AppError::Full => write!(f, "storage full"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AppError::HotCall(e) => Some(e),
+            AppError::Sdk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hotcalls::HotCallError> for AppError {
+    fn from(e: hotcalls::HotCallError) -> Self {
+        AppError::HotCall(e)
+    }
+}
+
+impl From<sgx_sdk::SdkError> for AppError {
+    fn from(e: sgx_sdk::SdkError) -> Self {
+        AppError::Sdk(e)
+    }
+}
+
+impl From<sgx_sim::SgxError> for AppError {
+    fn from(e: sgx_sim::SgxError) -> Self {
+        AppError::Sdk(sgx_sdk::SdkError::Sgx(e))
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = core::result::Result<T, AppError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e = AppError::Protocol("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+        let h = AppError::HotCall(hotcalls::HotCallError::ResponderGone);
+        assert!(std::error::Error::source(&h).is_some());
+    }
+}

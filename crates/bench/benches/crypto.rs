@@ -1,0 +1,56 @@
+//! Criterion: throughput of the from-scratch crypto used by the substrate
+//! (SHA-256 for measurements/MACs, ChaCha20 for the tunnel).
+
+use std::time::Duration;
+
+use apps::openvpn::chacha20_xor;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sgx_sim::crypto::{hmac_sha256, Sha256};
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xABu8; 4096];
+    let mut g = c.benchmark_group("sha256");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("digest_4k", |b| b.iter(|| Sha256::digest(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0x5Au8; 1500];
+    let key = [7u8; 32];
+    let mut g = c.benchmark_group("hmac");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("hmac_1500", |b| {
+        b.iter(|| hmac_sha256(std::hint::black_box(&key), std::hint::black_box(&data)))
+    });
+    g.finish();
+}
+
+fn bench_chacha(c: &mut Criterion) {
+    let key = [9u8; 32];
+    let nonce = [3u8; 12];
+    let mut g = c.benchmark_group("chacha20");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("xor_1500", |b| {
+        b.iter_batched(
+            || vec![0u8; 1500],
+            |mut buf| chacha20_xor(&key, &nonce, &mut buf),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sha256, bench_hmac, bench_chacha
+}
+criterion_main!(benches);

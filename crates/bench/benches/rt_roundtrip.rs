@@ -1,0 +1,145 @@
+//! Criterion: the threaded HotCalls runtime vs OS-assisted alternatives.
+//!
+//! The analogue of the paper's core claim on real hardware: a polling
+//! shared-memory channel beats blocking hand-off primitives for call-style
+//! round trips. (On the paper's machine the comparison is spin-mailbox vs
+//! EENTER/EEXIT; here it is spin-mailbox vs mpsc/condvar round trips.)
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotcalls::rt::{CallTable, HotCallServer};
+use hotcalls::HotCallConfig;
+use parking_lot::{Condvar, Mutex};
+
+fn bench_hotcalls(c: &mut Criterion) {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let inc = table.register(|x| x + 1);
+    let server = HotCallServer::spawn(
+        table,
+        HotCallConfig {
+            timeout_retries: 1_000_000,
+            spins_per_retry: 64,
+            idle_polls_before_sleep: None,
+        },
+    );
+    let requester = server.requester();
+    c.bench_function("hotcall_rt_roundtrip", |b| {
+        b.iter(|| requester.call(inc, std::hint::black_box(41)).unwrap())
+    });
+    server.shutdown();
+}
+
+fn bench_mpsc(c: &mut Criterion) {
+    let (req_tx, req_rx) = mpsc::channel::<u64>();
+    let (resp_tx, resp_rx) = mpsc::channel::<u64>();
+    let worker = std::thread::spawn(move || {
+        while let Ok(x) = req_rx.recv() {
+            if resp_tx.send(x + 1).is_err() {
+                break;
+            }
+        }
+    });
+    c.bench_function("mpsc_channel_roundtrip", |b| {
+        b.iter(|| {
+            req_tx.send(std::hint::black_box(41)).unwrap();
+            resp_rx.recv().unwrap()
+        })
+    });
+    drop(req_tx);
+    worker.join().unwrap();
+}
+
+struct CondvarCell {
+    slot: Mutex<Option<u64>>,
+    cv: Condvar,
+    done: Mutex<Option<u64>>,
+    done_cv: Condvar,
+}
+
+fn bench_condvar(c: &mut Criterion) {
+    let cell = Arc::new(CondvarCell {
+        slot: Mutex::new(None),
+        cv: Condvar::new(),
+        done: Mutex::new(None),
+        done_cv: Condvar::new(),
+    });
+    let worker_cell = Arc::clone(&cell);
+    let worker = std::thread::spawn(move || loop {
+        let mut slot = worker_cell.slot.lock();
+        while slot.is_none() {
+            worker_cell.cv.wait(&mut slot);
+        }
+        let x = slot.take().unwrap();
+        drop(slot);
+        if x == u64::MAX {
+            return;
+        }
+        *worker_cell.done.lock() = Some(x + 1);
+        worker_cell.done_cv.notify_one();
+    });
+    c.bench_function("mutex_condvar_roundtrip", |b| {
+        b.iter(|| {
+            *cell.slot.lock() = Some(std::hint::black_box(41));
+            cell.cv.notify_one();
+            let mut done = cell.done.lock();
+            while done.is_none() {
+                cell.done_cv.wait(&mut done);
+            }
+            done.take().unwrap()
+        })
+    });
+    *cell.slot.lock() = Some(u64::MAX);
+    cell.cv.notify_one();
+    worker.join().unwrap();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hotcalls, bench_mpsc, bench_condvar, bench_ring
+}
+criterion_main!(benches);
+
+// ---- Queued (ring) variant --------------------------------------------------
+
+fn bench_ring(c: &mut Criterion) {
+    use hotcalls::rt::RingServer;
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let inc = table.register(|x| x + 1);
+    let server = RingServer::spawn(
+        table,
+        8,
+        HotCallConfig {
+            timeout_retries: 1_000_000,
+            spins_per_retry: 64,
+            idle_polls_before_sleep: None,
+        },
+    );
+    let requester = server.requester();
+    c.bench_function("ring_rt_roundtrip", |b| {
+        b.iter(|| requester.call(inc, std::hint::black_box(41)).unwrap())
+    });
+    // Pipelined: keep 4 submissions in flight.
+    c.bench_function("ring_rt_pipelined_x4", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = (0..4u64)
+                .map(|i| requester.submit(inc, std::hint::black_box(i)).unwrap())
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| requester.wait(t).unwrap())
+                .sum::<u64>()
+        })
+    });
+    server.shutdown();
+}

@@ -1,0 +1,72 @@
+//! Criterion: cost (host-side) of driving the simulated call paths — a
+//! performance guard for the simulator itself, and a direct ratio check of
+//! simulated SDK calls vs HotCalls.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hotcalls::sim::SimHotCalls;
+use hotcalls::HotCallConfig;
+use sgx_sdk::edl::parse_edl;
+use sgx_sdk::{EnclaveCtx, MarshalOptions};
+use sgx_sim::{EnclaveBuildOptions, Machine, SimConfig};
+
+const EDL: &str = "enclave {
+    trusted { public void ecall_empty(); };
+    untrusted { void ocall_empty(); };
+};";
+
+fn setup() -> (Machine, EnclaveCtx, SimHotCalls) {
+    let mut m = Machine::new(SimConfig::builder().deterministic().build());
+    let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
+    let edl = parse_edl(EDL).unwrap();
+    let ctx = EnclaveCtx::new(&mut m, eid, &edl, MarshalOptions::default()).unwrap();
+    let hot = SimHotCalls::new(&mut m, &ctx, HotCallConfig::default()).unwrap();
+    (m, ctx, hot)
+}
+
+fn bench_sim_ecall(c: &mut Criterion) {
+    let (mut m, mut ctx, _hot) = setup();
+    c.bench_function("sim_sdk_ecall", |b| {
+        b.iter(|| {
+            ctx.ecall(&mut m, "ecall_empty", &[], |_, _, _| Ok(()))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_sim_hot_ocall(c: &mut Criterion) {
+    let (mut m, mut ctx, mut hot) = setup();
+    ctx.enter_main(&mut m).unwrap();
+    c.bench_function("sim_hot_ocall", |b| {
+        b.iter(|| {
+            hot.hot_ocall(&mut m, &mut ctx, "ocall_empty", &[], |_, _, _| Ok(()))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_sim_memory_sweep(c: &mut Criterion) {
+    let mut m = Machine::new(SimConfig::builder().deterministic().build());
+    let buf = m.alloc_untrusted(64 * 1024, 4096);
+    c.bench_function("sim_read_64k", |b| {
+        b.iter(|| {
+            m.clflush_span(buf, 64 * 1024);
+            m.read(buf, 64 * 1024).unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sim_ecall, bench_sim_hot_ocall, bench_sim_memory_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation: HotCalls design knobs.
+//!
+//! * contention sweep — fallback rate and effective latency as more
+//!   requesters share the responder (§4.2 "Preventing starvation");
+//! * timeout-retry sweep — how the fallback budget trades tail latency
+//!   against fallback frequency;
+//! * idle-sleep — wakeup costs vs a hot-spinning responder at different
+//!   duty cycles (§4.2 "Conserving resources at idle times").
+
+use bench::report::banner;
+use hotcalls::sim::SimHotCalls;
+use hotcalls::HotCallConfig;
+use sgx_sdk::edl::parse_edl;
+use sgx_sdk::{EnclaveCtx, MarshalOptions};
+use sgx_sim::{Cycles, EnclaveBuildOptions, Machine, SimConfig};
+
+fn setup(seed: u64, config: HotCallConfig) -> (Machine, EnclaveCtx, SimHotCalls) {
+    let mut m = Machine::new(SimConfig::builder().seed(seed).build());
+    let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
+    let edl = parse_edl("enclave { untrusted { void o(); }; };").unwrap();
+    let mut ctx = EnclaveCtx::new(&mut m, eid, &edl, MarshalOptions::default()).unwrap();
+    let hot = SimHotCalls::new(&mut m, &ctx, config).unwrap();
+    ctx.enter_main(&mut m).unwrap();
+    (m, ctx, hot)
+}
+
+fn main() {
+    let n = bench::arg_count(3_000) as u64;
+
+    banner("Ablation A: responder contention (shared responder)");
+    println!("{:>11} {:>14} {:>12} {:>12}", "p(busy)", "avg cycles", "fallbacks", "fast calls");
+    for contention in [0.0, 0.25, 0.5, 0.75, 0.9, 0.97] {
+        let (mut m, mut ctx, mut hot) = setup(11, HotCallConfig::default());
+        hot.set_contention(contention);
+        let start = m.now();
+        for _ in 0..n {
+            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(())).unwrap();
+        }
+        let avg = (m.now() - start).get() / n;
+        let s = hot.stats();
+        println!("{contention:>11.2} {avg:>14} {:>12} {:>12}", s.fallbacks, s.calls);
+    }
+
+    banner("Ablation B: timeout-retry budget under heavy contention (p=0.9)");
+    println!("{:>9} {:>14} {:>12}", "retries", "avg cycles", "fallback%");
+    for retries in [1u32, 2, 5, 10, 25, 100] {
+        let cfg = HotCallConfig { timeout_retries: retries, ..HotCallConfig::default() };
+        let (mut m, mut ctx, mut hot) = setup(12, cfg);
+        hot.set_contention(0.9);
+        let start = m.now();
+        for _ in 0..n {
+            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(())).unwrap();
+        }
+        let avg = (m.now() - start).get() / n;
+        let s = hot.stats();
+        let fb = s.fallbacks as f64 / (s.fallbacks + s.calls) as f64 * 100.0;
+        println!("{retries:>9} {avg:>14} {fb:>11.1}%");
+    }
+
+    banner("Ablation C: idle sleep vs duty cycle (gap between calls)");
+    println!("{:>14} {:>14} {:>10}", "idle gap (cyc)", "avg cycles", "wakeups");
+    for gap in [0u64, 10_000, 100_000, 1_000_000] {
+        let cfg = HotCallConfig::with_idle_sleep(200);
+        let (mut m, mut ctx, mut hot) = setup(13, cfg);
+        let start = m.now();
+        let calls = n.min(500);
+        for _ in 0..calls {
+            m.charge(Cycles::new(gap));
+            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(())).unwrap();
+        }
+        let avg = ((m.now() - start).get() - gap * calls) / calls;
+        println!("{gap:>14} {avg:>14} {:>10}", hot.stats().wakeups);
+    }
+    println!("\n(the wake penalty only appears when the gap exceeds the sleep threshold —");
+    println!(" busy phases run at full HotCalls speed, idle phases stop burning the core)");
+}

@@ -1,0 +1,22 @@
+//! Runs every table/figure harness in sequence (the output behind
+//! EXPERIMENTS.md).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "fig10",
+        "fig11",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in bins {
+        let status = Command::new(exe_dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Figure 10: application throughput under the four interface
+//! modes, normalized to native.
+
+use apps::IfaceMode;
+use bench::applications::{run_lighttpd, run_memcached, run_openvpn_iperf, Scale};
+use bench::report::{banner, normalized, paper};
+
+fn print_series(app: &str, unit: &str, measured: &[f64], reference: &[f64; 4]) {
+    println!("\n{app} ({unit}):");
+    println!("{:<14} {:>12} {:>10} {:>12} {:>10}", "mode", "measured", "norm", "paper", "norm");
+    let mnorm = normalized(measured);
+    let pnorm = normalized(reference);
+    for (i, mode) in IfaceMode::ALL.iter().enumerate() {
+        println!(
+            "{:<14} {:>12.0} {:>10.2} {:>12.0} {:>10.2}",
+            mode.label(),
+            measured[i],
+            mnorm[i],
+            reference[i],
+            pnorm[i]
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::default();
+    banner("Figure 10: throughput, normalized to running without SGX");
+
+    let memcached: Vec<f64> = IfaceMode::ALL
+        .iter()
+        .map(|&m| run_memcached(m, scale.memcached_requests).result.ops_per_sec)
+        .collect();
+    print_series("memcached", "requests/s", &memcached, &paper::MEMCACHED_RPS);
+
+    let openvpn: Vec<f64> = IfaceMode::ALL
+        .iter()
+        .map(|&m| run_openvpn_iperf(m, scale.openvpn_packets).1)
+        .collect();
+    print_series("openVPN", "Mbit/s", &openvpn, &paper::OPENVPN_MBPS);
+
+    let lighttpd: Vec<f64> = IfaceMode::ALL
+        .iter()
+        .map(|&m| run_lighttpd(m, scale.lighttpd_fetches).result.ops_per_sec)
+        .collect();
+    print_series("lighttpd", "pages/s", &lighttpd, &paper::LIGHTTPD_RPS);
+}

@@ -1,0 +1,37 @@
+//! Regenerates Figure 11: application latency under the four interface
+//! modes.
+
+use apps::IfaceMode;
+use bench::applications::{run_lighttpd, run_memcached, run_openvpn_ping, Scale};
+use bench::report::{banner, paper};
+
+fn print_series(app: &str, measured: &[f64], reference: &[f64; 4]) {
+    println!("\n{app} (milliseconds):");
+    println!("{:<14} {:>12} {:>12}", "mode", "measured", "paper");
+    for (i, mode) in IfaceMode::ALL.iter().enumerate() {
+        println!("{:<14} {:>12.2} {:>12.2}", mode.label(), measured[i], reference[i]);
+    }
+}
+
+fn main() {
+    let scale = Scale::default();
+    banner("Figure 11: response latency / ping RTT");
+
+    let memcached: Vec<f64> = IfaceMode::ALL
+        .iter()
+        .map(|&m| run_memcached(m, scale.memcached_requests).result.latency_ms)
+        .collect();
+    print_series("memcached", &memcached, &paper::MEMCACHED_LAT_MS);
+
+    let openvpn: Vec<f64> = IfaceMode::ALL
+        .iter()
+        .map(|&m| run_openvpn_ping(m, scale.ping_count).result.latency_ms)
+        .collect();
+    print_series("openVPN ping RTT", &openvpn, &paper::OPENVPN_RTT_MS);
+
+    let lighttpd: Vec<f64> = IfaceMode::ALL
+        .iter()
+        .map(|&m| run_lighttpd(m, scale.lighttpd_fetches).result.latency_ms)
+        .collect();
+    print_series("lighttpd", &lighttpd, &paper::LIGHTTPD_LAT_MS);
+}

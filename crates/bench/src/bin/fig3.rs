@@ -1,0 +1,28 @@
+//! Regenerates Figure 3: CDFs of HotEcall and HotOcall latency.
+
+use bench::hot::{hotcall_latency, HotKind};
+use bench::report::{banner, paper};
+
+fn main() {
+    let n = bench::arg_count(10_000);
+    banner("Figure 3: HotCalls latency CDFs");
+    println!("({n} measurements per curve; paper used 200,000)");
+    for kind in [HotKind::Ecall, HotKind::Ocall] {
+        let s = hotcall_latency(kind, n, 41);
+        println!("\n{}:", kind.label());
+        println!("{:>9} {:>12}", "pctile", "cycles");
+        for (p, v) in s.cdf_summary() {
+            println!("{p:>8.2}% {v:>12}");
+        }
+        println!(
+            "fraction <= {} cycles: {:.1}%   (paper: >78%)",
+            paper::HOTCALL_P78,
+            s.fraction_below(paper::HOTCALL_P78) * 100.0
+        );
+        println!(
+            "fraction <= {} cycles: {:.2}%  (paper: >99.97%)",
+            paper::HOTCALL_P9997,
+            s.fraction_below(paper::HOTCALL_P9997) * 100.0
+        );
+    }
+}

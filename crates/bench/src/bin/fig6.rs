@@ -1,0 +1,22 @@
+//! Regenerates Figure 6: consecutive-read latency, encrypted vs plaintext.
+
+use bench::micro::{memory_read_windowed, Region};
+use bench::report::{banner, paper};
+
+const SIZES: [u64; 5] = [2048, 4096, 8192, 16384, 32768];
+
+fn main() {
+    let n = bench::arg_count(1_500);
+    banner("Figure 6: consecutive memory reads (median cycles)");
+    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "bytes", "encrypted", "plaintext", "overhead%", "paper%");
+    for (i, size) in SIZES.iter().enumerate() {
+        let iters = n.min(60_000_000 / *size as usize); // keep big sizes quick
+        let enc = memory_read_windowed(Region::Encrypted, *size, iters, 71).median();
+        let plain = memory_read_windowed(Region::Plain, *size, iters, 72).median();
+        let ov = (enc as f64 / plain as f64 - 1.0) * 100.0;
+        println!(
+            "{size:>8} {enc:>12} {plain:>12} {ov:>11.1}% {:>11.1}%",
+            paper::FIG6_READ_OVERHEAD_PCT[i]
+        );
+    }
+}

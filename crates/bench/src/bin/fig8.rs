@@ -1,0 +1,67 @@
+//! Regenerates Figure 8: normalized memory-encryption overhead, including
+//! the SPEC-2006-like kernels (mcf / libquantum / astar).
+
+use bench::micro::{cache_load_miss, cache_store_miss, memory_read_windowed, memory_write_windowed, Region};
+use bench::report::{banner, paper};
+use sgx_sim::SimConfig;
+use workloads::spec::{
+    machine_with_region, run_astar, run_libquantum, run_mcf, AstarConfig, LibquantumConfig,
+    McfConfig, Placement,
+};
+
+fn kernel_slowdown<F>(bytes: u64, run: F) -> f64
+where
+    F: Fn(&mut sgx_sim::Machine, sgx_sim::Addr) -> workloads::KernelResult,
+{
+    let cfg = SimConfig::builder().seed(91).build();
+    let (mut m, r) = machine_with_region(cfg.clone(), Placement::Plain, bytes).expect("plain");
+    let plain = run(&mut m, r);
+    let (mut m, r) = machine_with_region(cfg, Placement::Enclave, bytes).expect("enclave");
+    let enc = run(&mut m, r);
+    enc.slowdown_vs(&plain)
+}
+
+fn main() {
+    let n = bench::arg_count(1_500);
+    banner("Figure 8: encrypted-memory slowdown, normalized to plaintext");
+
+    let bar = |label: &str, value: f64, reference: Option<f64>| match reference {
+        Some(r) => println!("{label:<28} x{value:<8.2} (paper: x{r:.2})"),
+        None => println!("{label:<28} x{value:<8.2} (paper: see Fig. 8 bar)"),
+    };
+
+    let lm = cache_load_miss(Region::Encrypted, n, 92).median() as f64
+        / cache_load_miss(Region::Plain, n, 93).median() as f64;
+    bar("L: cache load miss", lm, Some(400.0 / 308.0));
+
+    let sm = cache_store_miss(Region::Encrypted, n, 94).median() as f64
+        / cache_store_miss(Region::Plain, n, 95).median() as f64;
+    bar("S: cache store miss", sm, Some(575.0 / 481.0));
+
+    let rd = memory_read_windowed(Region::Encrypted, 2048, n, 96).median() as f64
+        / memory_read_windowed(Region::Plain, 2048, n, 97).median() as f64;
+    bar("L: 2KB consecutive read", rd, Some(1124.0 / 727.0));
+
+    let wr = memory_write_windowed(Region::Encrypted, 2048, n, 98).median() as f64
+        / memory_write_windowed(Region::Plain, 2048, n, 99).median() as f64;
+    bar("S: 2KB consecutive write", wr, Some(6875.0 / 6458.0));
+
+    let mcf = kernel_slowdown(40 << 20, |m, r| {
+        run_mcf(m, r, McfConfig { nodes: 393_216, ops: 120_000, ..McfConfig::default() })
+            .expect("mcf")
+    });
+    bar("mcf (pointer chasing)", mcf, Some(paper::MCF_SLOWDOWN));
+
+    // libquantum: the 96 MB register vs the 93 MB EPC => paging collapse.
+    let libq = kernel_slowdown(100 << 20, |m, r| {
+        run_libquantum(m, r, LibquantumConfig { register_bytes: 96 << 20, sweeps: 1, ..LibquantumConfig::default() })
+            .expect("libquantum")
+    });
+    bar("libquantum (96MB streaming)", libq, Some(paper::LIBQUANTUM_SLOWDOWN));
+
+    let astar = kernel_slowdown(56 << 20, |m, r| {
+        run_astar(m, r, AstarConfig { width: 1_024, height: 1_024, searches: 6, ..AstarConfig::default() })
+            .expect("astar")
+    });
+    bar("astar (grid search)", astar, None);
+}

@@ -1,0 +1,79 @@
+//! Regenerates Table 1: the ten SGX microbenchmarks.
+
+use bench::micro::{
+    cache_load_miss, cache_store_miss, ecall_buffer, ecall_latency, memory_read_windowed,
+    memory_write_windowed, ocall_buffer, ocall_latency, Region, TransferMode,
+};
+use bench::report::{banner, compare_cycles, paper};
+
+fn main() {
+    let n = bench::arg_count(4_000);
+    banner("Table 1: microbenchmarks of fundamental SGX operations");
+    println!("({n} measurements per benchmark; paper used 200,000)");
+
+    let ecall_warm = ecall_latency(false, n, 1);
+    compare_cycles("1  ecall (warm cache)", paper::ECALL_WARM, ecall_warm.median());
+
+    let ecall_cold = ecall_latency(true, n, 2);
+    compare_cycles("2  ecall (cold cache)", paper::ECALL_COLD, ecall_cold.median());
+
+    for (mode, reference) in TransferMode::COPYING.iter().zip(paper::ECALL_BUF_2K) {
+        let s = ecall_buffer(*mode, 2048, n, 3);
+        compare_cycles(
+            &format!("3  ecall 2KB buffer [{}]", mode.label()),
+            reference,
+            s.median(),
+        );
+    }
+
+    let ocall_warm = ocall_latency(false, n, 4);
+    compare_cycles("4  ocall (warm cache)", paper::OCALL_WARM, ocall_warm.median());
+
+    let ocall_cold = ocall_latency(true, n, 5);
+    compare_cycles("5  ocall (cold cache)", paper::OCALL_COLD, ocall_cold.median());
+
+    for (mode, reference) in TransferMode::COPYING.iter().zip(paper::OCALL_BUF_2K) {
+        let s = ocall_buffer(*mode, 2048, n, 6);
+        compare_cycles(
+            &format!("6  ocall 2KB buffer [{}]", mode.label()),
+            reference,
+            s.median(),
+        );
+    }
+
+    for (region, reference) in Region::BOTH.iter().zip(paper::READ_2K) {
+        let s = memory_read_windowed(*region, 2048, n, 7);
+        compare_cycles(
+            &format!("7  read 2KB ({})", region.label()),
+            reference,
+            s.median(),
+        );
+    }
+
+    for (region, reference) in Region::BOTH.iter().zip(paper::WRITE_2K) {
+        let s = memory_write_windowed(*region, 2048, n, 8);
+        compare_cycles(
+            &format!("8  write 2KB ({})", region.label()),
+            reference,
+            s.median(),
+        );
+    }
+
+    for (region, reference) in Region::BOTH.iter().zip(paper::LOAD_MISS) {
+        let s = cache_load_miss(*region, n, 9);
+        compare_cycles(
+            &format!("9  cache load miss ({})", region.label()),
+            reference,
+            s.median(),
+        );
+    }
+
+    for (region, reference) in Region::BOTH.iter().zip(paper::STORE_MISS) {
+        let s = cache_store_miss(*region, n, 10);
+        compare_cycles(
+            &format!("10 cache store miss ({})", region.label()),
+            reference,
+            s.median(),
+        );
+    }
+}

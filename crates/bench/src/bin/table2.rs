@@ -1,0 +1,27 @@
+//! Regenerates Table 2: API-call frequencies of the unoptimized SGX ports.
+
+use bench::applications::{table2, Scale};
+use bench::report::{banner, paper};
+
+fn main() {
+    let rows = table2(Scale::default());
+    banner("Table 2: API calls (x1000/second) in non-optimized SGX ports");
+    for (row, (paper_total, paper_core)) in rows.iter().zip(
+        paper::TABLE2_TOTAL_KCALLS.iter().zip(paper::TABLE2_CORE_TIME.iter()),
+    ) {
+        println!("\n{}:", row.app);
+        for (name, kcalls) in &row.frequent {
+            println!("    {name:<24} {kcalls:>8.1}k/s");
+        }
+        println!(
+            "    {:<24} {:>8.1}k/s  (paper: {:.0}k/s)",
+            "TOTAL", row.total_kcalls, paper_total
+        );
+        println!(
+            "    {:<24} {:>8.1}%    (paper: {:.0}%)",
+            "core time facilitating",
+            row.core_time * 100.0,
+            paper_core * 100.0
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # bench — the table/figure regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — the ten microbenchmarks |
+//! | `fig2` | ecall/ocall CDFs, warm & cold |
+//! | `fig3` | HotEcall/HotOcall CDFs |
+//! | `fig4` | ecall + buffer transfer vs size |
+//! | `fig5` | ocall + buffer transfer vs size |
+//! | `fig6` | consecutive reads, encrypted vs plaintext |
+//! | `fig7` | consecutive writes, encrypted vs plaintext |
+//! | `fig8` | memory-encryption overhead incl. SPEC-like kernels |
+//! | `table2` | API-call frequency breakdown per application |
+//! | `fig10` | application throughput, four interface modes |
+//! | `fig11` | application latency, four interface modes |
+//! | `all` | everything above in sequence |
+//!
+//! Each prints the paper's reference value next to the measured one. Run
+//! with a numeric argument to scale the sample counts (e.g.
+//! `cargo run -p bench --bin table1 -- 200000` for the paper's exact
+//! sample sizes).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod applications;
+pub mod hot;
+pub mod micro;
+pub mod report;
+pub mod stats;
+
+/// Parses the optional first CLI argument as a sample-count override.
+pub fn arg_count(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

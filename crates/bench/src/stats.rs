@@ -1,0 +1,127 @@
+//! Sample statistics for the microbenchmark harness.
+
+/// A set of latency samples plus the count of AEX-contaminated runs that
+/// were discarded (the paper's methodology, §3.1).
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    /// Clean measurements, in cycles.
+    pub values: Vec<u64>,
+    /// Measurements discarded because an Asynchronous Exit landed inside
+    /// the timed window.
+    pub discarded_aex: usize,
+}
+
+impl Samples {
+    /// Number of clean samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Any samples at all?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// The `p`-th percentile (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set or `p` outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!(!self.values.is_empty(), "no samples");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<u64>() as f64 / self.values.len() as f64
+        }
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> u64 {
+        self.values.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// CDF points at the canonical probe percentiles the paper's Fig. 2/3
+    /// discussion references.
+    pub fn cdf_summary(&self) -> Vec<(f64, u64)> {
+        [0.1, 10.0, 25.0, 50.0, 75.0, 78.0, 90.0, 99.0, 99.9, 99.97]
+            .iter()
+            .map(|&p| (p, self.percentile(p)))
+            .collect()
+    }
+
+    /// Fraction of samples at or below `threshold`.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| v <= threshold).count() as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(v: Vec<u64>) -> Samples {
+        Samples {
+            values: v,
+            discarded_aex: 0,
+        }
+    }
+
+    #[test]
+    fn median_of_odd_set() {
+        assert_eq!(samples(vec![5, 1, 9, 3, 7]).median(), 5);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let s = samples((0..1000).collect());
+        assert!(s.percentile(10.0) < s.percentile(50.0));
+        assert!(s.percentile(50.0) < s.percentile(99.9));
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.percentile(100.0), 999);
+    }
+
+    #[test]
+    fn fraction_below_counts_inclusive() {
+        let s = samples(vec![10, 20, 30, 40]);
+        assert!((s.fraction_below(20) - 0.5).abs() < 1e-12);
+        assert_eq!(s.fraction_below(5), 0.0);
+        assert_eq!(s.fraction_below(100), 1.0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let s = samples(vec![2, 4, 6]);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2);
+        assert_eq!(s.max(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_percentile_panics() {
+        let _ = samples(vec![]).median();
+    }
+}

@@ -1,0 +1,88 @@
+//! HotCalls tuning knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the simulated and threaded HotCalls variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HotCallConfig {
+    /// Maximum attempts to find the responder available before falling back
+    /// to a regular SDK call. The paper sets this to 10 and reports it
+    /// "never expired" in their experiments, while calling the mechanism
+    /// "vital for producing reliable code".
+    pub timeout_retries: u32,
+    /// Spin iterations between availability checks (each ends in a `PAUSE`).
+    pub spins_per_retry: u32,
+    /// Consecutive empty polls after which the responder sets its `sleep`
+    /// flag and blocks on a condition variable to conserve CPU (§4.2,
+    /// "Conserving resources at idle times"). `None` polls forever.
+    pub idle_polls_before_sleep: Option<u64>,
+}
+
+impl Default for HotCallConfig {
+    fn default() -> Self {
+        HotCallConfig {
+            timeout_retries: 10,
+            spins_per_retry: 16,
+            idle_polls_before_sleep: None,
+        }
+    }
+}
+
+impl HotCallConfig {
+    /// A configuration with the idle-sleep optimization enabled.
+    pub fn with_idle_sleep(polls: u64) -> Self {
+        HotCallConfig {
+            idle_polls_before_sleep: Some(polls),
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing a HotCalls endpoint's behaviour.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotCallStats {
+    /// Calls completed through the fast path.
+    pub calls: u64,
+    /// Calls that timed out and fell back to the SDK path.
+    pub fallbacks: u64,
+    /// Times the responder had to be woken from idle sleep.
+    pub wakeups: u64,
+    /// Responder poll iterations that found no work (threaded runtime).
+    pub idle_polls: u64,
+    /// Responder poll iterations that found a request.
+    pub busy_polls: u64,
+}
+
+impl HotCallStats {
+    /// Responder utilization: busy polls over all polls. The paper frames
+    /// this as time in `ExecuteCall` vs time spent polling.
+    pub fn utilization(&self) -> f64 {
+        let total = self.idle_polls + self.busy_polls;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_polls as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = HotCallConfig::default();
+        assert_eq!(c.timeout_retries, 10);
+        assert!(c.idle_polls_before_sleep.is_none());
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut s = HotCallStats::default();
+        assert_eq!(s.utilization(), 0.0);
+        s.busy_polls = 25;
+        s.idle_polls = 75;
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
+    }
+}

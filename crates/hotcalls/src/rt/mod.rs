@@ -1,0 +1,488 @@
+//! The threaded HotCalls runtime: a real switchless-call channel.
+//!
+//! This is the artifact a downstream user adopts: a dedicated responder
+//! thread polls a shared mailbox in a spin loop (`PAUSE` hints, no
+//! syscalls), requesters publish work through an atomic state machine, and
+//! the paper's practical considerations — timeout fallback, idle sleep on a
+//! condition variable, utilization accounting — are all implemented.
+//!
+//! The protocol matches Fig. 9 of the paper: requester acquires the
+//! (logical) lock by CASing the state word, writes the request, signals
+//! "go", and spins for completion; the responder polls, executes via the
+//! call table, and signals "done".
+
+mod calltable;
+mod ring;
+
+pub use calltable::CallTable;
+pub use ring::{RingRequester, RingServer, Ticket};
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::{HotCallConfig, HotCallStats};
+use crate::error::{HotCallError, Result};
+
+const IDLE: u8 = 0;
+const CLAIMED: u8 = 1;
+const REQUESTED: u8 = 2;
+const DONE: u8 = 3;
+const SHUTDOWN: u8 = 4;
+
+struct Shared<Req, Resp> {
+    /// Mailbox state word (the paper's lock + go/busy flags collapse into
+    /// one atomic state machine).
+    state: AtomicU8,
+    /// Request slot: (call_ID, payload). The parking_lot mutex is never
+    /// contended — the state machine serializes access — so locking it is
+    /// a single uncontended CAS, not a syscall.
+    req_slot: Mutex<Option<(u32, Req)>>,
+    /// Response slot.
+    resp_slot: Mutex<Option<Result<Resp>>>,
+    /// Set while the responder is parked on the condvar.
+    sleeping: AtomicU8,
+    wake_lock: Mutex<bool>,
+    wake_cv: Condvar,
+    // Statistics.
+    calls: AtomicU64,
+    wakeups: AtomicU64,
+    idle_polls: AtomicU64,
+    busy_polls: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl<Req, Resp> Shared<Req, Resp> {
+    fn snapshot(&self) -> HotCallStats {
+        HotCallStats {
+            calls: self.calls.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            idle_polls: self.idle_polls.load(Ordering::Relaxed),
+            busy_polls: self.busy_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running HotCalls endpoint: owns the responder thread.
+///
+/// Dropping the server shuts the responder down and joins it.
+///
+/// # Examples
+///
+/// ```
+/// use hotcalls::rt::{CallTable, HotCallServer};
+/// use hotcalls::HotCallConfig;
+///
+/// let mut table: CallTable<u64, u64> = CallTable::new();
+/// let double = table.register(|x| x * 2);
+///
+/// let server = HotCallServer::spawn(table, HotCallConfig::default());
+/// let requester = server.requester();
+/// assert_eq!(requester.call(double, 21).unwrap(), 42);
+/// ```
+#[derive(Debug)]
+pub struct HotCallServer<Req, Resp> {
+    shared: Arc<Shared<Req, Resp>>,
+    config: HotCallConfig,
+    join: Option<JoinHandle<()>>,
+}
+
+impl<Req, Resp> core::fmt::Debug for Shared<Req, Resp> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Shared")
+            .field("state", &self.state.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<Req, Resp> HotCallServer<Req, Resp>
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    /// Spawns the responder ("On Call") thread over `table`.
+    pub fn spawn(table: CallTable<Req, Resp>, config: HotCallConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: AtomicU8::new(IDLE),
+            req_slot: Mutex::new(None),
+            resp_slot: Mutex::new(None),
+            sleeping: AtomicU8::new(0),
+            wake_lock: Mutex::new(false),
+            wake_cv: Condvar::new(),
+            calls: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            idle_polls: AtomicU64::new(0),
+            busy_polls: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        });
+        let responder_shared = Arc::clone(&shared);
+        let responder_config = config;
+        let join = std::thread::Builder::new()
+            .name("hotcalls-responder".into())
+            .spawn(move || responder_loop(responder_shared, table, responder_config))
+            .expect("failed to spawn responder thread");
+        HotCallServer {
+            shared,
+            config,
+            join: Some(join),
+        }
+    }
+
+    /// Creates a requester handle (cloneable, shareable across threads).
+    pub fn requester(&self) -> Requester<Req, Resp> {
+        Requester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HotCallStats {
+        self.shared.snapshot()
+    }
+
+    /// Stops the responder and joins it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl<Req, Resp> HotCallServer<Req, Resp> {
+    fn shutdown_inner(&mut self) {
+        self.shared.state.store(SHUTDOWN, Ordering::Release);
+        // Wake the responder if it sleeps.
+        {
+            let mut flag = self.shared.wake_lock.lock();
+            *flag = true;
+            self.shared.wake_cv.notify_all();
+        }
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl<Req, Resp> Drop for HotCallServer<Req, Resp> {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn responder_loop<Req, Resp>(
+    shared: Arc<Shared<Req, Resp>>,
+    table: CallTable<Req, Resp>,
+    config: HotCallConfig,
+) {
+    let mut idle_count: u64 = 0;
+    loop {
+        match shared.state.load(Ordering::Acquire) {
+            SHUTDOWN => return,
+            REQUESTED => {
+                idle_count = 0;
+                shared.busy_polls.fetch_add(1, Ordering::Relaxed);
+                let (id, req) = shared
+                    .req_slot
+                    .lock()
+                    .take()
+                    .expect("REQUESTED implies a request in the slot");
+                let result = table
+                    .dispatch(id, req)
+                    .ok_or(HotCallError::UnknownCallId(id));
+                *shared.resp_slot.lock() = Some(result);
+                shared.calls.fetch_add(1, Ordering::Relaxed);
+                shared.state.store(DONE, Ordering::Release);
+            }
+            _ => {
+                idle_count += 1;
+                shared.idle_polls.fetch_add(1, Ordering::Relaxed);
+                if let Some(limit) = config.idle_polls_before_sleep {
+                    if idle_count >= limit {
+                        // Conserve resources: park on the condvar until a
+                        // requester signals (paper §4.2).
+                        shared.sleeping.store(1, Ordering::Release);
+                        let mut flag = shared.wake_lock.lock();
+                        // Lost-wakeup guard: re-check state under the lock.
+                        while !*flag
+                            && !matches!(
+                                shared.state.load(Ordering::Acquire),
+                                REQUESTED | SHUTDOWN
+                            )
+                        {
+                            shared.wake_cv.wait(&mut flag);
+                        }
+                        *flag = false;
+                        drop(flag);
+                        shared.sleeping.store(0, Ordering::Release);
+                        idle_count = 0;
+                        continue;
+                    }
+                }
+                // The PAUSE of the paper's polling loop. On a dedicated
+                // core this would be a pure `PAUSE` spin; yielding
+                // periodically keeps the protocol live when the OS
+                // schedules requester and responder on shared cores.
+                core::hint::spin_loop();
+                if idle_count % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A handle for issuing HotCalls.
+#[derive(Debug)]
+pub struct Requester<Req, Resp> {
+    shared: Arc<Shared<Req, Resp>>,
+    config: HotCallConfig,
+}
+
+impl<Req, Resp> Clone for Requester<Req, Resp> {
+    fn clone(&self) -> Self {
+        Requester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+        }
+    }
+}
+
+impl<Req, Resp> Requester<Req, Resp> {
+    /// Issues a call and spins until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderTimeout`] if the responder stayed busy
+    /// beyond the configured retries (fall back to your slow path, as the
+    /// paper prescribes); [`HotCallError::ResponderGone`] if it shut down;
+    /// [`HotCallError::UnknownCallId`] for unregistered ids.
+    pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
+        // Claim the mailbox (bounded retries — "Preventing starvation").
+        let mut claimed = false;
+        'retries: for _ in 0..self.config.timeout_retries {
+            for _ in 0..self.config.spins_per_retry {
+                match self.shared.state.compare_exchange(
+                    IDLE,
+                    CLAIMED,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        claimed = true;
+                        break 'retries;
+                    }
+                    Err(SHUTDOWN) => return Err(HotCallError::ResponderGone),
+                    Err(_) => core::hint::spin_loop(),
+                }
+            }
+            std::thread::yield_now();
+        }
+        if !claimed {
+            self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return Err(HotCallError::ResponderTimeout {
+                retries: self.config.timeout_retries,
+            });
+        }
+
+        *self.shared.req_slot.lock() = Some((id, req));
+        self.shared.state.store(REQUESTED, Ordering::Release);
+
+        // Wake a sleeping responder.
+        if self.shared.sleeping.load(Ordering::Acquire) == 1 {
+            let mut flag = self.shared.wake_lock.lock();
+            *flag = true;
+            self.shared.wake_cv.notify_one();
+            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Spin for completion (with periodic yields for shared-core
+        // schedulers; a dedicated-core deployment would pure-spin).
+        let mut spins: u32 = 0;
+        loop {
+            match self.shared.state.load(Ordering::Acquire) {
+                DONE => break,
+                SHUTDOWN => return Err(HotCallError::ResponderGone),
+                _ => {
+                    core::hint::spin_loop();
+                    spins = spins.wrapping_add(1);
+                    if spins % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let result = self
+            .shared
+            .resp_slot
+            .lock()
+            .take()
+            .expect("DONE implies a response in the slot");
+        self.shared.state.store(IDLE, Ordering::Release);
+        result
+    }
+
+    /// Issues a call, running `fallback` locally if the fast path times
+    /// out — the paper's SDK-call fallback, generalized.
+    pub fn call_with_fallback<F>(&self, id: u32, req: Req, fallback: F) -> Result<Resp>
+    where
+        F: FnOnce(Req) -> Resp,
+        Req: Clone,
+    {
+        match self.call(id, req.clone()) {
+            Err(HotCallError::ResponderTimeout { .. }) => Ok(fallback(req)),
+            other => other,
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HotCallStats {
+        self.shared.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn arith_table() -> (CallTable<u64, u64>, u32, u32) {
+        let mut t = CallTable::new();
+        let inc = t.register(|x| x + 1);
+        let dbl = t.register(|x| x * 2);
+        (t, inc, dbl)
+    }
+
+    #[test]
+    fn roundtrip_returns_handler_result() {
+        let (t, inc, dbl) = arith_table();
+        let server = HotCallServer::spawn(t, HotCallConfig::default());
+        let r = server.requester();
+        assert_eq!(r.call(inc, 41).unwrap(), 42);
+        assert_eq!(r.call(dbl, 21).unwrap(), 42);
+        assert_eq!(server.stats().calls, 2);
+    }
+
+    #[test]
+    fn unknown_id_is_an_error_not_a_hang() {
+        let (t, _, _) = arith_table();
+        let server = HotCallServer::spawn(t, HotCallConfig::default());
+        let r = server.requester();
+        assert!(matches!(r.call(99, 1), Err(HotCallError::UnknownCallId(99))));
+    }
+
+    #[test]
+    fn many_sequential_calls_are_exactly_once() {
+        let (t, inc, _) = arith_table();
+        let server = HotCallServer::spawn(t, HotCallConfig::default());
+        let r = server.requester();
+        for i in 0..10_000u64 {
+            assert_eq!(r.call(inc, i).unwrap(), i + 1);
+        }
+        assert_eq!(server.stats().calls, 10_000);
+    }
+
+    #[test]
+    fn concurrent_requesters_serialize_correctly() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let echo = t.register(|x| x);
+        let server = HotCallServer::spawn(
+            t,
+            HotCallConfig {
+                timeout_retries: 1_000_000,
+                spins_per_retry: 64,
+                idle_polls_before_sleep: None,
+            },
+        );
+        let mut handles = Vec::new();
+        for th in 0..4u64 {
+            let r = server.requester();
+            handles.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                for i in 0..500u64 {
+                    sum += r.call(echo, th * 10_000 + i).unwrap();
+                }
+                sum
+            }));
+        }
+        let mut total = 0u64;
+        for h in handles {
+            total += h.join().unwrap();
+        }
+        let expected: u64 = (0..4u64)
+            .map(|th| (0..500u64).map(|i| th * 10_000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(total, expected);
+        assert_eq!(server.stats().calls, 2_000);
+    }
+
+    #[test]
+    fn shutdown_unblocks_requesters() {
+        let (t, inc, _) = arith_table();
+        let server = HotCallServer::spawn(t, HotCallConfig::default());
+        let r = server.requester();
+        assert_eq!(r.call(inc, 1).unwrap(), 2);
+        server.shutdown();
+        assert!(matches!(r.call(inc, 1), Err(HotCallError::ResponderGone)));
+    }
+
+    #[test]
+    fn idle_sleep_and_wakeup() {
+        let (t, inc, _) = arith_table();
+        let server = HotCallServer::spawn(t, HotCallConfig::with_idle_sleep(1_000));
+        let r = server.requester();
+        assert_eq!(r.call(inc, 1).unwrap(), 2);
+        // Give the responder time to fall asleep.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.shared.sleeping.load(Ordering::Acquire) == 0 {
+            assert!(Instant::now() < deadline, "responder never slept");
+            std::thread::yield_now();
+        }
+        // A call must still succeed (and wake it).
+        assert_eq!(r.call(inc, 10).unwrap(), 11);
+        assert!(server.stats().wakeups >= 1);
+    }
+
+    #[test]
+    fn fallback_runs_locally_on_timeout() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let slow = t.register(|x| {
+            std::thread::sleep(Duration::from_millis(200));
+            x
+        });
+        let server = HotCallServer::spawn(
+            t,
+            HotCallConfig {
+                timeout_retries: 2,
+                spins_per_retry: 4,
+                idle_polls_before_sleep: None,
+            },
+        );
+        let r1 = server.requester();
+        let r2 = server.requester();
+        // Occupy the responder with a slow call from another thread.
+        let blocker = std::thread::spawn(move || r1.call(slow, 7).unwrap());
+        std::thread::sleep(Duration::from_millis(50));
+        // The second requester times out and falls back locally.
+        let v = r2.call_with_fallback(slow, 5, |x| x + 100).unwrap();
+        assert_eq!(v, 105);
+        assert!(r2.stats().fallbacks >= 1);
+        assert_eq!(blocker.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn utilization_reflects_load() {
+        let (t, inc, _) = arith_table();
+        let server = HotCallServer::spawn(t, HotCallConfig::default());
+        let r = server.requester();
+        for i in 0..100 {
+            r.call(inc, i).unwrap();
+        }
+        let stats = server.stats();
+        assert!(stats.busy_polls >= 100);
+        assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! A queued HotCalls variant: a multi-slot submission ring.
+//!
+//! The paper's single mailbox serializes requesters; §4.2 observes that
+//! responder utilization "can potentially be improved by sharing the
+//! responder thread with several requesters". [`RingServer`] realizes
+//! that: a fixed ring of request slots lets several requesters have calls
+//! in flight simultaneously while one responder drains them in order.
+//! Each slot is its own little mailbox (CLAIM → SUBMIT → DONE), so
+//! requesters never contend on a single word the way the plain channel
+//! does.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::config::{HotCallConfig, HotCallStats};
+use crate::error::{HotCallError, Result};
+
+use super::CallTable;
+
+const SLOT_EMPTY: u8 = 0;
+const SLOT_CLAIMED: u8 = 1;
+const SLOT_SUBMITTED: u8 = 2;
+const SLOT_DONE: u8 = 3;
+
+struct Slot<Req, Resp> {
+    state: AtomicU8,
+    req: Mutex<Option<(u32, Req)>>,
+    resp: Mutex<Option<Result<Resp>>>,
+}
+
+struct RingShared<Req, Resp> {
+    slots: Vec<Slot<Req, Resp>>,
+    /// Next slot a requester claims.
+    head: AtomicUsize,
+    /// Next slot the responder services (slots complete in claim order).
+    tail: AtomicUsize,
+    shutdown: AtomicU8,
+    calls: AtomicU64,
+    busy_polls: AtomicU64,
+    idle_polls: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl<Req, Resp> core::fmt::Debug for RingShared<Req, Resp> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RingShared")
+            .field("capacity", &self.slots.len())
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .field("tail", &self.tail.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A running ring server: one responder thread draining a multi-slot
+/// submission ring.
+///
+/// # Examples
+///
+/// ```
+/// use hotcalls::rt::{CallTable, RingServer};
+/// use hotcalls::HotCallConfig;
+///
+/// let mut table: CallTable<u64, u64> = CallTable::new();
+/// let inc = table.register(|x| x + 1);
+/// let server = RingServer::spawn(table, 8, HotCallConfig::default());
+/// let requester = server.requester();
+/// assert_eq!(requester.call(inc, 9).unwrap(), 10);
+/// ```
+#[derive(Debug)]
+pub struct RingServer<Req, Resp> {
+    shared: Arc<RingShared<Req, Resp>>,
+    config: HotCallConfig,
+    join: Option<JoinHandle<()>>,
+}
+
+impl<Req, Resp> RingServer<Req, Resp>
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    /// Spawns the responder over `table` with a ring of `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn spawn(table: CallTable<Req, Resp>, capacity: usize, config: HotCallConfig) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let shared = Arc::new(RingShared {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    state: AtomicU8::new(SLOT_EMPTY),
+                    req: Mutex::new(None),
+                    resp: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            shutdown: AtomicU8::new(0),
+            calls: AtomicU64::new(0),
+            busy_polls: AtomicU64::new(0),
+            idle_polls: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        });
+        let responder = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("hotcalls-ring-responder".into())
+            .spawn(move || ring_responder(responder, table))
+            .expect("spawn ring responder");
+        RingServer {
+            shared,
+            config,
+            join: Some(join),
+        }
+    }
+
+    /// Creates a requester handle.
+    pub fn requester(&self) -> RingRequester<Req, Resp> {
+        RingRequester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HotCallStats {
+        HotCallStats {
+            calls: self.shared.calls.load(Ordering::Relaxed),
+            fallbacks: self.shared.fallbacks.load(Ordering::Relaxed),
+            wakeups: 0,
+            idle_polls: self.shared.idle_polls.load(Ordering::Relaxed),
+            busy_polls: self.shared.busy_polls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the responder and joins it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl<Req, Resp> RingServer<Req, Resp> {
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(1, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl<Req, Resp> Drop for RingServer<Req, Resp> {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn ring_responder<Req, Resp>(shared: Arc<RingShared<Req, Resp>>, table: CallTable<Req, Resp>) {
+    let cap = shared.slots.len();
+    let mut idle: u64 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) == 1 {
+            // Fail any in-flight submissions so requesters unblock.
+            for slot in &shared.slots {
+                if slot.state.load(Ordering::Acquire) == SLOT_SUBMITTED {
+                    *slot.resp.lock() = Some(Err(HotCallError::ResponderGone));
+                    slot.state.store(SLOT_DONE, Ordering::Release);
+                }
+            }
+            return;
+        }
+        let tail = shared.tail.load(Ordering::Acquire);
+        let slot = &shared.slots[tail % cap];
+        if slot.state.load(Ordering::Acquire) == SLOT_SUBMITTED {
+            idle = 0;
+            shared.busy_polls.fetch_add(1, Ordering::Relaxed);
+            let (id, req) = slot.req.lock().take().expect("submitted slot has request");
+            let result = table.dispatch(id, req).ok_or(HotCallError::UnknownCallId(id));
+            *slot.resp.lock() = Some(result);
+            slot.state.store(SLOT_DONE, Ordering::Release);
+            shared.calls.fetch_add(1, Ordering::Relaxed);
+            shared.tail.store(tail + 1, Ordering::Release);
+        } else {
+            idle += 1;
+            shared.idle_polls.fetch_add(1, Ordering::Relaxed);
+            core::hint::spin_loop();
+            if idle % 64 == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A handle submitting calls into the ring.
+#[derive(Debug)]
+pub struct RingRequester<Req, Resp> {
+    shared: Arc<RingShared<Req, Resp>>,
+    config: HotCallConfig,
+}
+
+impl<Req, Resp> Clone for RingRequester<Req, Resp> {
+    fn clone(&self) -> Self {
+        RingRequester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+        }
+    }
+}
+
+/// An in-flight call: redeem with [`RingRequester::wait`].
+#[derive(Debug)]
+#[must_use = "a ticket must be waited on, or its slot stays occupied"]
+pub struct Ticket {
+    index: usize,
+}
+
+impl<Req, Resp> RingRequester<Req, Resp> {
+    /// Claims a slot and submits a request without waiting. Returns a
+    /// [`Ticket`] to redeem the response.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
+    /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
+    pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
+        let cap = self.shared.slots.len();
+        for _retry in 0..self.config.timeout_retries {
+            for _ in 0..self.config.spins_per_retry {
+                if self.shared.shutdown.load(Ordering::Acquire) == 1 {
+                    return Err(HotCallError::ResponderGone);
+                }
+                let head = self.shared.head.load(Ordering::Acquire);
+                let tail = self.shared.tail.load(Ordering::Acquire);
+                // Full ring: wait for the responder to drain.
+                if head - tail >= cap {
+                    core::hint::spin_loop();
+                    continue;
+                }
+                // The target slot may still hold an un-redeemed DONE
+                // response from the previous lap (the responder advanced
+                // `tail` before that requester called `wait`); it only
+                // becomes EMPTY when redeemed. Never claim a non-empty
+                // slot.
+                if self.shared.slots[head % cap].state.load(Ordering::Acquire) != SLOT_EMPTY {
+                    core::hint::spin_loop();
+                    continue;
+                }
+                if self
+                    .shared
+                    .head
+                    .compare_exchange(head, head + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                // Winning the CAS on `head` makes the (empty) slot ours:
+                // the only writer that could repopulate it is a submitter
+                // holding this same head value.
+                let slot = &self.shared.slots[head % cap];
+                slot.state.store(SLOT_CLAIMED, Ordering::Release);
+                *slot.req.lock() = Some((id, req));
+                slot.state.store(SLOT_SUBMITTED, Ordering::Release);
+                return Ok(Ticket { index: head });
+            }
+            std::thread::yield_now();
+        }
+        self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Err(HotCallError::ResponderTimeout {
+            retries: self.config.timeout_retries,
+        })
+    }
+
+    /// Waits for a submitted call to complete and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderGone`] if the server shut down first, or
+    /// the handler's own error.
+    pub fn wait(&self, ticket: Ticket) -> Result<Resp> {
+        let cap = self.shared.slots.len();
+        let slot = &self.shared.slots[ticket.index % cap];
+        let mut spins: u32 = 0;
+        loop {
+            match slot.state.load(Ordering::Acquire) {
+                SLOT_DONE => break,
+                _ => {
+                    // After shutdown the responder's sweep marks submitted
+                    // slots DONE with an error; if our submission raced the
+                    // sweep (still CLAIMED), give up after a grace period.
+                    if self.shared.shutdown.load(Ordering::Acquire) == 1 {
+                        if spins > 100_000 {
+                            return Err(HotCallError::ResponderGone);
+                        }
+                        std::thread::yield_now();
+                    }
+                    core::hint::spin_loop();
+                    spins = spins.wrapping_add(1);
+                    if spins % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let result = slot.resp.lock().take().expect("done slot has response");
+        slot.state.store(SLOT_EMPTY, Ordering::Release);
+        result
+    }
+
+    /// Submit + wait in one step.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::submit`] and [`RingRequester::wait`].
+    pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
+        let t = self.submit(id, req)?;
+        self.wait(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (CallTable<u64, u64>, u32) {
+        let mut t = CallTable::new();
+        let sq = t.register(|x| x * x);
+        (t, sq)
+    }
+
+    fn generous() -> HotCallConfig {
+        HotCallConfig {
+            timeout_retries: 1_000_000,
+            spins_per_retry: 64,
+            idle_polls_before_sleep: None,
+        }
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 4, generous());
+        let r = server.requester();
+        assert_eq!(r.call(sq, 7).unwrap(), 49);
+        assert_eq!(server.stats().calls, 1);
+    }
+
+    #[test]
+    fn pipelined_submissions_complete_in_order() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 8, generous());
+        let r = server.requester();
+        let tickets: Vec<Ticket> = (0..8u64).map(|i| r.submit(sq, i).unwrap()).collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(r.wait(t).unwrap(), (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn ring_wraps_many_times() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 2, generous());
+        let r = server.requester();
+        for i in 0..5_000u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+        }
+        assert_eq!(server.stats().calls, 5_000);
+    }
+
+    #[test]
+    fn concurrent_requesters_share_the_ring() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 4, generous());
+        let mut handles = Vec::new();
+        for th in 0..3u64 {
+            let r = server.requester();
+            handles.push(std::thread::spawn(move || {
+                (0..500u64)
+                    .map(|i| r.call(sq, th * 1_000 + i).unwrap())
+                    .sum::<u64>()
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let want: u64 = (0..3u64)
+            .flat_map(|th| (0..500u64).map(move |i| (th * 1_000 + i) * (th * 1_000 + i)))
+            .sum();
+        assert_eq!(total, want);
+        assert_eq!(server.stats().calls, 1_500);
+    }
+
+    #[test]
+    fn unknown_id_propagates() {
+        let (t, _) = table();
+        let server = RingServer::spawn(t, 2, generous());
+        let r = server.requester();
+        assert!(matches!(r.call(42, 1), Err(HotCallError::UnknownCallId(42))));
+    }
+
+    #[test]
+    fn shutdown_fails_inflight_and_future_calls() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 2, generous());
+        let r = server.requester();
+        assert_eq!(r.call(sq, 3).unwrap(), 9);
+        server.shutdown();
+        assert!(matches!(r.submit(sq, 1), Err(HotCallError::ResponderGone)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let (t, _) = table();
+        let _ = RingServer::spawn(t, 0, generous());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of the threaded HotCalls runtime: exactly-once
+//! delivery, result integrity, and fallback accounting under arbitrary
+//! schedules.
+
+use proptest::prelude::*;
+
+use hotcalls::rt::{CallTable, HotCallServer};
+use hotcalls::HotCallConfig;
+
+proptest! {
+    // Thread spawning is expensive; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every request is answered by exactly the registered handler, once,
+    /// in order, for an arbitrary sequence of call ids and payloads.
+    #[test]
+    fn sequential_calls_exactly_once(
+        reqs in proptest::collection::vec((0u32..3, any::<u32>()), 1..200),
+    ) {
+        let mut table: CallTable<u64, u64> = CallTable::new();
+        let add = table.register(|x| x + 1);
+        let dbl = table.register(|x| x * 2);
+        let neg = table.register(|x| !x);
+        let ids = [add, dbl, neg];
+        let server = HotCallServer::spawn(table, HotCallConfig {
+            timeout_retries: 1_000_000,
+            spins_per_retry: 64,
+            idle_polls_before_sleep: None,
+        });
+        let r = server.requester();
+        let mut expected_calls = 0u64;
+        for (which, payload) in reqs {
+            let x = u64::from(payload);
+            let got = r.call(ids[which as usize], x).unwrap();
+            let want = match which { 0 => x + 1, 1 => x * 2, _ => !x };
+            prop_assert_eq!(got, want);
+            expected_calls += 1;
+        }
+        prop_assert_eq!(server.stats().calls, expected_calls);
+        server.shutdown();
+    }
+
+    /// Two concurrent requesters with arbitrary workloads: the sum of all
+    /// responses equals the sum computed locally (no lost or duplicated
+    /// calls).
+    #[test]
+    fn concurrent_requesters_conserve_work(
+        a in proptest::collection::vec(1u64..1_000, 1..60),
+        b in proptest::collection::vec(1u64..1_000, 1..60),
+    ) {
+        let mut table: CallTable<u64, u64> = CallTable::new();
+        let triple = table.register(|x| x * 3);
+        let server = HotCallServer::spawn(table, HotCallConfig {
+            timeout_retries: 1_000_000,
+            spins_per_retry: 64,
+            idle_polls_before_sleep: None,
+        });
+        let (ra, rb) = (server.requester(), server.requester());
+        let (va, vb) = (a.clone(), b.clone());
+        let ha = std::thread::spawn(move || va.iter().map(|&x| ra.call(triple, x).unwrap()).sum::<u64>());
+        let hb = std::thread::spawn(move || vb.iter().map(|&x| rb.call(triple, x).unwrap()).sum::<u64>());
+        let total = ha.join().unwrap() + hb.join().unwrap();
+        let want: u64 = a.iter().chain(b.iter()).map(|&x| x * 3).sum();
+        prop_assert_eq!(total, want);
+        prop_assert_eq!(server.stats().calls, (a.len() + b.len()) as u64);
+        server.shutdown();
+    }
+
+    /// With idle sleep enabled at any threshold, calls still succeed and
+    /// wake the responder as needed.
+    #[test]
+    fn idle_sleep_any_threshold_is_safe(threshold in 1u64..10_000, n in 1usize..50) {
+        let mut table: CallTable<u64, u64> = CallTable::new();
+        let echo = table.register(|x| x);
+        let server = HotCallServer::spawn(
+            table,
+            HotCallConfig { idle_polls_before_sleep: Some(threshold), ..HotCallConfig::default() },
+        );
+        let r = server.requester();
+        for i in 0..n as u64 {
+            prop_assert_eq!(r.call(echo, i).unwrap(), i);
+        }
+        server.shutdown();
+    }
+}

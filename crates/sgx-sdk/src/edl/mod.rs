@@ -1,0 +1,12 @@
+//! The Enclave Definition Language: AST and parser.
+//!
+//! Programmers describe edge functions (ecalls and ocalls) in an EDL file;
+//! the [`crate::edger8r`] module turns the parsed declarations into
+//! marshalling plans, exactly as Intel's `edger8r` turns EDL into generated
+//! C glue.
+
+mod ast;
+mod parser;
+
+pub use ast::{Direction, EdgeFn, Edl, Param, ParamKind, SizeSpec};
+pub use parser::{parse_edl, EdlError};

@@ -1,0 +1,110 @@
+//! Error types for the simulated SDK.
+
+use core::fmt;
+
+use sgx_sim::SgxError;
+
+use crate::edl::EdlError;
+
+/// Errors returned by the SDK call paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdkError {
+    /// The underlying hardware model rejected an operation.
+    Sgx(SgxError),
+    /// EDL parsing or validation failed.
+    Edl(EdlError),
+    /// No edge function with this name was declared in the EDL.
+    UnknownFunction(String),
+    /// The caller supplied a different number of buffer arguments than the
+    /// EDL declares for the function.
+    ArgCountMismatch {
+        /// Edge-function name.
+        name: String,
+        /// Buffers the EDL declares.
+        expected: usize,
+        /// Buffers the caller supplied.
+        got: usize,
+    },
+    /// A pointer that must lie outside the enclave (ecall inputs) points
+    /// into it — the check that prevents the enclave dereferencing
+    /// attacker-chosen secure addresses.
+    PointerMustBeOutside(sgx_sim::Addr),
+    /// A pointer that must lie inside the enclave (ocall sources) points
+    /// outside it.
+    PointerMustBeInside(sgx_sim::Addr),
+    /// An ocall was issued while no ecall was executing.
+    NotInEnclave,
+    /// A nested ecall was issued from inside the enclave.
+    AlreadyInEnclave,
+    /// The marshalling scratch area is too small for the requested buffer.
+    ScratchExhausted {
+        /// Bytes requested.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for SdkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdkError::Sgx(e) => write!(f, "sgx: {e}"),
+            SdkError::Edl(e) => write!(f, "edl: {e}"),
+            SdkError::UnknownFunction(n) => write!(f, "no edge function named `{n}`"),
+            SdkError::ArgCountMismatch {
+                name,
+                expected,
+                got,
+            } => write!(f, "`{name}` declares {expected} buffers but {got} were supplied"),
+            SdkError::PointerMustBeOutside(a) => {
+                write!(f, "pointer {a} must reference untrusted memory")
+            }
+            SdkError::PointerMustBeInside(a) => {
+                write!(f, "pointer {a} must reference enclave memory")
+            }
+            SdkError::NotInEnclave => write!(f, "ocall issued while not executing in the enclave"),
+            SdkError::AlreadyInEnclave => write!(f, "nested ecall is not supported"),
+            SdkError::ScratchExhausted { requested } => {
+                write!(f, "marshalling scratch exhausted ({requested} bytes requested)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SdkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdkError::Sgx(e) => Some(e),
+            SdkError::Edl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgxError> for SdkError {
+    fn from(e: SgxError) -> Self {
+        SdkError::Sgx(e)
+    }
+}
+
+impl From<EdlError> for SdkError {
+    fn from(e: EdlError) -> Self {
+        SdkError::Edl(e)
+    }
+}
+
+/// Convenience alias for SDK results.
+pub type Result<T> = core::result::Result<T, SdkError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_chains_source() {
+        let e = SdkError::Sgx(SgxError::TcsBusy);
+        assert!(e.to_string().contains("busy"));
+        assert!(std::error::Error::source(&e).is_some());
+        let u = SdkError::UnknownFunction("x".into());
+        assert!(std::error::Error::source(&u).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests: EDL pretty-print → parse round-trip, and marshalling
+//! invariants under arbitrary buffer shapes.
+
+use proptest::prelude::*;
+
+use sgx_sdk::edl::{parse_edl, Direction, EdgeFn, Edl, Param, ParamKind, SizeSpec};
+use sgx_sdk::edger8r::edger8r;
+use sgx_sdk::marshal::{stage, unstage, CallerSide, StagingArea};
+use sgx_sdk::{BufArg, MarshalOptions};
+use sgx_sim::{EnclaveBuildOptions, Machine, SimConfig};
+
+fn direction_strategy() -> impl Strategy<Value = Direction> {
+    prop_oneof![
+        Just(Direction::In),
+        Just(Direction::Out),
+        Just(Direction::InOut),
+        Just(Direction::UserCheck),
+    ]
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}".prop_map(|s| s)
+}
+
+fn edge_fn_strategy() -> impl Strategy<Value = EdgeFn> {
+    (
+        ident(),
+        any::<bool>(),
+        proptest::collection::vec(direction_strategy(), 0..3),
+    )
+        .prop_map(|(name, returns_value, dirs)| {
+            let mut params = Vec::new();
+            for (i, d) in dirs.into_iter().enumerate() {
+                // user_check pointers carry no size attribute in EDL, so
+                // the parser assigns the pointee size (1 for uint8_t).
+                let size = if d == Direction::UserCheck {
+                    SizeSpec::Fixed(1)
+                } else {
+                    SizeSpec::Param(format!("n{i}"))
+                };
+                params.push(Param {
+                    name: format!("b{i}"),
+                    c_type: "uint8_t*".into(),
+                    kind: ParamKind::Buffer { direction: d, size },
+                });
+                params.push(Param {
+                    name: format!("n{i}"),
+                    c_type: "size_t".into(),
+                    kind: ParamKind::Value { bytes: 8 },
+                });
+            }
+            EdgeFn {
+                name: format!("fn_{name}"),
+                public: true,
+                params,
+                returns_value,
+            }
+        })
+}
+
+/// Pretty-prints an AST back to EDL source.
+fn print_edl(edl: &Edl) -> String {
+    let mut out = String::from("enclave {\n");
+    for (block, fns) in [("trusted", &edl.trusted), ("untrusted", &edl.untrusted)] {
+        out.push_str(&format!("    {block} {{\n"));
+        for f in fns {
+            let ret = if f.returns_value { "size_t" } else { "void" };
+            let vis = if block == "trusted" { "public " } else { "" };
+            let params: Vec<String> = f
+                .params
+                .iter()
+                .map(|p| match &p.kind {
+                    ParamKind::Value { .. } => format!("{} {}", p.c_type, p.name),
+                    ParamKind::Buffer { direction, size } => {
+                        let size_str = match size {
+                            SizeSpec::Fixed(n) => format!("size={n}"),
+                            SizeSpec::Param(s) => format!("size={s}"),
+                        };
+                        match direction {
+                            Direction::UserCheck => {
+                                format!("[user_check] {} {}", p.c_type, p.name)
+                            }
+                            d => format!("[{}, {size_str}] {} {}", d.as_edl(), p.c_type, p.name),
+                        }
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "        {vis}{ret} {}({});\n",
+                f.name,
+                params.join(", ")
+            ));
+        }
+        out.push_str("    };\n");
+    }
+    out.push_str("};\n");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// print -> parse round-trips the function structure.
+    #[test]
+    fn edl_print_parse_roundtrip(
+        trusted in proptest::collection::vec(edge_fn_strategy(), 0..5),
+        untrusted in proptest::collection::vec(edge_fn_strategy(), 0..5),
+    ) {
+        let edl = Edl { trusted, untrusted };
+        let src = print_edl(&edl);
+        let parsed = parse_edl(&src).unwrap_or_else(|e| panic!("generated EDL failed: {e}\n{src}"));
+        prop_assert_eq!(parsed.trusted.len(), edl.trusted.len());
+        prop_assert_eq!(parsed.untrusted.len(), edl.untrusted.len());
+        for (a, b) in parsed.trusted.iter().zip(edl.trusted.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.params.len(), b.params.len());
+            prop_assert_eq!(a.returns_value, b.returns_value);
+            for (pa, pb) in a.params.iter().zip(b.params.iter()) {
+                prop_assert_eq!(&pa.kind, &pb.kind);
+            }
+        }
+        // And plan generation agrees on buffer counts.
+        let proxies = edger8r(&parsed).unwrap();
+        for f in &edl.trusted {
+            prop_assert_eq!(
+                proxies.ecall(&f.name).unwrap().steps.len(),
+                f.buffer_count()
+            );
+        }
+    }
+
+    /// Marshalling: every staged buffer preserves its length, and the
+    /// callee-visible pointer is on the opposite side of the boundary for
+    /// copying modes (and the same pointer for user_check).
+    #[test]
+    fn staging_respects_boundary(
+        dirs in proptest::collection::vec(direction_strategy(), 1..4),
+        lens in proptest::collection::vec(64u64..4_096, 1..4),
+    ) {
+        let mut m = Machine::new(SimConfig::builder().deterministic().build());
+        let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
+
+        let params: Vec<String> = dirs.iter().enumerate().map(|(i, d)| {
+            let attr = match d {
+                Direction::UserCheck => "[user_check]".to_string(),
+                d => format!("[{}, size=n{i}]", d.as_edl()),
+            };
+            format!("{attr} uint8_t* b{i}, size_t n{i}")
+        }).collect();
+        let src = format!(
+            "enclave {{ untrusted {{ void f({}); }}; }};",
+            params.join(", ")
+        );
+        let edl = parse_edl(&src).unwrap();
+        let proxies = edger8r(&edl).unwrap();
+        let plan = proxies.ocall("f").unwrap();
+
+        let bufs: Vec<BufArg> = dirs.iter().zip(lens.iter().cycle()).map(|(_, &len)| {
+            BufArg::new(m.alloc_enclave_heap(eid, len, 64).unwrap(), len)
+        }).collect();
+        let area_base = m.alloc_untrusted(1 << 20, 4096);
+        let mut area = StagingArea::untrusted(&m, area_base, 1 << 20);
+        let (args, staged) = stage(
+            &mut m, plan, &bufs, &mut area, CallerSide::Trusted, MarshalOptions::default(),
+        ).unwrap();
+
+        prop_assert_eq!(args.bufs.len(), dirs.len());
+        let mut staged_iter = staged.iter();
+        for ((dir, arg), seen) in dirs.iter().zip(bufs.iter()).zip(args.bufs.iter()) {
+            match dir {
+                Direction::UserCheck => prop_assert_eq!(*seen, arg.addr),
+                _ => {
+                    let s = staged_iter.next().unwrap();
+                    prop_assert_eq!(s.len, arg.len);
+                    prop_assert!(!m.is_enclave_addr(s.staged), "staged copy must be untrusted");
+                    prop_assert!(m.is_enclave_addr(s.caller));
+                }
+            }
+        }
+        unstage(&mut m, &staged).unwrap();
+    }
+
+    /// Staged areas never overlap: distinct buffers get disjoint spans.
+    #[test]
+    fn staging_allocations_are_disjoint(lens in proptest::collection::vec(1u64..2_000, 2..6)) {
+        let mut m = Machine::new(SimConfig::builder().deterministic().build());
+        let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
+        let n = lens.len();
+        let params: Vec<String> = (0..n)
+            .map(|i| format!("[in, size=n{i}] const uint8_t* b{i}, size_t n{i}"))
+            .collect();
+        let src = format!("enclave {{ untrusted {{ void f({}); }}; }};", params.join(", "));
+        let edl = parse_edl(&src).unwrap();
+        let proxies = edger8r(&edl).unwrap();
+        let bufs: Vec<BufArg> = lens
+            .iter()
+            .map(|&len| BufArg::new(m.alloc_enclave_heap(eid, len, 64).unwrap(), len))
+            .collect();
+        let area_base = m.alloc_untrusted(1 << 20, 4096);
+        let mut area = StagingArea::untrusted(&m, area_base, 1 << 20);
+        let (_, staged) = stage(
+            &mut m,
+            proxies.ocall("f").unwrap(),
+            &bufs,
+            &mut area,
+            CallerSide::Trusted,
+            MarshalOptions::default(),
+        )
+        .unwrap();
+        for (i, a) in staged.iter().enumerate() {
+            for b in staged.iter().skip(i + 1) {
+                let a_end = a.staged.get() + a.len;
+                let b_end = b.staged.get() + b.len;
+                prop_assert!(
+                    a_end <= b.staged.get() || b_end <= a.staged.get(),
+                    "overlap between staged buffers"
+                );
+            }
+        }
+    }
+}

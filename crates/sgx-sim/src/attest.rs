@@ -1,0 +1,95 @@
+//! Local attestation: EREPORT / report verification.
+//!
+//! A report binds an enclave's measurement and 64 bytes of caller-chosen
+//! data under a MAC keyed by the processor's report key (derived from the
+//! fused master secret). The simulator uses HMAC-SHA-256 in place of the
+//! hardware CMAC; the protocol shape is the same.
+
+use crate::crypto::{derive_key, hmac_sha256, verify_tag, DIGEST_LEN};
+use crate::enclave::Measurement;
+
+/// Caller-supplied data bound into a report (hash of a public key, nonce,
+/// etc.).
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// An attestation report produced by [`crate::machine::Machine::ereport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Measurement of the reporting enclave.
+    pub measurement: Measurement,
+    /// Caller-chosen payload.
+    pub report_data: [u8; REPORT_DATA_LEN],
+    /// MAC over measurement and data.
+    pub mac: [u8; DIGEST_LEN],
+}
+
+impl Report {
+    /// Computes the MAC input for a report body.
+    fn mac_message(measurement: &Measurement, data: &[u8; REPORT_DATA_LEN]) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(DIGEST_LEN + REPORT_DATA_LEN);
+        msg.extend_from_slice(measurement.as_ref());
+        msg.extend_from_slice(data);
+        msg
+    }
+
+    /// Creates a MACed report. Used by the machine's EREPORT path.
+    pub(crate) fn create(
+        master_secret: &[u8; DIGEST_LEN],
+        measurement: Measurement,
+        report_data: [u8; REPORT_DATA_LEN],
+    ) -> Report {
+        let key = derive_key(master_secret, "report", b"");
+        let mac = hmac_sha256(&key, &Self::mac_message(&measurement, &report_data));
+        Report {
+            measurement,
+            report_data,
+            mac,
+        }
+    }
+
+    /// Verifies the report against a processor master secret (the EGETKEY
+    /// path run by a verifying enclave on the same machine).
+    pub(crate) fn verify(&self, master_secret: &[u8; DIGEST_LEN]) -> bool {
+        let key = derive_key(master_secret, "report", b"");
+        let expected = hmac_sha256(&key, &Self::mac_message(&self.measurement, &self.report_data));
+        verify_tag(&expected, &self.mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement() -> Measurement {
+        Measurement([7u8; DIGEST_LEN])
+    }
+
+    #[test]
+    fn roundtrip_verifies() {
+        let master = [3u8; DIGEST_LEN];
+        let r = Report::create(&master, measurement(), [9u8; REPORT_DATA_LEN]);
+        assert!(r.verify(&master));
+    }
+
+    #[test]
+    fn wrong_machine_rejects() {
+        let r = Report::create(&[3u8; DIGEST_LEN], measurement(), [0u8; REPORT_DATA_LEN]);
+        assert!(!r.verify(&[4u8; DIGEST_LEN]));
+    }
+
+    #[test]
+    fn tampered_data_rejects() {
+        let master = [3u8; DIGEST_LEN];
+        let mut r = Report::create(&master, measurement(), [0u8; REPORT_DATA_LEN]);
+        r.report_data[5] ^= 1;
+        assert!(!r.verify(&master));
+    }
+
+    #[test]
+    fn tampered_measurement_rejects() {
+        let master = [3u8; DIGEST_LEN];
+        let mut r = Report::create(&master, measurement(), [0u8; REPORT_DATA_LEN]);
+        r.measurement.0[0] ^= 1;
+        assert!(!r.verify(&master));
+    }
+}

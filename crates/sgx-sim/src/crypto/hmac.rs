@@ -1,0 +1,130 @@
+//! HMAC-SHA-256 (RFC 2104), built on the local [`Sha256`].
+//!
+//! Used as the simulator's stand-in for the CMAC the real SGX hardware uses
+//! for report MACs, paging MACs (EWB version-array protection) and sealing
+//! key derivation. The substitution is documented in DESIGN.md; only the
+//! *shape* of the protocol matters for the reproduction.
+
+use super::sha256::{Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::crypto::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let d = Sha256::digest(key);
+        k[..DIGEST_LEN].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time-style tag comparison (the simulator does not defend against
+/// real timing attacks, but the comparison shape matches hardware behaviour).
+pub fn verify_tag(expected: &[u8; DIGEST_LEN], actual: &[u8; DIGEST_LEN]) -> bool {
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// Derives a sub-key from a master secret and a labelled context, mirroring
+/// SGX's `EGETKEY` key-derivation structure.
+pub fn derive_key(master: &[u8; DIGEST_LEN], label: &str, context: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut msg = Vec::with_capacity(label.len() + 1 + context.len());
+    msg.extend_from_slice(label.as_bytes());
+    msg.push(0);
+    msg.extend_from_slice(context);
+    hmac_sha256(master, &msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_tag_detects_single_bit_flip() {
+        let tag = hmac_sha256(b"k", b"m");
+        let mut bad = tag;
+        bad[13] ^= 0x40;
+        assert!(verify_tag(&tag, &tag.clone()));
+        assert!(!verify_tag(&tag, &bad));
+    }
+
+    #[test]
+    fn derived_keys_are_domain_separated() {
+        let master = [7u8; DIGEST_LEN];
+        let a = derive_key(&master, "seal", b"ctx");
+        let b = derive_key(&master, "report", b"ctx");
+        let c = derive_key(&master, "seal", b"other");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Label/context boundary must matter: "se"+"alctx" != "seal"+"ctx".
+        let d = derive_key(&master, "se", b"alctx");
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,13 @@
+//! Minimal cryptographic primitives for the simulator.
+//!
+//! Only what the SGX model needs: SHA-256 for measurements, HMAC-SHA-256 as
+//! the stand-in for hardware CMACs and key derivation. These are verified
+//! against NIST / RFC test vectors but are **not** hardened implementations —
+//! they exist so the enclave lifecycle, attestation, and paging protocols can
+//! be executed faithfully without external crypto dependencies.
+
+mod hmac;
+mod sha256;
+
+pub use hmac::{derive_key, hmac_sha256, verify_tag};
+pub use sha256::{Sha256, DIGEST_LEN};

@@ -1,0 +1,78 @@
+//! SGX enclave management structures: SECS, TCS, and page typing.
+
+use crate::mem::Addr;
+
+/// Type of a page added to an enclave with EADD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PageType {
+    /// SGX Enclave Control Structure (one per enclave, added by ECREATE).
+    Secs = 0,
+    /// Thread Control Structure — one per concurrently executing thread.
+    Tcs = 1,
+    /// Regular code/data/heap/stack page.
+    Regular = 2,
+}
+
+/// Lifecycle state of an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveState {
+    /// Created; pages may still be added. Cannot be entered.
+    Building,
+    /// Measurement finalized by EINIT; pages can no longer be added.
+    Initialized,
+}
+
+impl EnclaveState {
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnclaveState::Building => "building",
+            EnclaveState::Initialized => "initialized",
+        }
+    }
+}
+
+/// The SGX Enclave Control Structure.
+#[derive(Debug, Clone)]
+pub struct Secs {
+    /// Address of the SECS page itself (inside the EPC).
+    pub addr: Addr,
+    /// Base of the enclave's committed range.
+    pub base: Addr,
+    /// Committed bytes.
+    pub size: u64,
+}
+
+/// One Thread Control Structure and its associated save area / stack.
+#[derive(Debug, Clone)]
+pub struct Tcs {
+    /// Address of the TCS page.
+    pub addr: Addr,
+    /// Base of the State Save Area frames for this thread.
+    pub ssa: Addr,
+    /// Base of the trusted stack for this thread.
+    pub stack: Addr,
+    /// Is a logical processor currently executing on this TCS?
+    pub busy: bool,
+    /// Is there a preserved SSA frame (set by AEX, consumed by ERESUME)?
+    pub interrupted: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_type_discriminants_are_stable() {
+        assert_eq!(PageType::Secs as u8, 0);
+        assert_eq!(PageType::Tcs as u8, 1);
+        assert_eq!(PageType::Regular as u8, 2);
+    }
+
+    #[test]
+    fn state_names() {
+        assert_eq!(EnclaveState::Building.name(), "building");
+        assert_eq!(EnclaveState::Initialized.name(), "initialized");
+    }
+}

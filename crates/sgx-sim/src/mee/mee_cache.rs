@@ -1,0 +1,231 @@
+//! The MEE's internal cache of integrity-tree nodes.
+//!
+//! A small fully-associative LRU. Its capacity is the lever that reproduces
+//! the paper's footprint-dependent read overhead: working sets whose
+//! level-0 node count fits keep tree walks one probe long; larger working
+//! sets thrash the cache and force multi-level walks on every miss.
+
+use super::integrity_tree::NodeId;
+
+/// Victim selection policy for the MEE node cache.
+///
+/// Hardware caches of this kind typically use a cheap pseudo-random or
+/// not-recently-used policy; random replacement also degrades *gradually*
+/// as the working set outgrows capacity, which is the behaviour Fig. 6 of
+/// the paper exhibits. LRU is available for unit tests and experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// True least-recently-used.
+    Lru,
+    /// Pseudo-random victim (deterministic, seeded).
+    Random(u64),
+}
+
+/// Fully-associative cache of tree-node identities.
+#[derive(Debug, Clone)]
+pub struct MeeCache {
+    entries: Vec<(NodeId, u64)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    policy: Replacement,
+    rng_state: u64,
+}
+
+impl MeeCache {
+    /// Creates a cache holding `capacity` nodes with LRU replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — the root is held on-die, but a
+    /// zero-entry node cache cannot terminate walks below the root.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, Replacement::Lru)
+    }
+
+    /// Creates a cache with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_policy(capacity: usize, policy: Replacement) -> Self {
+        assert!(capacity > 0, "MEE cache capacity must be positive");
+        let seed = match policy {
+            Replacement::Random(s) => s | 1,
+            Replacement::Lru => 1,
+        };
+        MeeCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            policy,
+            rng_state: seed,
+        }
+    }
+
+    /// SplitMix64 step for deterministic random victim selection.
+    fn next_rand(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Probes for a node; refreshes its LRU position on hit.
+    pub fn probe(&mut self, node: NodeId) -> bool {
+        self.tick += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| *n == node) {
+            entry.1 = self.tick;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Installs a node, evicting the LRU entry if full.
+    pub fn insert(&mut self, node: NodeId) {
+        self.tick += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| *n == node) {
+            entry.1 = self.tick;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((node, self.tick));
+            return;
+        }
+        let tick = self.tick;
+        match self.policy {
+            Replacement::Lru => {
+                let lru = self
+                    .entries
+                    .iter_mut()
+                    .min_by_key(|(_, t)| *t)
+                    .expect("cache is full, hence non-empty");
+                *lru = (node, tick);
+            }
+            Replacement::Random(_) => {
+                let victim = (self.next_rand() as usize) % self.entries.len();
+                self.entries[victim] = (node, tick);
+            }
+        }
+    }
+
+    /// Drops everything (machine reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(level: u8, index: u64) -> NodeId {
+        NodeId { level, index }
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut c = MeeCache::new(4);
+        assert!(!c.probe(node(0, 1)));
+        c.insert(node(0, 1));
+        assert!(c.probe(node(0, 1)));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = MeeCache::new(2);
+        c.insert(node(0, 1));
+        c.insert(node(0, 2));
+        c.probe(node(0, 1)); // 2 becomes LRU
+        c.insert(node(0, 3));
+        assert!(c.probe(node(0, 1)));
+        assert!(!c.probe(node(0, 2)));
+        assert!(c.probe(node(0, 3)));
+    }
+
+    #[test]
+    fn levels_are_distinct_namespaces() {
+        let mut c = MeeCache::new(4);
+        c.insert(node(0, 5));
+        assert!(!c.probe(node(1, 5)));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = MeeCache::new(2);
+        c.insert(node(0, 1));
+        c.insert(node(0, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = MeeCache::new(0);
+    }
+
+    #[test]
+    fn random_policy_degrades_gradually() {
+        // Cyclic sweep over a working set slightly larger than capacity:
+        // LRU gets 0% hits, random replacement keeps a substantial fraction.
+        let capacity = 32;
+        let working_set = 40u64;
+        let sweep = |mut c: MeeCache| {
+            for _ in 0..50 {
+                for i in 0..working_set {
+                    if !c.probe(node(0, i)) {
+                        c.insert(node(0, i));
+                    }
+                }
+            }
+            let (h, m) = c.stats();
+            h as f64 / (h + m) as f64
+        };
+        let lru_rate = sweep(MeeCache::with_policy(capacity, Replacement::Lru));
+        let rnd_rate = sweep(MeeCache::with_policy(capacity, Replacement::Random(7)));
+        assert!(lru_rate < 0.01, "LRU thrashes cyclic sweeps: {lru_rate}");
+        assert!(
+            rnd_rate > 0.3 && rnd_rate < 0.95,
+            "random replacement hits partially: {rnd_rate}"
+        );
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let run = || {
+            let mut c = MeeCache::with_policy(4, Replacement::Random(99));
+            let mut hits = 0;
+            for i in 0..1000u64 {
+                if c.probe(node(0, i % 9)) {
+                    hits += 1;
+                } else {
+                    c.insert(node(0, i % 9));
+                }
+            }
+            hits
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,216 @@
+//! Data sealing (the `EGETKEY` + `sgx_seal_data` path of the real SDK).
+//!
+//! Sealing lets an enclave encrypt data under a key derived from the
+//! processor's fused master secret and (optionally) its own measurement,
+//! so the blob can live in untrusted storage and survive restarts. Two
+//! policies mirror the SDK's:
+//!
+//! * [`SealPolicy::MrEnclave`] — only the *identical* enclave can unseal;
+//! * [`SealPolicy::AnyEnclave`] — any enclave on the same processor can
+//!   unseal (the simulator's stand-in for `MRSIGNER`, which would need a
+//!   signing-identity scheme the paper does not exercise).
+//!
+//! The cipher is a SHA-256-based counter-mode keystream with an
+//! HMAC-SHA-256 tag (encrypt-then-MAC) — the protocol shape of AES-GCM
+//! sealing without external crypto dependencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::crypto::{derive_key, hmac_sha256, verify_tag, Sha256, DIGEST_LEN};
+use crate::enclave::Measurement;
+
+/// Who may unseal a blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SealPolicy {
+    /// Bound to the exact enclave measurement.
+    MrEnclave,
+    /// Bound only to the processor.
+    AnyEnclave,
+}
+
+/// A sealed blob, safe to hand to untrusted storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// Sealing policy recorded in the (authenticated) header.
+    pub policy: SealPolicy,
+    /// Measurement the key was bound to (zeroed under `AnyEnclave`).
+    pub bound_measurement: [u8; DIGEST_LEN],
+    /// Nonce for the keystream.
+    pub nonce: [u8; 16],
+    /// Encrypted payload.
+    pub ciphertext: Vec<u8>,
+    /// HMAC over header + ciphertext.
+    pub mac: [u8; DIGEST_LEN],
+}
+
+/// Errors from unsealing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealError {
+    /// The MAC did not verify: wrong processor, wrong enclave, or a
+    /// tampered blob.
+    MacMismatch,
+}
+
+impl core::fmt::Display for SealError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SealError::MacMismatch => write!(f, "sealed blob failed authentication"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+fn seal_key(
+    master: &[u8; DIGEST_LEN],
+    policy: SealPolicy,
+    measurement: &Measurement,
+) -> ([u8; DIGEST_LEN], [u8; DIGEST_LEN], [u8; DIGEST_LEN]) {
+    let bound = match policy {
+        SealPolicy::MrEnclave => measurement.0,
+        SealPolicy::AnyEnclave => [0u8; DIGEST_LEN],
+    };
+    let enc = derive_key(master, "seal-enc", &bound);
+    let mac = derive_key(master, "seal-mac", &bound);
+    (enc, mac, bound)
+}
+
+fn keystream_xor(key: &[u8; DIGEST_LEN], nonce: &[u8; 16], data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(DIGEST_LEN).enumerate() {
+        let mut h = Sha256::new();
+        h.update(key);
+        h.update(nonce);
+        h.update(&(block_idx as u64).to_le_bytes());
+        let ks = h.finalize();
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+fn blob_mac(mac_key: &[u8; DIGEST_LEN], blob: &SealedBlob) -> [u8; DIGEST_LEN] {
+    let mut msg = Vec::with_capacity(1 + DIGEST_LEN + 16 + blob.ciphertext.len());
+    msg.push(match blob.policy {
+        SealPolicy::MrEnclave => 1,
+        SealPolicy::AnyEnclave => 2,
+    });
+    msg.extend_from_slice(&blob.bound_measurement);
+    msg.extend_from_slice(&blob.nonce);
+    msg.extend_from_slice(&blob.ciphertext);
+    hmac_sha256(mac_key, &msg)
+}
+
+/// Seals `plaintext` under the machine's `master` secret for the enclave
+/// with `measurement`. `nonce` must be unique per blob (the machine
+/// supplies a counter-derived one).
+pub(crate) fn seal(
+    master: &[u8; DIGEST_LEN],
+    measurement: &Measurement,
+    policy: SealPolicy,
+    nonce: [u8; 16],
+    plaintext: &[u8],
+) -> SealedBlob {
+    let (enc_key, mac_key, bound) = seal_key(master, policy, measurement);
+    let mut ciphertext = plaintext.to_vec();
+    keystream_xor(&enc_key, &nonce, &mut ciphertext);
+    let mut blob = SealedBlob {
+        policy,
+        bound_measurement: bound,
+        nonce,
+        ciphertext,
+        mac: [0u8; DIGEST_LEN],
+    };
+    blob.mac = blob_mac(&mac_key, &blob);
+    blob
+}
+
+/// Unseals a blob for the enclave with `measurement` on the machine with
+/// `master`.
+///
+/// # Errors
+///
+/// [`SealError::MacMismatch`] if the blob was sealed on another machine,
+/// for another enclave (under `MrEnclave` policy), or was modified.
+pub(crate) fn unseal(
+    master: &[u8; DIGEST_LEN],
+    measurement: &Measurement,
+    blob: &SealedBlob,
+) -> Result<Vec<u8>, SealError> {
+    let (enc_key, mac_key, _) = seal_key(master, blob.policy, measurement);
+    let expected = blob_mac(&mac_key, blob);
+    if !verify_tag(&expected, &blob.mac) {
+        return Err(SealError::MacMismatch);
+    }
+    let mut plaintext = blob.ciphertext.clone();
+    keystream_xor(&enc_key, &blob.nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(x: u8) -> Measurement {
+        Measurement([x; DIGEST_LEN])
+    }
+
+    #[test]
+    fn roundtrip_mrenclave() {
+        let master = [9u8; DIGEST_LEN];
+        let blob = seal(&master, &m(1), SealPolicy::MrEnclave, [7; 16], b"secret state");
+        assert_ne!(blob.ciphertext, b"secret state");
+        let out = unseal(&master, &m(1), &blob).unwrap();
+        assert_eq!(out, b"secret state");
+    }
+
+    #[test]
+    fn other_enclave_cannot_unseal_mrenclave_blob() {
+        let master = [9u8; DIGEST_LEN];
+        let blob = seal(&master, &m(1), SealPolicy::MrEnclave, [7; 16], b"x");
+        assert_eq!(unseal(&master, &m(2), &blob), Err(SealError::MacMismatch));
+    }
+
+    #[test]
+    fn any_enclave_policy_is_machine_wide() {
+        let master = [9u8; DIGEST_LEN];
+        let blob = seal(&master, &m(1), SealPolicy::AnyEnclave, [7; 16], b"shared");
+        assert_eq!(unseal(&master, &m(2), &blob).unwrap(), b"shared");
+    }
+
+    #[test]
+    fn other_machine_cannot_unseal() {
+        let blob = seal(&[1u8; 32], &m(1), SealPolicy::AnyEnclave, [7; 16], b"x");
+        assert_eq!(unseal(&[2u8; 32], &m(1), &blob), Err(SealError::MacMismatch));
+    }
+
+    #[test]
+    fn tampering_detected_everywhere() {
+        let master = [9u8; DIGEST_LEN];
+        let clean = seal(&master, &m(1), SealPolicy::MrEnclave, [7; 16], &[5u8; 100]);
+        let mut t = clean.clone();
+        t.ciphertext[50] ^= 1;
+        assert!(unseal(&master, &m(1), &t).is_err());
+        let mut t = clean.clone();
+        t.nonce[0] ^= 1;
+        assert!(unseal(&master, &m(1), &t).is_err());
+        let mut t = clean.clone();
+        t.policy = SealPolicy::AnyEnclave;
+        assert!(unseal(&master, &m(1), &t).is_err());
+        assert!(unseal(&master, &m(1), &clean).is_ok());
+    }
+
+    #[test]
+    fn distinct_nonces_give_distinct_ciphertexts() {
+        let master = [9u8; DIGEST_LEN];
+        let a = seal(&master, &m(1), SealPolicy::MrEnclave, [1; 16], b"same");
+        let b = seal(&master, &m(1), SealPolicy::MrEnclave, [2; 16], b"same");
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let master = [3u8; DIGEST_LEN];
+        let blob = seal(&master, &m(1), SealPolicy::MrEnclave, [0; 16], b"");
+        assert_eq!(unseal(&master, &m(1), &blob).unwrap(), Vec::<u8>::new());
+    }
+}

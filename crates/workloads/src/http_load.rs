@@ -1,0 +1,135 @@
+//! An http_load-like generator for the lighttpd server (paper §6.4:
+//! 100 concurrent clients fetching 1 million 20 KB pages over loopback).
+
+use apps::lighttpd::{http, Lighttpd};
+use apps::AppEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::result::RunResult;
+
+/// http_load configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLoadConfig {
+    /// Timed page fetches.
+    pub fetches: u64,
+    /// Distinct pages in the document root.
+    pub pages: u64,
+    /// Page size in bytes (20 KB in the paper).
+    pub page_bytes: usize,
+    /// Concurrent client connections (100 in the paper).
+    pub concurrency: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HttpLoadConfig {
+    fn default() -> Self {
+        HttpLoadConfig {
+            fetches: 5_000,
+            pages: 64,
+            page_bytes: 20 * 1024,
+            concurrency: 100,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Publishes the document root and runs the timed fetch loop.
+///
+/// # Errors
+///
+/// Propagates application/interface failures.
+///
+/// # Panics
+///
+/// Panics if the server returns a non-200 response for a published page.
+pub fn run(env: &mut AppEnv, server: &mut Lighttpd, cfg: HttpLoadConfig) -> apps::Result<RunResult> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for p in 0..cfg.pages {
+        server.publish(env, &format!("/page/{p}.bin"), cfg.page_bytes)?;
+    }
+
+    let start = env.machine.now();
+    let calls_before = env.total_calls();
+    for _ in 0..cfg.fetches {
+        let p = rng.gen_range(0..cfg.pages);
+        let request = http::get_request(&format!("/page/{p}.bin"));
+        let (head, body) = server.serve(env, &request)?;
+        assert!(
+            head.starts_with(b"HTTP/1.1 200"),
+            "published page must be served"
+        );
+        assert_eq!(body.len(), cfg.page_bytes);
+    }
+
+    let elapsed = env.machine.now() - start;
+    let elapsed_secs = elapsed.as_secs(env.machine.config().core_ghz);
+    Ok(RunResult::from_counts(
+        cfg.fetches,
+        elapsed_secs,
+        cfg.concurrency as f64,
+        0.0,
+        env.total_calls() - calls_before,
+        0.0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::lighttpd;
+    use apps::IfaceMode;
+    use sgx_sim::SimConfig;
+
+    fn run_mode(mode: IfaceMode, fetches: u64) -> RunResult {
+        let mut env = AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            mode,
+            &lighttpd::api_table(),
+            64 << 20,
+        )
+        .unwrap();
+        env.enter_main().unwrap();
+        let mut server = Lighttpd::new(&mut env).unwrap();
+        run(
+            &mut env,
+            &mut server,
+            HttpLoadConfig {
+                fetches,
+                pages: 8,
+                ..HttpLoadConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ordering_native_hot_sdk() {
+        let native = run_mode(IfaceMode::Native, 300);
+        let sdk = run_mode(IfaceMode::Sdk, 300);
+        let hot = run_mode(IfaceMode::HotCalls, 300);
+        assert!(
+            native.ops_per_sec > sdk.ops_per_sec * 2.5,
+            "lighttpd's 22 calls/request should crater SDK throughput: native {} sdk {}",
+            native.ops_per_sec,
+            sdk.ops_per_sec
+        );
+        assert!(
+            hot.ops_per_sec > sdk.ops_per_sec * 2.0,
+            "hotcalls should recover most of it: hot {} sdk {}",
+            hot.ops_per_sec,
+            sdk.ops_per_sec
+        );
+    }
+
+    #[test]
+    fn edge_calls_per_request_match_table2() {
+        let sdk = run_mode(IfaceMode::Sdk, 300);
+        let per_request = sdk.edge_calls as f64 / 300.0;
+        assert!(
+            (20.0..24.5).contains(&per_request),
+            "calls/request {per_request}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! An iperf3-like bulk TCP throughput probe through the openVPN tunnel
+//! (paper §6.3: 60-second run between the SGX server and a desktop over a
+//! 1 Gbit/s link; native tunnel reaches 866 Mbit/s of the 935 Mbit/s
+//! ceiling).
+
+use apps::openvpn::OpenVpn;
+use apps::AppEnv;
+
+use crate::link::LinkModel;
+use crate::result::RunResult;
+
+/// iperf configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IperfConfig {
+    /// Packet events to simulate (each is one MTU-sized payload through
+    /// the tunnel endpoint plus the TCP ack share).
+    pub packets: u64,
+    /// Payload bytes per packet (MTU-ish).
+    pub payload_bytes: usize,
+    /// How many data packets per reverse-direction ack.
+    pub ack_every: u64,
+    /// The physical link.
+    pub link: LinkModel,
+}
+
+impl Default for IperfConfig {
+    fn default() -> Self {
+        IperfConfig {
+            packets: 2_000,
+            payload_bytes: 1_448,
+            ack_every: 2,
+            link: LinkModel::default(),
+        }
+    }
+}
+
+/// Streams `packets` MTU payloads through the tunnel endpoint under test,
+/// returning the achieved bandwidth (capped at the link ceiling).
+///
+/// The endpoint plays the receiving server: every data packet is an
+/// `ingress` (decrypt toward the TUN device) and every `ack_every`-th
+/// packet triggers an `egress` ack (encrypt outward), reproducing the
+/// bidirectional call mix of Table 2.
+///
+/// # Errors
+///
+/// Propagates application/interface failures.
+pub fn run(
+    env: &mut AppEnv,
+    endpoint: &mut OpenVpn,
+    peer: &mut OpenVpn,
+    cfg: IperfConfig,
+) -> apps::Result<RunResult> {
+    let payload: Vec<u8> = (0..cfg.payload_bytes).map(|i| (i % 253) as u8).collect();
+    let ack = [0u8; 64];
+
+    let start = env.machine.now();
+    let calls_before = env.total_calls();
+    for i in 0..cfg.packets {
+        // The peer seals off-machine (its cost is not ours); we decrypt.
+        let wire = peer.seal(&payload);
+        let plain = endpoint.ingress(env, &wire)?;
+        debug_assert_eq!(plain.len(), cfg.payload_bytes);
+        if i % cfg.ack_every == 0 {
+            endpoint.egress(env, &ack)?;
+        }
+    }
+    let elapsed = env.machine.now() - start;
+    let elapsed_secs = elapsed.as_secs(env.machine.config().core_ghz);
+
+    let mut result = RunResult::from_counts(
+        cfg.packets,
+        elapsed_secs,
+        0.0,
+        0.0,
+        env.total_calls() - calls_before,
+        0.0,
+    );
+    // Cap the compute-limited rate at the wire.
+    let capped_mbps = cfg.link.cap(result.mbits_per_sec(cfg.payload_bytes as u64));
+    result.ops_per_sec = capped_mbps * 1e6 / 8.0 / cfg.payload_bytes as f64;
+    Ok(result)
+}
+
+/// Convenience: achieved bandwidth in Mbit/s.
+pub fn bandwidth_mbps(result: &RunResult, payload_bytes: usize) -> f64 {
+    result.ops_per_sec * payload_bytes as f64 * 8.0 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::openvpn;
+    use apps::IfaceMode;
+    use sgx_sim::SimConfig;
+
+    fn run_mode(mode: IfaceMode, packets: u64) -> (RunResult, usize) {
+        let cfg = IperfConfig {
+            packets,
+            ..IperfConfig::default()
+        };
+        let mut env = AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            mode,
+            &openvpn::api_table(),
+            16 << 20,
+        )
+        .unwrap();
+        env.enter_main().unwrap();
+        let secret = [9u8; 32];
+        let mut endpoint = OpenVpn::new(&mut env, &secret).unwrap();
+        // The peer does no simulated work; a separate env keeps its
+        // (uncharged) buffers out of our machine.
+        let mut peer_env = AppEnv::new(
+            SimConfig::builder().deterministic().seed(7).build(),
+            IfaceMode::Native,
+            &openvpn::api_table(),
+            1 << 20,
+        )
+        .unwrap();
+        let mut peer = OpenVpn::new(&mut peer_env, &secret).unwrap();
+        let r = run(&mut env, &mut endpoint, &mut peer, cfg).unwrap();
+        (r, cfg.payload_bytes)
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_fig10() {
+        let (native, pb) = run_mode(IfaceMode::Native, 400);
+        let (sdk, _) = run_mode(IfaceMode::Sdk, 400);
+        let (hot, _) = run_mode(IfaceMode::HotCalls, 400);
+        let (nrz, _) = run_mode(IfaceMode::HotCallsNrz, 400);
+        let n = bandwidth_mbps(&native, pb);
+        let s = bandwidth_mbps(&sdk, pb);
+        let h = bandwidth_mbps(&hot, pb);
+        let z = bandwidth_mbps(&nrz, pb);
+        assert!(n <= 935.0, "capped at the link: {n}");
+        assert!(n > 2.0 * s, "SDK port should lose >half the bandwidth: {n} vs {s}");
+        assert!(h > 1.7 * s, "HotCalls should recover >1.7x: {h} vs {s}");
+        assert!(z >= h, "NRZ adds on top: {z} vs {h}");
+    }
+}

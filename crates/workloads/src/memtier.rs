@@ -1,0 +1,285 @@
+//! A memtier_benchmark-like load generator for the memcached server
+//! (paper §6.2: binary protocol, SET:GET 1:1, 2 KB values, 4 million
+//! requests from 4 client threads over loopback).
+
+use apps::memcached::{protocol, Memcached};
+use apps::AppEnv;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::result::RunResult;
+
+/// Key-popularity distribution of the generated workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Uniform over the keyspace — the deployed-memcached behaviour §6.2
+    /// leans on ("accesses are uniform ... leading to poor spatial
+    /// locality").
+    Uniform,
+    /// Zipfian with the given exponent (e.g. 0.99, the YCSB default) — an
+    /// ablation showing how skew softens the encrypted-memory penalty.
+    Zipf(f64),
+}
+
+/// memtier_benchmark configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemtierConfig {
+    /// Total timed requests.
+    pub requests: u64,
+    /// Distinct keys (memcached's accesses are uniform over the data set,
+    /// §6.2 "fundamental limitation").
+    pub keyspace: u64,
+    /// Value payload size (2 KB per the deployed-workload analysis).
+    pub value_bytes: usize,
+    /// Outstanding requests (threads × connections); 4 threads × 50
+    /// connections in memtier's default.
+    pub outstanding: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Key-popularity distribution.
+    pub distribution: KeyDistribution,
+}
+
+impl Default for MemtierConfig {
+    fn default() -> Self {
+        MemtierConfig {
+            requests: 20_000,
+            keyspace: 4_096,
+            value_bytes: 2_048,
+            outstanding: 200,
+            seed: 0xBEEF,
+            distribution: KeyDistribution::Uniform,
+        }
+    }
+}
+
+/// Samples keys from the configured distribution via a precomputed CDF.
+#[derive(Debug)]
+struct KeySampler {
+    cdf: Option<Vec<f64>>,
+    keyspace: u64,
+}
+
+impl KeySampler {
+    fn new(cfg: &MemtierConfig) -> Self {
+        let cdf = match cfg.distribution {
+            KeyDistribution::Uniform => None,
+            KeyDistribution::Zipf(s) => {
+                let mut weights: Vec<f64> = (1..=cfg.keyspace)
+                    .map(|rank| 1.0 / (rank as f64).powf(s))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                Some(weights)
+            }
+        };
+        KeySampler {
+            cdf,
+            keyspace: cfg.keyspace,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match &self.cdf {
+            None => rng.gen_range(0..self.keyspace),
+            Some(cdf) => {
+                let u: f64 = rng.gen();
+                cdf.partition_point(|&c| c < u) as u64
+            }
+        }
+    }
+}
+
+fn key_of(i: u64) -> Vec<u8> {
+    format!("memtier-{i:012}").into_bytes()
+}
+
+/// Runs the benchmark: an untimed prefill of the keyspace, then the timed
+/// 1:1 SET:GET mix with uniform random keys.
+///
+/// # Errors
+///
+/// Propagates application/interface failures.
+///
+/// # Panics
+///
+/// Panics if the server returns a malformed response (the generator
+/// validates every reply, as memtier does).
+pub fn run(env: &mut AppEnv, server: &mut Memcached, cfg: MemtierConfig) -> apps::Result<RunResult> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let value = vec![0xA5u8; cfg.value_bytes];
+
+    // Prefill (untimed).
+    for i in 0..cfg.keyspace {
+        let wire = protocol::encode_set(&key_of(i), &value, i as u32);
+        let resp = server.serve(env, wire)?;
+        assert_eq!(
+            protocol::parse_response(resp).expect("prefill response").status,
+            protocol::Status::Ok
+        );
+    }
+
+    let start = env.machine.now();
+    let calls_before = env.total_calls();
+    let iface_before = env.interface_cycles();
+    let sampler = KeySampler::new(&cfg);
+    let mut gets: u64 = 0;
+    let mut hits: u64 = 0;
+    for i in 0..cfg.requests {
+        let key = key_of(sampler.sample(&mut rng));
+        let wire = if i % 2 == 0 {
+            protocol::encode_set(&key, &value, i as u32)
+        } else {
+            gets += 1;
+            protocol::encode_get(&key, i as u32)
+        };
+        let resp = server.serve(env, wire)?;
+        let parsed = protocol::parse_response(resp).expect("valid response");
+        if parsed.opcode == protocol::Opcode::Get && parsed.status == protocol::Status::Ok {
+            hits += 1;
+            assert_eq!(parsed.value.len(), cfg.value_bytes);
+        }
+    }
+    assert!(hits * 10 >= gets * 9, "uniform GETs over a prefilled keyspace should hit");
+
+    let elapsed = env.machine.now() - start;
+    let elapsed_secs = elapsed.as_secs(env.machine.config().core_ghz);
+    let edge_calls = env.total_calls() - calls_before;
+    let iface = (env.interface_cycles() - iface_before).get() as f64 / elapsed.get().max(1) as f64;
+    Ok(RunResult::from_counts(
+        cfg.requests,
+        elapsed_secs,
+        cfg.outstanding as f64,
+        0.0,
+        edge_calls,
+        iface,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::memcached;
+    use apps::IfaceMode;
+    use sgx_sim::SimConfig;
+
+    fn run_mode(mode: IfaceMode, requests: u64) -> RunResult {
+        let mut env = AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            mode,
+            &memcached::api_table(),
+            64 << 20,
+        )
+        .unwrap();
+        let mut server = Memcached::new(&mut env, 4_096, 2_048).unwrap();
+        run(
+            &mut env,
+            &mut server,
+            MemtierConfig {
+                requests,
+                keyspace: 512,
+                ..MemtierConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn native_beats_sdk_and_hotcalls_recovers() {
+        let native = run_mode(IfaceMode::Native, 600);
+        let sdk = run_mode(IfaceMode::Sdk, 600);
+        let hot = run_mode(IfaceMode::HotCalls, 600);
+        let nrz = run_mode(IfaceMode::HotCallsNrz, 600);
+        assert!(native.ops_per_sec > sdk.ops_per_sec * 2.0, "native {} sdk {}", native.ops_per_sec, sdk.ops_per_sec);
+        assert!(hot.ops_per_sec > sdk.ops_per_sec * 1.8, "hot {} sdk {}", hot.ops_per_sec, sdk.ops_per_sec);
+        assert!(nrz.ops_per_sec >= hot.ops_per_sec, "nrz {} hot {}", nrz.ops_per_sec, hot.ops_per_sec);
+        // Latency ordering is the inverse.
+        assert!(sdk.latency_ms > hot.latency_ms && hot.latency_ms > native.latency_ms);
+    }
+
+    #[test]
+    fn sdk_interface_fraction_is_substantial() {
+        let sdk = run_mode(IfaceMode::Sdk, 400);
+        // Table 2: memcached burns ~42% of core time in edge calls.
+        assert!(
+            sdk.interface_fraction > 0.25,
+            "interface fraction {}",
+            sdk.interface_fraction
+        );
+        // Three edge calls per request.
+        assert_eq!(sdk.edge_calls, 3 * 400);
+    }
+}
+
+#[cfg(test)]
+mod distribution_tests {
+    use super::*;
+    use apps::memcached;
+    use apps::IfaceMode;
+    use sgx_sim::SimConfig;
+
+    fn run_dist(distribution: KeyDistribution) -> RunResult {
+        let mut env = AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            IfaceMode::Sdk,
+            &memcached::api_table(),
+            64 << 20,
+        )
+        .unwrap();
+        let mut server = Memcached::new(&mut env, 8_192, 2_048).unwrap();
+        run(
+            &mut env,
+            &mut server,
+            MemtierConfig {
+                requests: 800,
+                keyspace: 4_096,
+                distribution,
+                ..MemtierConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zipf_skew_improves_locality_and_throughput() {
+        let uniform = run_dist(KeyDistribution::Uniform);
+        let zipf = run_dist(KeyDistribution::Zipf(0.99));
+        // Skewed keys keep the hot set cache-resident, softening the MEE
+        // penalty the paper's uniform workload maximizes.
+        assert!(
+            zipf.ops_per_sec > uniform.ops_per_sec,
+            "zipf {} should beat uniform {}",
+            zipf.ops_per_sec,
+            uniform.ops_per_sec
+        );
+    }
+
+    #[test]
+    fn zipf_sampler_is_heavily_skewed() {
+        use rand::SeedableRng;
+        let cfg = MemtierConfig {
+            keyspace: 1_000,
+            distribution: KeyDistribution::Zipf(0.99),
+            ..MemtierConfig::default()
+        };
+        let sampler = KeySampler::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut top10 = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            if sampler.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // Zipf(0.99) over 1000 keys puts roughly 40% of mass on the top 10.
+        assert!(
+            top10 as f64 / n as f64 > 0.3,
+            "top-10 share {}",
+            top10 as f64 / n as f64
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Flood-ping RTT probe through the tunnel (paper §6.3: one million ICMP
+//! echoes with a preload of 100 outstanding requests).
+
+use apps::openvpn::OpenVpn;
+use apps::AppEnv;
+
+use crate::link::LinkModel;
+use crate::result::RunResult;
+
+/// Flood-ping configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingConfig {
+    /// Echo requests to time.
+    pub count: u64,
+    /// Outstanding echoes (ping -l preload; 100 in the paper).
+    pub preload: u64,
+    /// ICMP payload size (ping's default 56 B + headers).
+    pub packet_bytes: usize,
+    /// The physical link.
+    pub link: LinkModel,
+}
+
+impl Default for PingConfig {
+    fn default() -> Self {
+        PingConfig {
+            count: 1_000,
+            preload: 100,
+            packet_bytes: 84,
+            link: LinkModel::default(),
+        }
+    }
+}
+
+/// Runs the flood ping: each echo traverses the endpoint twice (request
+/// ingress, reply egress). The average RTT follows from the endpoint's
+/// packet service rate and the preload window (Little's law), plus the
+/// wire's base RTT.
+///
+/// # Errors
+///
+/// Propagates application/interface failures.
+pub fn run(
+    env: &mut AppEnv,
+    endpoint: &mut OpenVpn,
+    peer: &mut OpenVpn,
+    cfg: PingConfig,
+) -> apps::Result<RunResult> {
+    let payload: Vec<u8> = (0..cfg.packet_bytes).map(|i| i as u8).collect();
+    let start = env.machine.now();
+    let calls_before = env.total_calls();
+    for _ in 0..cfg.count {
+        // Echo request arrives through the tunnel...
+        let wire = peer.seal(&payload);
+        let plain = endpoint.ingress(env, &wire)?;
+        // ...and the reply goes back out.
+        endpoint.egress(env, &plain)?;
+    }
+    let elapsed = env.machine.now() - start;
+    let elapsed_secs = elapsed.as_secs(env.machine.config().core_ghz);
+    Ok(RunResult::from_counts(
+        cfg.count,
+        elapsed_secs,
+        cfg.preload as f64,
+        cfg.link.base_rtt_ms() + 2.0 * cfg.link.serialization_ms(cfg.packet_bytes as u64),
+        env.total_calls() - calls_before,
+        0.0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apps::openvpn;
+    use apps::IfaceMode;
+    use sgx_sim::SimConfig;
+
+    fn rtt(mode: IfaceMode) -> f64 {
+        let mut env = AppEnv::new(
+            SimConfig::builder().deterministic().build(),
+            mode,
+            &openvpn::api_table(),
+            16 << 20,
+        )
+        .unwrap();
+        env.enter_main().unwrap();
+        let secret = [1u8; 32];
+        let mut endpoint = OpenVpn::new(&mut env, &secret).unwrap();
+        let mut peer_env = AppEnv::new(
+            SimConfig::builder().deterministic().seed(3).build(),
+            IfaceMode::Native,
+            &openvpn::api_table(),
+            1 << 20,
+        )
+        .unwrap();
+        let mut peer = OpenVpn::new(&mut peer_env, &secret).unwrap();
+        run(
+            &mut env,
+            &mut endpoint,
+            &mut peer,
+            PingConfig {
+                count: 300,
+                ..PingConfig::default()
+            },
+        )
+        .unwrap()
+        .latency_ms
+    }
+
+    #[test]
+    fn rtt_ordering_matches_fig11() {
+        let native = rtt(IfaceMode::Native);
+        let sdk = rtt(IfaceMode::Sdk);
+        let hot = rtt(IfaceMode::HotCalls);
+        let nrz = rtt(IfaceMode::HotCallsNrz);
+        assert!(sdk > 2.0 * native, "SGX ping should be >2x native: {sdk} vs {native}");
+        assert!(hot < sdk * 0.6, "HotCalls cuts RTT by >40%: {hot} vs {sdk}");
+        assert!(nrz <= hot, "NRZ at least matches: {nrz} vs {hot}");
+        // Absolute regime: native flood-ping RTT ~1-2 ms in the paper.
+        assert!((0.3..4.0).contains(&native), "native RTT {native}");
+    }
+}

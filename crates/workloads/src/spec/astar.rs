@@ -1,0 +1,169 @@
+//! An `astar`-like kernel: 473.astar does grid pathfinding — mixed
+//! locality (neighbor expansion is spatially local; the open list and
+//! region maps jump around), sitting between mcf's random chasing and
+//! libquantum's pure streaming, exactly where Fig. 8 places it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgx_sim::{Addr, Machine, SgxError};
+
+use crate::result::KernelResult;
+
+/// astar kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstarConfig {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Independent searches between random endpoints.
+    pub searches: u64,
+    /// RNG seed for terrain and endpoints.
+    pub seed: u64,
+}
+
+impl Default for AstarConfig {
+    fn default() -> Self {
+        AstarConfig {
+            width: 1_024,
+            height: 1_024,
+            searches: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// Bytes of per-cell map state (terrain, region flags) read when a cell
+/// is expanded.
+const CELL_BYTES: u64 = 32;
+
+/// Bytes of per-cell search bookkeeping (g-score, parent) in a separate
+/// array, written when a neighbor is relaxed. Keeping the two apart
+/// matches astar's actual layout — and means expanding a cell is a fresh
+/// read, not one warmed by its own earlier relaxation.
+const SCORE_BYTES: u64 = 16;
+
+/// Runs A* searches over a real random-terrain grid, charging the memory
+/// model per expanded cell and per open-list touch.
+///
+/// # Errors
+///
+/// Propagates machine-model errors.
+pub fn run(m: &mut Machine, region: Addr, cfg: AstarConfig) -> Result<KernelResult, SgxError> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (w, h) = (cfg.width, cfg.height);
+    let score_base = (w * h) as u64 * CELL_BYTES;
+    // Real terrain: per-cell traversal cost 1..=9, with some walls.
+    let terrain: Vec<u8> = (0..w * h)
+        .map(|_| if rng.gen_bool(0.12) { u8::MAX } else { rng.gen_range(1..=9) })
+        .collect();
+
+    let start_t = m.now();
+    let mut expanded_total: u64 = 0;
+    for _ in 0..cfg.searches {
+        let start = (rng.gen_range(0..w), rng.gen_range(0..h));
+        let goal = (rng.gen_range(0..w), rng.gen_range(0..h));
+        let mut g: Vec<u32> = vec![u32::MAX; w * h];
+        let mut open: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+        let start_idx = start.1 * w + start.0;
+        g[start_idx] = 0;
+        open.push(Reverse((0, start_idx)));
+        let mut expanded_this = 0u64;
+
+        while let Some(Reverse((f, idx))) = open.pop() {
+            // Expand: read the cell's map state (fresh line) and its score.
+            m.read(region.offset(idx as u64 * CELL_BYTES), CELL_BYTES)?;
+            m.reset_stream_detector();
+            m.charge(sgx_sim::Cycles::new(22)); // heap pop + heuristic
+            expanded_this += 1;
+            expanded_total += 1;
+            let (x, y) = (idx % w, idx / w);
+            if (x, y) == goal || expanded_this > (w * h) as u64 / 4 {
+                break;
+            }
+            let heuristic = |cx: usize, cy: usize| {
+                (cx.abs_diff(goal.0) + cy.abs_diff(goal.1)) as u32
+            };
+            let _ = f;
+            for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                    continue;
+                }
+                let nidx = ny as usize * w + nx as usize;
+                let cost = terrain[nidx];
+                if cost == u8::MAX {
+                    continue;
+                }
+                let tentative = g[idx].saturating_add(u32::from(cost));
+                if tentative < g[nidx] {
+                    g[nidx] = tentative;
+                    // Update the neighbor's g-score/parent record (a
+                    // separate array from the map state).
+                    m.write(
+                        region.offset(score_base + nidx as u64 * SCORE_BYTES),
+                        SCORE_BYTES,
+                    )?;
+                    open.push(Reverse((
+                        tentative + heuristic(nx as usize, ny as usize),
+                        nidx,
+                    )));
+                }
+            }
+        }
+    }
+    Ok(KernelResult::new(expanded_total, (m.now() - start_t).get()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{machine_with_region, Placement};
+    use sgx_sim::SimConfig;
+
+    fn small() -> AstarConfig {
+        AstarConfig {
+            width: 96,
+            height: 96,
+            searches: 6,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn expands_cells_and_is_deterministic() {
+        let cfg = SimConfig::builder().deterministic().build();
+        let once = || {
+            let (mut m, r) = machine_with_region(cfg.clone(), Placement::Plain, 4 << 20).unwrap();
+            let k = run(&mut m, r, small()).unwrap();
+            (k.operations, k.cycles)
+        };
+        let (ops, cycles) = once();
+        assert!(ops > 100, "searches must expand cells: {ops}");
+        assert_eq!(once(), (ops, cycles));
+    }
+
+    #[test]
+    fn enclave_overhead_moderate() {
+        let cfg = SimConfig::builder().deterministic().build();
+        let big = AstarConfig {
+            width: 512,
+            height: 512,
+            searches: 4,
+            seed: 3,
+        };
+        let (mut m, r) = machine_with_region(cfg.clone(), Placement::Plain, 32 << 20).unwrap();
+        let plain = run(&mut m, r, big).unwrap();
+        let (mut m, r) = machine_with_region(cfg, Placement::Enclave, 32 << 20).unwrap();
+        let enc = run(&mut m, r, big).unwrap();
+        let slowdown = enc.slowdown_vs(&plain);
+        assert!(
+            (1.0..1.8).contains(&slowdown),
+            "astar sits between streaming and chasing: {slowdown}"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Sealed storage: an enclave persists secret state to untrusted disk and
+//! recovers it after a "restart" — the `sgx_seal_data` pattern every
+//! HotCalls-era enclave service uses for its keys.
+//!
+//! ```sh
+//! cargo run --example sealed_storage
+//! ```
+
+use hotcalls_repro::sgx_sim::{
+    EnclaveBuildOptions, Machine, SealPolicy, SimConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut machine = Machine::new(SimConfig::default());
+
+    // First "boot": the enclave creates its secret and seals it.
+    let enclave = machine.build_enclave(EnclaveBuildOptions::default())?;
+    let tunnel_key = b"the openVPN tunnel master secret";
+    let blob = machine.seal_data(enclave, SealPolicy::MrEnclave, tunnel_key)?;
+    println!(
+        "sealed {} bytes -> {} ciphertext bytes + 32-byte MAC (stored untrusted)",
+        tunnel_key.len(),
+        blob.ciphertext.len()
+    );
+    assert_ne!(&blob.ciphertext[..], &tunnel_key[..]);
+
+    // "Restart": an identically-measured enclave unseals the blob.
+    let reborn = machine.build_enclave(EnclaveBuildOptions::default())?;
+    let recovered = machine.unseal_data(reborn, &blob)?;
+    assert_eq!(recovered, tunnel_key);
+    println!("identically-built enclave recovered the secret after restart");
+
+    // A *different* enclave (different code size => different MRENCLAVE)
+    // cannot unseal an MrEnclave-bound blob.
+    let impostor = machine.build_enclave(EnclaveBuildOptions {
+        code_bytes: 128 * 1024,
+        ..EnclaveBuildOptions::default()
+    })?;
+    assert!(machine.unseal_data(impostor, &blob).is_err());
+    println!("differently-measured enclave was rejected (MRENCLAVE policy)");
+
+    // Machine-wide policy: any enclave on this processor may unseal.
+    let shared = machine.seal_data(enclave, SealPolicy::AnyEnclave, b"shared config")?;
+    assert_eq!(machine.unseal_data(impostor, &shared)?, b"shared config");
+    println!("AnyEnclave-policy blob readable by the other enclave");
+
+    // Another machine (different fused master secret) can never unseal.
+    let mut other = Machine::new(SimConfig::builder().seed(0xD1FF).build());
+    let foreign = other.build_enclave(EnclaveBuildOptions::default())?;
+    assert!(other.unseal_data(foreign, &blob).is_err());
+    println!("foreign processor was rejected (fused-key binding)");
+
+    // Tampering with the stored blob is detected.
+    let mut tampered = blob.clone();
+    tampered.ciphertext[3] ^= 0x80;
+    assert!(machine.unseal_data(reborn, &tampered).is_err());
+    println!("bit-flipped blob failed authentication");
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Failure-injection tests: AEX storms, EPC tampering, responder death,
+//! starvation fallback, exhausted scratch.
+
+use std::time::Duration;
+
+use hotcalls_repro::hotcalls::rt::{CallTable, HotCallServer};
+use hotcalls_repro::hotcalls::sim::SimHotCalls;
+use hotcalls_repro::hotcalls::{HotCallConfig, HotCallError};
+use hotcalls_repro::sgx_sdk::edl::parse_edl;
+use hotcalls_repro::sgx_sdk::{BufArg, EnclaveCtx, MarshalOptions, SdkError};
+use hotcalls_repro::sgx_sim::{
+    EnclaveBuildOptions, Machine, NoiseConfig, SimConfig, SgxError,
+};
+
+#[test]
+fn aex_storm_is_detected_and_discardable() {
+    // Crank the AEX probability way up; the measurement harness must
+    // report contamination so the caller can discard, as the paper does.
+    let mut m = Machine::new(
+        SimConfig::builder()
+            .noise(NoiseConfig {
+                jitter: 10,
+                per_miss_jitter: 0,
+                aex_probability: 0.5,
+                aex_penalty: 9_000,
+            })
+            .build(),
+    );
+    let mut contaminated = 0;
+    for _ in 0..200 {
+        let r = m.measure(|m| {
+            m.charge(hotcalls_repro::sgx_sim::Cycles::new(100));
+            Ok(())
+        })
+        .unwrap();
+        if r.aex {
+            contaminated += 1;
+            assert!(r.cycles.get() > 9_000, "AEX penalty must show up");
+        } else {
+            assert!(r.cycles.get() < 1_000);
+        }
+    }
+    assert!((50..150).contains(&contaminated), "{contaminated}");
+}
+
+#[test]
+fn explicit_aex_interrupts_and_resumes() {
+    let mut m = Machine::new(SimConfig::builder().deterministic().build());
+    let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
+    m.eenter(eid, 0).unwrap();
+    // Storm of interrupts: every AEX must be matched by an ERESUME.
+    for _ in 0..50 {
+        m.inject_aex(eid, 0).unwrap();
+        m.eresume(eid, 0).unwrap();
+    }
+    m.eexit(eid, 0).unwrap();
+    assert_eq!(m.aex_events(), 50);
+    // ERESUME without a pending AEX is rejected.
+    m.eenter(eid, 0).unwrap();
+    assert!(matches!(m.eresume(eid, 0), Err(SgxError::NotEntered)));
+}
+
+#[test]
+fn hotcall_starvation_falls_back_to_sdk_and_still_succeeds() {
+    let mut m = Machine::new(SimConfig::builder().deterministic().build());
+    let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
+    let edl = parse_edl("enclave { untrusted { void o(); }; };").unwrap();
+    let mut ctx = EnclaveCtx::new(&mut m, eid, &edl, MarshalOptions::default()).unwrap();
+    let mut hot = SimHotCalls::new(&mut m, &ctx, HotCallConfig::default()).unwrap();
+    hot.set_contention(1.0); // the responder is never available
+    ctx.enter_main(&mut m).unwrap();
+    for _ in 0..20 {
+        hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(()))
+            .unwrap();
+    }
+    assert_eq!(hot.stats().fallbacks, 20, "every call must fall back");
+    assert_eq!(ctx.stats().ocalls()["o"].count, 20);
+}
+
+#[test]
+fn rt_responder_death_unblocks_callers_with_error() {
+    let mut table: CallTable<u32, u32> = CallTable::new();
+    let id = table.register(|x| x);
+    let server = HotCallServer::spawn(table, HotCallConfig::default());
+    let requester = server.requester();
+    assert_eq!(requester.call(id, 5).unwrap(), 5);
+    server.shutdown();
+    for _ in 0..3 {
+        assert!(matches!(
+            requester.call(id, 5),
+            Err(HotCallError::ResponderGone)
+        ));
+    }
+}
+
+#[test]
+fn rt_timeout_under_long_handler_then_recovers() {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let slow = table.register(|x| {
+        std::thread::sleep(Duration::from_millis(150));
+        x * 2
+    });
+    let server = HotCallServer::spawn(
+        table,
+        HotCallConfig {
+            timeout_retries: 2,
+            spins_per_retry: 4,
+            idle_polls_before_sleep: None,
+        },
+    );
+    let r1 = server.requester();
+    let r2 = server.requester();
+    let blocker = std::thread::spawn(move || r1.call(slow, 10).unwrap());
+    std::thread::sleep(Duration::from_millis(30));
+    // Starved requester times out...
+    assert!(matches!(
+        r2.call(slow, 20),
+        Err(HotCallError::ResponderTimeout { .. })
+    ));
+    assert_eq!(blocker.join().unwrap(), 20);
+    // ...and the channel recovers afterwards.
+    assert_eq!(r2.call(slow, 30).unwrap(), 60);
+}
+
+#[test]
+fn scratch_exhaustion_is_an_error_not_ub() {
+    let mut m = Machine::new(SimConfig::builder().deterministic().build());
+    let eid = m
+        .build_enclave(EnclaveBuildOptions {
+            heap_bytes: 8 << 20,
+            ..EnclaveBuildOptions::default()
+        })
+        .unwrap();
+    let edl = parse_edl(
+        "enclave { trusted { public void e([in, size=n] const uint8_t* b, size_t n); }; };",
+    )
+    .unwrap();
+    let mut ctx = EnclaveCtx::new(&mut m, eid, &edl, MarshalOptions::default()).unwrap();
+    // 4 MB transfer into a 1 MB staging scratch.
+    let buf = m.alloc_untrusted(4 << 20, 64);
+    let err = ctx
+        .ecall(&mut m, "e", &[BufArg::new(buf, 4 << 20)], |_, _, _| Ok(()))
+        .unwrap_err();
+    assert!(matches!(err, SdkError::ScratchExhausted { .. }));
+    // The context remains usable.
+    ctx.ecall(&mut m, "e", &[BufArg::new(buf, 1024)], |_, _, _| Ok(()))
+        .unwrap();
+}
+
+#[test]
+fn tcs_exhaustion_reports_busy() {
+    let mut m = Machine::new(SimConfig::builder().deterministic().build());
+    let eid = m
+        .build_enclave(EnclaveBuildOptions {
+            tcs_count: 2,
+            ..EnclaveBuildOptions::default()
+        })
+        .unwrap();
+    m.eenter(eid, 0).unwrap();
+    m.eenter(eid, 1).unwrap();
+    assert!(matches!(m.eenter(eid, 0), Err(SgxError::AlreadyEntered)));
+    m.eexit(eid, 1).unwrap();
+    m.eenter(eid, 1).unwrap();
+    m.eexit(eid, 0).unwrap();
+    m.eexit(eid, 1).unwrap();
+}
