@@ -128,7 +128,9 @@ mod tests {
             os.read(buf, 256).unwrap();
         }
         let counts = env.api_counts();
-        for name in ["poll", "time", "getpid", "recvfrom", "sendto", "write", "read"] {
+        for name in [
+            "poll", "time", "getpid", "recvfrom", "sendto", "write", "read",
+        ] {
             assert_eq!(counts[name], 1, "{name}");
         }
     }

@@ -12,10 +12,11 @@
 
 use std::collections::BTreeMap;
 
+use hotcalls::rt::{CallTable, RingRequester, RingServer};
 use hotcalls::sim::SimHotCalls;
-use hotcalls::HotCallConfig;
-use sgx_sdk::edl::{parse_edl, Direction};
+use hotcalls::{HotCallConfig, HotCallStats};
 use sgx_sdk::edger8r::{edger8r, Proxies};
+use sgx_sdk::edl::{parse_edl, Direction};
 use sgx_sdk::{BufArg, EnclaveCtx, MarshalOptions};
 use sgx_sim::{Addr, Cycles, EnclaveBuildOptions, Machine, SimConfig};
 
@@ -25,6 +26,64 @@ use crate::porting::{generate_edl, ApiDecl};
 /// Cost of a plain Linux syscall trap (paper cites ~150 cycles, after
 /// FlexSC).
 pub const SYSCALL_TRAP: u64 = 150;
+
+/// Ring capacity of the real threaded transport behind the HotCalls modes.
+const RT_RING_CAPACITY: usize = 32;
+/// Responder threads in the transport pool (the paper's "On Call" threads).
+const RT_POOL_RESPONDERS: usize = 2;
+/// Empty polls before a pool responder parks; applications build many
+/// environments and single-core hosts cannot afford spinning responders.
+const RT_IDLE_POLLS_BEFORE_SLEEP: u64 = 256;
+
+/// The real switchless transport carried alongside the cycle model in the
+/// HotCalls modes: a pooled, batched-drain submission ring whose responder
+/// threads play the untrusted "On Call" side. The simulator still charges
+/// the paper's cycle costs; this pool moves each call's control transfer
+/// (and its byte count as the marshalled payload stand-in) for real, so
+/// every application API call exercises the production data plane.
+#[derive(Debug)]
+struct RtPool {
+    server: RingServer<u64, u64>,
+    requester: RingRequester<u64, u64>,
+    ids: BTreeMap<&'static str, u32>,
+    /// Fallback id for calls outside the declared API table (and the
+    /// `RunEnclaveFunction` ecall shell).
+    run_fn: u32,
+}
+
+impl RtPool {
+    fn new(apis: &[ApiDecl]) -> Result<Self> {
+        let mut table: CallTable<u64, u64> = CallTable::new();
+        let mut ids = BTreeMap::new();
+        for api in apis {
+            // The untrusted proxy "performs" the OS call: acknowledge the
+            // byte count it would have moved.
+            ids.insert(api.name, table.register(|len| len));
+        }
+        let run_fn = table.register(|len| len);
+        let config = HotCallConfig {
+            idle_polls_before_sleep: Some(RT_IDLE_POLLS_BEFORE_SLEEP),
+            ..HotCallConfig::patient()
+        };
+        let server = RingServer::spawn_pool(table, RT_RING_CAPACITY, RT_POOL_RESPONDERS, config)?;
+        let requester = server.requester();
+        Ok(RtPool {
+            server,
+            requester,
+            ids,
+            run_fn,
+        })
+    }
+
+    fn call(&self, name: &str, bytes: u64) -> Result<u64> {
+        let id = self.ids.get(name).copied().unwrap_or(self.run_fn);
+        Ok(self.requester.call(id, bytes)?)
+    }
+
+    fn stats(&self) -> HotCallStats {
+        self.server.stats()
+    }
+}
 
 /// The four interface configurations of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +165,8 @@ pub struct AppEnv {
     proxies: Proxies,
     ctx: Option<EnclaveCtx>,
     hot: Option<SimHotCalls>,
+    /// Real pooled transport (HotCalls modes only).
+    rt: Option<RtPool>,
     api_costs: BTreeMap<&'static str, u64>,
     api_counts: BTreeMap<&'static str, u64>,
     /// Untrusted bounce buffer used as the native syscall copy target.
@@ -134,7 +195,7 @@ impl AppEnv {
         let api_costs = apis.iter().map(|a| (a.name, a.os_cost)).collect();
         let native_bounce = machine.alloc_untrusted(64 * 1024, 4096);
 
-        let (ctx, hot) = if mode.in_enclave() {
+        let (ctx, hot, rt) = if mode.in_enclave() {
             let eid = machine.build_enclave(EnclaveBuildOptions {
                 heap_bytes: heap_bytes + (4 << 20), // app data + SDK scratch
                 ..EnclaveBuildOptions::default()
@@ -144,14 +205,21 @@ impl AppEnv {
                 optimized_memset: false,
             };
             let ctx = EnclaveCtx::new(&mut machine, eid, &edl, options)?;
-            let hot = if matches!(mode, IfaceMode::HotCalls | IfaceMode::HotCallsNrz) {
-                Some(SimHotCalls::new(&mut machine, &ctx, HotCallConfig::default())?)
+            let (hot, rt) = if matches!(mode, IfaceMode::HotCalls | IfaceMode::HotCallsNrz) {
+                (
+                    Some(SimHotCalls::new(
+                        &mut machine,
+                        &ctx,
+                        HotCallConfig::default(),
+                    )?),
+                    Some(RtPool::new(apis)?),
+                )
             } else {
-                None
+                (None, None)
             };
-            (Some(ctx), hot)
+            (Some(ctx), hot, rt)
         } else {
-            (None, None)
+            (None, None, None)
         };
 
         let start = machine.now();
@@ -161,6 +229,7 @@ impl AppEnv {
             proxies,
             ctx,
             hot,
+            rt,
             api_costs,
             api_counts: BTreeMap::new(),
             native_bounce,
@@ -244,6 +313,12 @@ impl AppEnv {
                 Ok(())
             }
             IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
+                // The real data plane: submit the call into the pooled
+                // ring and wait for an "On Call" responder to answer.
+                let moved: u64 = bufs.iter().map(|b| b.len).sum();
+                let rt = self.rt.as_ref().expect("hot mode has rt pool");
+                rt.call(name, moved)?;
+                // The cycle model: charge the paper's HotCall cost.
                 let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
                 let hot = self.hot.as_mut().expect("hot mode has channel");
                 hot.hot_ocall(&mut self.machine, ctx, name, bufs, |_, m, _| {
@@ -280,17 +355,21 @@ impl AppEnv {
                 // follows within the entered window.
                 let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
                 ctx.enter_main(&mut self.machine)?;
-                self.machine
-                    .charge(Cycles::new(self.machine.config().sdk.ecall_untrusted_sw / 2));
+                self.machine.charge(Cycles::new(
+                    self.machine.config().sdk.ecall_untrusted_sw / 2,
+                ));
                 let r = body(self);
                 let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
                 ctx.leave_main(&mut self.machine)?;
                 r
             }
             IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
+                // The real data plane carries the ecall shell...
+                let rt = self.rt.as_ref().expect("hot mode has rt pool");
+                rt.call("RunEnclaveFunction", 8)?;
                 let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
                 let hot = self.hot.as_mut().expect("hot mode has channel");
-                // The hot-ecall transport shell (the user_check
+                // ...the hot-ecall transport shell (the user_check
                 // start_routine pointer travels as-is)...
                 let routine = BufArg::new(self.native_bounce, 8);
                 hot.hot_ecall(
@@ -331,6 +410,13 @@ impl AppEnv {
     /// Total edge calls issued (enclave modes: ocalls + ecalls).
     pub fn total_calls(&self) -> u64 {
         self.api_counts.values().sum()
+    }
+
+    /// Statistics of the real pooled transport (HotCalls modes only):
+    /// calls carried, responder wakeups, utilization. `None` for modes
+    /// that have no switchless channel.
+    pub fn rt_stats(&self) -> Option<HotCallStats> {
+        self.rt.as_ref().map(RtPool::stats)
     }
 
     /// Cycles spent inside the call interface so far (enclave modes only;
@@ -415,6 +501,29 @@ mod tests {
     }
 
     #[test]
+    fn hot_mode_routes_calls_through_the_rt_pool() {
+        let mut hot = env(IfaceMode::HotCalls);
+        let data = hot.alloc_data(128).unwrap();
+        hot.enter_main().unwrap();
+        hot.api_call("getpid", &[]).unwrap();
+        hot.api_call("read", &[BufArg::new(data, 128)]).unwrap();
+        let r = hot
+            .run_enclave_function(|e| {
+                e.api_call("sendmsg", &[BufArg::new(data, 64)])?;
+                Ok(1u32)
+            })
+            .unwrap();
+        assert_eq!(r, 1);
+        // Two direct ocalls + the RunEnclaveFunction shell + one nested
+        // ocall, all carried by the real pooled data plane.
+        let stats = hot.rt_stats().expect("hot mode has a pool");
+        assert_eq!(stats.calls, 4);
+        // Modes without a switchless channel have no pool.
+        assert!(env(IfaceMode::Native).rt_stats().is_none());
+        assert!(env(IfaceMode::Sdk).rt_stats().is_none());
+    }
+
+    #[test]
     fn api_mix_reproduces_fractional_rates() {
         let mut mix = ApiMix::new(&[("poll", 3.4), ("getpid", 0.5), ("time", 1.0)]);
         let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
@@ -423,7 +532,11 @@ mod tests {
                 *counts.entry(name).or_insert(0) += 1;
             }
         }
-        assert!((3_399..=3_400).contains(&counts["poll"]), "{}", counts["poll"]);
+        assert!(
+            (3_399..=3_400).contains(&counts["poll"]),
+            "{}",
+            counts["poll"]
+        );
         assert_eq!(counts["getpid"], 500);
         assert_eq!(counts["time"], 1_000);
     }

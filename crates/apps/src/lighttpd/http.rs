@@ -25,8 +25,8 @@ pub struct HttpRequest {
 /// Returns [`AppError::Protocol`] for malformed request lines or missing
 /// terminators.
 pub fn parse_request(raw: &[u8]) -> Result<HttpRequest> {
-    let text = core::str::from_utf8(raw)
-        .map_err(|_| AppError::Protocol("request is not UTF-8".into()))?;
+    let text =
+        core::str::from_utf8(raw).map_err(|_| AppError::Protocol("request is not UTF-8".into()))?;
     let head_end = text
         .find("\r\n\r\n")
         .ok_or_else(|| AppError::Protocol("missing header terminator".into()))?;

@@ -253,9 +253,7 @@ mod tests {
         let mut e = env(IfaceMode::Native);
         e.enter_main().unwrap();
         let mut www = Lighttpd::new(&mut e).unwrap();
-        let (head, _) = www
-            .serve(&mut e, b"POST /x HTTP/1.1\r\n\r\n")
-            .unwrap();
+        let (head, _) = www.serve(&mut e, b"POST /x HTTP/1.1\r\n\r\n").unwrap();
         assert!(core::str::from_utf8(&head).unwrap().contains("405"));
     }
 
@@ -350,9 +348,8 @@ mod http_feature_tests {
         www.serve(&mut e, &http::get_request("/p.bin")).unwrap();
         let full = (e.machine.now() - t0).get();
 
-        let conditional = format!(
-            "GET /p.bin HTTP/1.1\r\nHost: x\r\nIf-None-Match: \"{etag}\"\r\n\r\n"
-        );
+        let conditional =
+            format!("GET /p.bin HTTP/1.1\r\nHost: x\r\nIf-None-Match: \"{etag}\"\r\n\r\n");
         let t0 = e.machine.now();
         let (head, body) = www.serve(&mut e, conditional.as_bytes()).unwrap();
         let not_modified = (e.machine.now() - t0).get();

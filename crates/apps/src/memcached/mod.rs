@@ -121,7 +121,9 @@ impl Memcached {
             // with no locality — the enclave pays the MEE on each miss.
             let lines = META_REGION_BYTES / 64;
             for i in 0..META_READS + META_WRITES {
-                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let line = (lcg >> 17) % lines;
                 if i < META_READS {
                     env.machine.read(meta.offset(line * 64), 8)?;
@@ -172,7 +174,11 @@ impl Memcached {
                 let existed = self.store.delete(env, &req.key)?;
                 Ok(Response {
                     opcode: Opcode::Delete,
-                    status: if existed { Status::Ok } else { Status::KeyNotFound },
+                    status: if existed {
+                        Status::Ok
+                    } else {
+                        Status::KeyNotFound
+                    },
                     value: Bytes::new(),
                     opaque: req.opaque,
                 })
@@ -259,8 +265,11 @@ mod tests {
             let mut mc = Memcached::new(&mut e, 256, 2048).unwrap();
             // Warm up.
             for i in 0..5u32 {
-                mc.serve(&mut e, protocol::encode_set(format!("k{i}").as_bytes(), &[1; 2048], i))
-                    .unwrap();
+                mc.serve(
+                    &mut e,
+                    protocol::encode_set(format!("k{i}").as_bytes(), &[1; 2048], i),
+                )
+                .unwrap();
             }
             let s = e.machine.now();
             let n = 20;
@@ -306,8 +315,11 @@ mod opcode_tests {
     fn delete_roundtrip_over_the_wire() {
         let mut e = env();
         let mut mc = Memcached::new(&mut e, 64, 2048).unwrap();
-        mc.serve(&mut e, protocol::encode_set(b"gone", &[1; 64], 1)).unwrap();
-        let resp = mc.serve(&mut e, protocol::encode_delete(b"gone", 2)).unwrap();
+        mc.serve(&mut e, protocol::encode_set(b"gone", &[1; 64], 1))
+            .unwrap();
+        let resp = mc
+            .serve(&mut e, protocol::encode_delete(b"gone", 2))
+            .unwrap();
         assert_eq!(protocol::parse_response(resp).unwrap().status, Status::Ok);
         let resp = mc.serve(&mut e, protocol::encode_get(b"gone", 3)).unwrap();
         assert_eq!(
@@ -315,7 +327,9 @@ mod opcode_tests {
             Status::KeyNotFound
         );
         // Deleting again reports not-found.
-        let resp = mc.serve(&mut e, protocol::encode_delete(b"gone", 4)).unwrap();
+        let resp = mc
+            .serve(&mut e, protocol::encode_delete(b"gone", 4))
+            .unwrap();
         assert_eq!(
             protocol::parse_response(resp).unwrap().status,
             Status::KeyNotFound

@@ -105,9 +105,8 @@ impl KvStore {
         // Hash + bucket walk.
         env.compute(60 + key.len() as u64 / 8);
         let ghz = env.machine.config().core_ghz;
-        let expires_at = (expiry_secs > 0).then(|| {
-            env.machine.now().get() + (expiry_secs as f64 * ghz * 1e9) as u64
-        });
+        let expires_at = (expiry_secs > 0)
+            .then(|| env.machine.now().get() + (expiry_secs as f64 * ghz * 1e9) as u64);
         if let Some(e) = self.entries.get_mut(&key) {
             let len = value.len() as u64;
             e.value = value;
@@ -157,9 +156,7 @@ impl KvStore {
         env.compute(60 + key.len() as u64 / 8);
         match self.entries.remove(key) {
             Some(e) => {
-                let expired = e
-                    .expires_at
-                    .is_some_and(|t| env.machine.now().get() >= t);
+                let expired = e.expires_at.is_some_and(|t| env.machine.now().get() >= t);
                 self.free_slabs.push(e.sim_addr);
                 Ok(!expired)
             }
@@ -247,7 +244,11 @@ mod tests {
         let mut env = env();
         let mut store = KvStore::new(&mut env, 16, 2048).unwrap();
         store
-            .set(&mut env, Bytes::from_static(b"k"), Bytes::from(vec![7; 100]))
+            .set(
+                &mut env,
+                Bytes::from_static(b"k"),
+                Bytes::from(vec![7; 100]),
+            )
             .unwrap();
         let v = store.get(&mut env, &Bytes::from_static(b"k")).unwrap();
         assert_eq!(v.unwrap().len(), 100);
@@ -280,8 +281,14 @@ mod tests {
             .set(&mut env, Bytes::from(vec![9u8]), Bytes::from(vec![9; 10]))
             .unwrap();
         assert_eq!(store.len(), 3);
-        assert!(store.get(&mut env, &Bytes::from(vec![1u8])).unwrap().is_none());
-        assert!(store.get(&mut env, &Bytes::from(vec![0u8])).unwrap().is_some());
+        assert!(store
+            .get(&mut env, &Bytes::from(vec![1u8]))
+            .unwrap()
+            .is_none());
+        assert!(store
+            .get(&mut env, &Bytes::from(vec![0u8]))
+            .unwrap()
+            .is_some());
         assert_eq!(store.stats().2, 1);
     }
 
@@ -296,7 +303,10 @@ mod tests {
             .set(&mut env, Bytes::from_static(b"k"), Bytes::from(vec![2; 20]))
             .unwrap();
         assert_eq!(store.len(), 1);
-        let v = store.get(&mut env, &Bytes::from_static(b"k")).unwrap().unwrap();
+        let v = store
+            .get(&mut env, &Bytes::from_static(b"k"))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.len(), 20);
         assert_eq!(v[0], 2);
     }
@@ -324,16 +334,32 @@ mod expiry_tests {
         let mut env = env();
         let mut store = KvStore::new(&mut env, 2, 2048).unwrap();
         store
-            .set_with(&mut env, Bytes::from_static(b"ttl"), Bytes::from(vec![1; 10]), 0, 1)
+            .set_with(
+                &mut env,
+                Bytes::from_static(b"ttl"),
+                Bytes::from(vec![1; 10]),
+                0,
+                1,
+            )
             .unwrap();
-        assert!(store.get(&mut env, &Bytes::from_static(b"ttl")).unwrap().is_some());
+        assert!(store
+            .get(&mut env, &Bytes::from_static(b"ttl"))
+            .unwrap()
+            .is_some());
         // Advance past 1 virtual second (4e9 cycles at 4 GHz).
         env.machine.charge(Cycles::new(5_000_000_000));
-        assert!(store.get(&mut env, &Bytes::from_static(b"ttl")).unwrap().is_none());
+        assert!(store
+            .get(&mut env, &Bytes::from_static(b"ttl"))
+            .unwrap()
+            .is_none());
         assert_eq!(store.len(), 0);
         // The freed slab is reusable: fill to capacity again.
-        store.set(&mut env, Bytes::from_static(b"a"), Bytes::from(vec![2; 10])).unwrap();
-        store.set(&mut env, Bytes::from_static(b"b"), Bytes::from(vec![3; 10])).unwrap();
+        store
+            .set(&mut env, Bytes::from_static(b"a"), Bytes::from(vec![2; 10]))
+            .unwrap();
+        store
+            .set(&mut env, Bytes::from_static(b"b"), Bytes::from(vec![3; 10]))
+            .unwrap();
         assert_eq!(store.len(), 2);
         assert_eq!(store.stats().2, 0, "no LRU eviction needed");
     }
@@ -342,9 +368,14 @@ mod expiry_tests {
     fn zero_expiry_never_expires() {
         let mut env = env();
         let mut store = KvStore::new(&mut env, 2, 2048).unwrap();
-        store.set(&mut env, Bytes::from_static(b"k"), Bytes::from(vec![1; 8])).unwrap();
+        store
+            .set(&mut env, Bytes::from_static(b"k"), Bytes::from(vec![1; 8]))
+            .unwrap();
         env.machine.charge(Cycles::new(100_000_000_000));
-        assert!(store.get(&mut env, &Bytes::from_static(b"k")).unwrap().is_some());
+        assert!(store
+            .get(&mut env, &Bytes::from_static(b"k"))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -352,9 +383,18 @@ mod expiry_tests {
         let mut env = env();
         let mut store = KvStore::new(&mut env, 2, 2048).unwrap();
         store
-            .set_with(&mut env, Bytes::from_static(b"f"), Bytes::from(vec![9; 4]), 0xDEAD, 0)
+            .set_with(
+                &mut env,
+                Bytes::from_static(b"f"),
+                Bytes::from(vec![9; 4]),
+                0xDEAD,
+                0,
+            )
             .unwrap();
-        let (v, flags) = store.get_with(&mut env, &Bytes::from_static(b"f")).unwrap().unwrap();
+        let (v, flags) = store
+            .get_with(&mut env, &Bytes::from_static(b"f"))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.len(), 4);
         assert_eq!(flags, 0xDEAD);
     }
@@ -363,11 +403,15 @@ mod expiry_tests {
     fn delete_returns_existence_and_frees_slab() {
         let mut env = env();
         let mut store = KvStore::new(&mut env, 1, 2048).unwrap();
-        store.set(&mut env, Bytes::from_static(b"k"), Bytes::from(vec![1; 8])).unwrap();
+        store
+            .set(&mut env, Bytes::from_static(b"k"), Bytes::from(vec![1; 8]))
+            .unwrap();
         assert!(store.delete(&mut env, &Bytes::from_static(b"k")).unwrap());
         assert!(!store.delete(&mut env, &Bytes::from_static(b"k")).unwrap());
         // Slab freed: a new item fits without LRU eviction.
-        store.set(&mut env, Bytes::from_static(b"n"), Bytes::from(vec![2; 8])).unwrap();
+        store
+            .set(&mut env, Bytes::from_static(b"n"), Bytes::from(vec![2; 8]))
+            .unwrap();
         assert_eq!(store.stats().2, 0);
     }
 }

@@ -244,7 +244,10 @@ impl OpenVpn {
         self.packets += 1;
         self.issue_mix(env)?;
         // The TUN read drains into a full MTU-sized buffer.
-        env.api_call("read", &[BufArg::new(self.tun_buf, 2048.max(plaintext.len() as u64))])?;
+        env.api_call(
+            "read",
+            &[BufArg::new(self.tun_buf, 2048.max(plaintext.len() as u64))],
+        )?;
         env.compute(PACKET_BASE_COMPUTE);
         // The crypto pass touches the whole packet.
         env.machine.read(self.tun_buf, plaintext.len() as u64)?;

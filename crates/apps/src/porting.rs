@@ -112,28 +112,153 @@ pub fn generate_edl(apis: &[ApiDecl]) -> String {
 /// symbols a wholesale port drags in; they are declared (and costed) but
 /// called rarely or never by the workloads.
 pub const COMMON_LIBC: &[&str] = &[
-    "fopen", "fclose", "fread", "fwrite", "fseek", "ftell", "fflush", "fprintf", "fputs",
-    "fgets", "feof", "ferror", "fileno", "rewind", "stat64", "lstat64", "fstat64", "access",
-    "unlink", "rename", "mkdir", "rmdir", "opendir", "readdir", "closedir", "chdir", "getcwd",
-    "dup", "dup2", "pipe", "fork_check", "execve_check", "waitpid", "kill_check", "signal",
-    "sigaction", "sigemptyset", "sigfillset", "sigprocmask", "alarm", "sleep_", "usleep",
-    "nanosleep", "gettimeofday", "clock_gettime", "localtime", "gmtime", "mktime", "strftime",
-    "tzset", "getenv", "setenv", "unsetenv", "putenv", "getuid", "geteuid", "getgid",
-    "getegid", "setuid", "setgid", "getpwnam", "getpwuid", "getgrnam", "getrlimit",
-    "setrlimit", "getrusage", "sysconf", "uname", "gethostname", "sethostname",
-    "getaddrinfo", "freeaddrinfo", "getnameinfo", "gethostbyname", "getsockname",
-    "getpeername", "socketpair", "sendmmsg_", "recvmmsg_", "readv", "pread64", "pwrite64",
-    "lseek64", "ftruncate64", "fchmod", "fchown", "umask", "chmod", "chown", "link_",
-    "symlink", "readlink", "realpath", "dlopen_check", "dlsym_check", "dlclose_check",
-    "mmap64", "munmap", "mprotect", "msync", "madvise", "brk_", "sbrk_", "mlock", "munlock",
-    "sched_yield", "sched_getaffinity", "prctl", "syslog_", "openlog", "closelog",
-    "getopt_long", "isatty", "ttyname", "tcgetattr", "tcsetattr", "system_check", "popen_check",
-    "pclose_check", "random_", "srandom_", "rand_r", "drand48", "getpagesize", "valloc_",
-    "posix_memalign", "mallinfo", "malloc_trim", "malloc_usable_size", "strdup_", "strndup_",
-    "strerror_r", "perror_", "abort_handler", "atexit_", "on_exit_", "backtrace_",
-    "backtrace_symbols", "pthread_self_", "pthread_attr_init", "pthread_attr_destroy",
-    "pthread_detach", "pthread_join", "pthread_key_create", "pthread_getspecific",
-    "pthread_setspecific", "pthread_once",
+    "fopen",
+    "fclose",
+    "fread",
+    "fwrite",
+    "fseek",
+    "ftell",
+    "fflush",
+    "fprintf",
+    "fputs",
+    "fgets",
+    "feof",
+    "ferror",
+    "fileno",
+    "rewind",
+    "stat64",
+    "lstat64",
+    "fstat64",
+    "access",
+    "unlink",
+    "rename",
+    "mkdir",
+    "rmdir",
+    "opendir",
+    "readdir",
+    "closedir",
+    "chdir",
+    "getcwd",
+    "dup",
+    "dup2",
+    "pipe",
+    "fork_check",
+    "execve_check",
+    "waitpid",
+    "kill_check",
+    "signal",
+    "sigaction",
+    "sigemptyset",
+    "sigfillset",
+    "sigprocmask",
+    "alarm",
+    "sleep_",
+    "usleep",
+    "nanosleep",
+    "gettimeofday",
+    "clock_gettime",
+    "localtime",
+    "gmtime",
+    "mktime",
+    "strftime",
+    "tzset",
+    "getenv",
+    "setenv",
+    "unsetenv",
+    "putenv",
+    "getuid",
+    "geteuid",
+    "getgid",
+    "getegid",
+    "setuid",
+    "setgid",
+    "getpwnam",
+    "getpwuid",
+    "getgrnam",
+    "getrlimit",
+    "setrlimit",
+    "getrusage",
+    "sysconf",
+    "uname",
+    "gethostname",
+    "sethostname",
+    "getaddrinfo",
+    "freeaddrinfo",
+    "getnameinfo",
+    "gethostbyname",
+    "getsockname",
+    "getpeername",
+    "socketpair",
+    "sendmmsg_",
+    "recvmmsg_",
+    "readv",
+    "pread64",
+    "pwrite64",
+    "lseek64",
+    "ftruncate64",
+    "fchmod",
+    "fchown",
+    "umask",
+    "chmod",
+    "chown",
+    "link_",
+    "symlink",
+    "readlink",
+    "realpath",
+    "dlopen_check",
+    "dlsym_check",
+    "dlclose_check",
+    "mmap64",
+    "munmap",
+    "mprotect",
+    "msync",
+    "madvise",
+    "brk_",
+    "sbrk_",
+    "mlock",
+    "munlock",
+    "sched_yield",
+    "sched_getaffinity",
+    "prctl",
+    "syslog_",
+    "openlog",
+    "closelog",
+    "getopt_long",
+    "isatty",
+    "ttyname",
+    "tcgetattr",
+    "tcsetattr",
+    "system_check",
+    "popen_check",
+    "pclose_check",
+    "random_",
+    "srandom_",
+    "rand_r",
+    "drand48",
+    "getpagesize",
+    "valloc_",
+    "posix_memalign",
+    "mallinfo",
+    "malloc_trim",
+    "malloc_usable_size",
+    "strdup_",
+    "strndup_",
+    "strerror_r",
+    "perror_",
+    "abort_handler",
+    "atexit_",
+    "on_exit_",
+    "backtrace_",
+    "backtrace_symbols",
+    "pthread_self_",
+    "pthread_attr_init",
+    "pthread_attr_destroy",
+    "pthread_detach",
+    "pthread_join",
+    "pthread_key_create",
+    "pthread_getspecific",
+    "pthread_setspecific",
+    "pthread_once",
 ];
 
 /// Builds an API table of exactly `total` declarations: the named frequent
@@ -162,8 +287,8 @@ pub fn pad_api_table(frequent: &[ApiDecl], total: usize) -> Vec<ApiDecl> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sgx_sdk::edl::parse_edl;
     use sgx_sdk::edger8r::edger8r;
+    use sgx_sdk::edl::parse_edl;
 
     #[test]
     fn generated_edl_parses_and_generates_proxies() {

@@ -11,7 +11,9 @@ fn bench_sha256(c: &mut Criterion) {
     let data = vec![0xABu8; 4096];
     let mut g = c.benchmark_group("sha256");
     g.throughput(Throughput::Bytes(4096));
-    g.bench_function("digest_4k", |b| b.iter(|| Sha256::digest(std::hint::black_box(&data))));
+    g.bench_function("digest_4k", |b| {
+        b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+    });
     g.finish();
 }
 

@@ -1,36 +1,64 @@
-//! Criterion: the threaded HotCalls runtime vs OS-assisted alternatives.
+//! Criterion: the lock-free HotCalls runtime vs its mutex-slot ancestor
+//! and OS-assisted alternatives.
 //!
 //! The analogue of the paper's core claim on real hardware: a polling
 //! shared-memory channel beats blocking hand-off primitives for call-style
 //! round trips. (On the paper's machine the comparison is spin-mailbox vs
 //! EENTER/EEXIT; here it is spin-mailbox vs mpsc/condvar round trips.)
+//!
+//! Two extra axes this file covers since the data-plane rewrite:
+//!
+//! * `mailbox/...` — the live lock-free `UnsafeCell` mailbox against the
+//!   preserved mutex-slot baseline ([`bench::rt_baseline::MutexMailbox`]),
+//!   i.e. new vs old on identical work.
+//! * `ring_pool/...` — the pooled MPMC ring across a requesters ×
+//!   responders matrix (1/2/4/8 × 1/2/4), each sample pushing a fixed
+//!   batch of calls through scoped requester threads.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bench::rt_baseline::MutexMailbox;
 use criterion::{criterion_group, criterion_main, Criterion};
-use hotcalls::rt::{CallTable, HotCallServer};
+use hotcalls::rt::{CallTable, HotCallServer, RingServer};
 use hotcalls::HotCallConfig;
 use parking_lot::{Condvar, Mutex};
 
-fn bench_hotcalls(c: &mut Criterion) {
+/// Spin-forever config: benches measure the channel, not timeout fallback.
+fn spin_config() -> HotCallConfig {
+    HotCallConfig {
+        idle_polls_before_sleep: None,
+        ..HotCallConfig::patient()
+    }
+}
+
+fn inc_table() -> (CallTable<u64, u64>, u32) {
     let mut table: CallTable<u64, u64> = CallTable::new();
     let inc = table.register(|x| x + 1);
-    let server = HotCallServer::spawn(
-        table,
-        HotCallConfig {
-            timeout_retries: 1_000_000,
-            spins_per_retry: 64,
-            idle_polls_before_sleep: None,
-        },
-    );
+    (table, inc)
+}
+
+// ---- Single mailbox: lock-free (live) vs mutex-slot (baseline) -------------
+
+fn bench_mailbox(c: &mut Criterion) {
+    let (table, inc) = inc_table();
+    let baseline = MutexMailbox::spawn(table, spin_config());
+    c.bench_function("mailbox/mutex_slot_baseline", |b| {
+        b.iter(|| baseline.call(inc, std::hint::black_box(41)).unwrap())
+    });
+    baseline.shutdown();
+
+    let (table, inc) = inc_table();
+    let server = HotCallServer::spawn(table, spin_config());
     let requester = server.requester();
-    c.bench_function("hotcall_rt_roundtrip", |b| {
+    c.bench_function("mailbox/lock_free", |b| {
         b.iter(|| requester.call(inc, std::hint::black_box(41)).unwrap())
     });
     server.shutdown();
 }
+
+// ---- OS-assisted alternatives ----------------------------------------------
 
 fn bench_mpsc(c: &mut Criterion) {
     let (req_tx, req_rx) = mpsc::channel::<u64>();
@@ -96,35 +124,11 @@ fn bench_condvar(c: &mut Criterion) {
     worker.join().unwrap();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(30)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_secs(1))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_hotcalls, bench_mpsc, bench_condvar, bench_ring
-}
-criterion_main!(benches);
-
 // ---- Queued (ring) variant --------------------------------------------------
 
 fn bench_ring(c: &mut Criterion) {
-    use hotcalls::rt::RingServer;
-    let mut table: CallTable<u64, u64> = CallTable::new();
-    let inc = table.register(|x| x + 1);
-    let server = RingServer::spawn(
-        table,
-        8,
-        HotCallConfig {
-            timeout_retries: 1_000_000,
-            spins_per_retry: 64,
-            idle_polls_before_sleep: None,
-        },
-    );
+    let (table, inc) = inc_table();
+    let server = RingServer::spawn(table, 8, spin_config());
     let requester = server.requester();
     c.bench_function("ring_rt_roundtrip", |b| {
         b.iter(|| requester.call(inc, std::hint::black_box(41)).unwrap())
@@ -143,3 +147,62 @@ fn bench_ring(c: &mut Criterion) {
     });
     server.shutdown();
 }
+
+// ---- Pooled ring matrix ------------------------------------------------------
+
+/// Calls pushed per requester thread per criterion sample. Small enough to
+/// keep samples fast on a shared-core host, large enough to amortize the
+/// scoped-thread spawn.
+const CALLS_PER_SAMPLE: u64 = 64;
+
+fn bench_ring_pool(c: &mut Criterion) {
+    // Idle sleep ON for the pool: with more threads than cores, extra
+    // responders must doze rather than burn the core (and this is the
+    // deployment shape the pool targets).
+    let pool_config = HotCallConfig {
+        idle_polls_before_sleep: Some(256),
+        ..HotCallConfig::patient()
+    };
+    for &n_responders in &[1usize, 2, 4] {
+        for &n_requesters in &[1usize, 2, 4, 8] {
+            let (table, inc) = inc_table();
+            let server = RingServer::spawn_pool(table, 32, n_responders, pool_config)
+                .expect("pool shape is valid");
+            let name = format!("ring_pool/{n_requesters}req_{n_responders}resp");
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    crossbeam::thread::scope(|s| {
+                        for t in 0..n_requesters as u64 {
+                            let r = server.requester();
+                            s.spawn(move |_| {
+                                for i in 0..CALLS_PER_SAMPLE {
+                                    let x = t * 10_000 + i;
+                                    assert_eq!(
+                                        r.call(inc, std::hint::black_box(x)).unwrap(),
+                                        x + 1
+                                    );
+                                }
+                            });
+                        }
+                    })
+                    .unwrap();
+                })
+            });
+            server.shutdown();
+        }
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mailbox, bench_mpsc, bench_condvar, bench_ring, bench_ring_pool
+}
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Application-level runners for Table 2 and Figures 10/11.
 
-use apps::memcached::{self, Memcached};
 use apps::lighttpd::{self, Lighttpd};
+use apps::memcached::{self, Memcached};
 use apps::openvpn::{self, OpenVpn};
 use apps::{AppEnv, IfaceMode};
 use sgx_sim::SimConfig;
@@ -70,8 +70,8 @@ pub fn run_memcached(mode: IfaceMode, requests: u64) -> AppRun {
 
 /// Runs http_load against lighttpd under `mode`.
 pub fn run_lighttpd(mode: IfaceMode, fetches: u64) -> AppRun {
-    let mut env = AppEnv::new(sim_config(102), mode, &lighttpd::api_table(), 64 << 20)
-        .expect("lighttpd env");
+    let mut env =
+        AppEnv::new(sim_config(102), mode, &lighttpd::api_table(), 64 << 20).expect("lighttpd env");
     env.enter_main().expect("enter");
     let mut server = Lighttpd::new(&mut env).expect("server");
     let result = http_load::run(
@@ -89,8 +89,8 @@ pub fn run_lighttpd(mode: IfaceMode, fetches: u64) -> AppRun {
 
 fn vpn_pair(mode: IfaceMode, seed: u64) -> (AppEnv, OpenVpn, AppEnv, OpenVpn) {
     let secret = [0x5Au8; 32];
-    let mut env = AppEnv::new(sim_config(seed), mode, &openvpn::api_table(), 16 << 20)
-        .expect("vpn env");
+    let mut env =
+        AppEnv::new(sim_config(seed), mode, &openvpn::api_table(), 16 << 20).expect("vpn env");
     env.enter_main().expect("enter");
     let endpoint = OpenVpn::new(&mut env, &secret).expect("endpoint");
     let mut peer_env = AppEnv::new(
@@ -147,12 +147,7 @@ pub struct Table2Row {
     pub core_time: f64,
 }
 
-fn table2_row(
-    app: &'static str,
-    env: &AppEnv,
-    elapsed_secs: f64,
-    top: usize,
-) -> Table2Row {
+fn table2_row(app: &'static str, env: &AppEnv, elapsed_secs: f64, top: usize) -> Table2Row {
     let mut frequent: Vec<(String, f64)> = env
         .api_counts()
         .iter()
@@ -196,7 +191,12 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
             },
         )
         .expect("memtier");
-        rows.push(table2_row("Memcached", &env, env.elapsed_secs() - before, 3));
+        rows.push(table2_row(
+            "Memcached",
+            &env,
+            env.elapsed_secs() - before,
+            3,
+        ));
     }
     {
         let (mut env, mut endpoint, _pe, mut peer) = vpn_pair(IfaceMode::Sdk, 202);
@@ -234,7 +234,12 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
             },
         )
         .expect("http_load");
-        rows.push(table2_row("Lighttpd", &env, env.elapsed_secs() - before, 14));
+        rows.push(table2_row(
+            "Lighttpd",
+            &env,
+            env.elapsed_secs() - before,
+            14,
+        ));
     }
     rows
 }
@@ -251,8 +256,10 @@ mod tests {
             .map(|&mode| run_memcached(mode, 800).result.ops_per_sec)
             .collect();
         // Normalized shape: native 1.0 > nrz >= hot > sdk.
-        assert!(rps[0] > rps[3] && rps[3] >= rps[2] && rps[2] > rps[1],
-            "ordering violated: {rps:?}");
+        assert!(
+            rps[0] > rps[3] && rps[3] >= rps[2] && rps[2] > rps[1],
+            "ordering violated: {rps:?}"
+        );
         let sdk_frac = rps[1] / rps[0];
         assert!(
             (0.1..0.45).contains(&sdk_frac),

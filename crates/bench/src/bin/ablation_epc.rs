@@ -13,7 +13,10 @@ fn main() {
         sweeps: 2,
         ..LibquantumConfig::default()
     };
-    println!("{:>10} {:>12} {:>12} {:>10} {:>8}", "EPC (MB)", "plain c/op", "enc c/op", "slowdown", "EWBs");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>8}",
+        "EPC (MB)", "plain c/op", "enc c/op", "slowdown", "EWBs"
+    );
     for epc_mb in [16u64, 20, 24, 26, 32, 48, 93] {
         let cfg = SimConfig::builder()
             .deterministic()

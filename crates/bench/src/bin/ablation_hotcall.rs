@@ -28,28 +28,39 @@ fn main() {
     let n = bench::arg_count(3_000) as u64;
 
     banner("Ablation A: responder contention (shared responder)");
-    println!("{:>11} {:>14} {:>12} {:>12}", "p(busy)", "avg cycles", "fallbacks", "fast calls");
+    println!(
+        "{:>11} {:>14} {:>12} {:>12}",
+        "p(busy)", "avg cycles", "fallbacks", "fast calls"
+    );
     for contention in [0.0, 0.25, 0.5, 0.75, 0.9, 0.97] {
         let (mut m, mut ctx, mut hot) = setup(11, HotCallConfig::default());
         hot.set_contention(contention);
         let start = m.now();
         for _ in 0..n {
-            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(())).unwrap();
+            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(()))
+                .unwrap();
         }
         let avg = (m.now() - start).get() / n;
         let s = hot.stats();
-        println!("{contention:>11.2} {avg:>14} {:>12} {:>12}", s.fallbacks, s.calls);
+        println!(
+            "{contention:>11.2} {avg:>14} {:>12} {:>12}",
+            s.fallbacks, s.calls
+        );
     }
 
     banner("Ablation B: timeout-retry budget under heavy contention (p=0.9)");
     println!("{:>9} {:>14} {:>12}", "retries", "avg cycles", "fallback%");
     for retries in [1u32, 2, 5, 10, 25, 100] {
-        let cfg = HotCallConfig { timeout_retries: retries, ..HotCallConfig::default() };
+        let cfg = HotCallConfig {
+            timeout_retries: retries,
+            ..HotCallConfig::default()
+        };
         let (mut m, mut ctx, mut hot) = setup(12, cfg);
         hot.set_contention(0.9);
         let start = m.now();
         for _ in 0..n {
-            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(())).unwrap();
+            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(()))
+                .unwrap();
         }
         let avg = (m.now() - start).get() / n;
         let s = hot.stats();
@@ -58,7 +69,10 @@ fn main() {
     }
 
     banner("Ablation C: idle sleep vs duty cycle (gap between calls)");
-    println!("{:>14} {:>14} {:>10}", "idle gap (cyc)", "avg cycles", "wakeups");
+    println!(
+        "{:>14} {:>14} {:>10}",
+        "idle gap (cyc)", "avg cycles", "wakeups"
+    );
     for gap in [0u64, 10_000, 100_000, 1_000_000] {
         let cfg = HotCallConfig::with_idle_sleep(200);
         let (mut m, mut ctx, mut hot) = setup(13, cfg);
@@ -66,7 +80,8 @@ fn main() {
         let calls = n.min(500);
         for _ in 0..calls {
             m.charge(Cycles::new(gap));
-            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(())).unwrap();
+            hot.hot_ocall(&mut m, &mut ctx, "o", &[], |_, _, _| Ok(()))
+                .unwrap();
         }
         let avg = ((m.now() - start).get() - gap * calls) / calls;
         println!("{gap:>14} {avg:>14} {:>10}", hot.stats().wakeups);

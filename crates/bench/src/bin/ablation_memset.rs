@@ -12,10 +12,8 @@ use sgx_sim::{EnclaveBuildOptions, Machine, SimConfig};
 fn ocall_out_cost(bytes: u64, options: MarshalOptions, seed: u64, n: usize) -> u64 {
     let mut m = Machine::new(SimConfig::builder().seed(seed).build());
     let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
-    let edl = parse_edl(
-        "enclave { untrusted { void o([out, size=n] uint8_t* b, size_t n); }; };",
-    )
-    .unwrap();
+    let edl = parse_edl("enclave { untrusted { void o([out, size=n] uint8_t* b, size_t n); }; };")
+        .unwrap();
     let mut ctx = EnclaveCtx::new(&mut m, eid, &edl, options).unwrap();
     let buf = m.alloc_enclave_heap(eid, bytes, 64).unwrap();
     ctx.enter_main(&mut m).unwrap();
@@ -37,7 +35,10 @@ fn main() {
 
     banner("Ablation: memset strategy for `out` buffers (median cycles)");
     println!("-- ecall out (secure staging: zeroing is REQUIRED; only its width is optional)");
-    println!("{:>8} {:>16} {:>16} {:>9}", "bytes", "byte-wise", "word-wise", "saved");
+    println!(
+        "{:>8} {:>16} {:>16} {:>9}",
+        "bytes", "byte-wise", "word-wise", "saved"
+    );
     for bytes in [1024u64, 2048, 8192, 32768] {
         let slow = ecall_buffer(TransferMode::Out, bytes, n, 31).median();
         // Re-run with the optimized memset.
@@ -52,7 +53,10 @@ fn main() {
                 &mut m,
                 eid,
                 &edl,
-                MarshalOptions { optimized_memset: true, no_redundant_zeroing: false },
+                MarshalOptions {
+                    optimized_memset: true,
+                    no_redundant_zeroing: false,
+                },
             )
             .unwrap();
             let buf = m.alloc_untrusted(bytes, 64);
@@ -68,22 +72,34 @@ fn main() {
             }
             total / n as u64
         };
-        println!("{bytes:>8} {slow:>16} {fast:>16} {:>9}", slow.saturating_sub(fast));
+        println!(
+            "{bytes:>8} {slow:>16} {fast:>16} {:>9}",
+            slow.saturating_sub(fast)
+        );
     }
 
     println!("\n-- ocall out (untrusted staging: the zeroing is REDUNDANT; NRZ removes it)");
-    println!("{:>8} {:>12} {:>14} {:>10} {:>9}", "bytes", "byte-wise", "word-wise", "NRZ", "NRZ saves");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10} {:>9}",
+        "bytes", "byte-wise", "word-wise", "NRZ", "NRZ saves"
+    );
     for bytes in [1024u64, 2048, 8192, 32768] {
         let byte_wise = ocall_out_cost(bytes, MarshalOptions::default(), 41, n);
         let word_wise = ocall_out_cost(
             bytes,
-            MarshalOptions { optimized_memset: true, no_redundant_zeroing: false },
+            MarshalOptions {
+                optimized_memset: true,
+                no_redundant_zeroing: false,
+            },
             42,
             n,
         );
         let nrz = ocall_out_cost(
             bytes,
-            MarshalOptions { optimized_memset: false, no_redundant_zeroing: true },
+            MarshalOptions {
+                optimized_memset: false,
+                no_redundant_zeroing: true,
+            },
             43,
             n,
         );

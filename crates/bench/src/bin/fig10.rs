@@ -7,7 +7,10 @@ use bench::report::{banner, normalized, paper};
 
 fn print_series(app: &str, unit: &str, measured: &[f64], reference: &[f64; 4]) {
     println!("\n{app} ({unit}):");
-    println!("{:<14} {:>12} {:>10} {:>12} {:>10}", "mode", "measured", "norm", "paper", "norm");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12} {:>10}",
+        "mode", "measured", "norm", "paper", "norm"
+    );
     let mnorm = normalized(measured);
     let pnorm = normalized(reference);
     for (i, mode) in IfaceMode::ALL.iter().enumerate() {
@@ -28,7 +31,11 @@ fn main() {
 
     let memcached: Vec<f64> = IfaceMode::ALL
         .iter()
-        .map(|&m| run_memcached(m, scale.memcached_requests).result.ops_per_sec)
+        .map(|&m| {
+            run_memcached(m, scale.memcached_requests)
+                .result
+                .ops_per_sec
+        })
         .collect();
     print_series("memcached", "requests/s", &memcached, &paper::MEMCACHED_RPS);
 

@@ -9,7 +9,12 @@ fn print_series(app: &str, measured: &[f64], reference: &[f64; 4]) {
     println!("\n{app} (milliseconds):");
     println!("{:<14} {:>12} {:>12}", "mode", "measured", "paper");
     for (i, mode) in IfaceMode::ALL.iter().enumerate() {
-        println!("{:<14} {:>12.2} {:>12.2}", mode.label(), measured[i], reference[i]);
+        println!(
+            "{:<14} {:>12.2} {:>12.2}",
+            mode.label(),
+            measured[i],
+            reference[i]
+        );
     }
 }
 

@@ -5,7 +5,11 @@ use bench::report::banner;
 use bench::stats::Samples;
 
 fn print_cdf(label: &str, s: &Samples) {
-    println!("\n{label}: {} samples, {} AEX-contaminated discarded", s.len(), s.discarded_aex);
+    println!(
+        "\n{label}: {} samples, {} AEX-contaminated discarded",
+        s.len(),
+        s.discarded_aex
+    );
     println!("{:>9} {:>12}", "pctile", "cycles");
     for (p, v) in s.cdf_summary() {
         println!("{p:>8.2}% {v:>12}");
@@ -16,8 +20,20 @@ fn main() {
     let n = bench::arg_count(8_000);
     banner("Figure 2: ecall / ocall latency CDFs");
     println!("({n} measurements per curve; paper used 200,000)");
-    print_cdf("(a) ecall, warm cache  [paper: 99.9% in 8,600-8,680]", &ecall_latency(false, n, 31));
-    print_cdf("(a) ecall, cold cache  [paper: 99.9% in 12,500-17,000]", &ecall_latency(true, n, 32));
-    print_cdf("(b) ocall, warm cache  [paper: 99.9% in 8,200-8,400]", &ocall_latency(false, n, 33));
-    print_cdf("(b) ocall, cold cache  [paper: 99.9% in 12,500-17,000]", &ocall_latency(true, n, 34));
+    print_cdf(
+        "(a) ecall, warm cache  [paper: 99.9% in 8,600-8,680]",
+        &ecall_latency(false, n, 31),
+    );
+    print_cdf(
+        "(a) ecall, cold cache  [paper: 99.9% in 12,500-17,000]",
+        &ecall_latency(true, n, 32),
+    );
+    print_cdf(
+        "(b) ocall, warm cache  [paper: 99.9% in 8,200-8,400]",
+        &ocall_latency(false, n, 33),
+    );
+    print_cdf(
+        "(b) ocall, cold cache  [paper: 99.9% in 12,500-17,000]",
+        &ocall_latency(true, n, 34),
+    );
 }

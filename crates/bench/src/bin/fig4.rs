@@ -8,13 +8,26 @@ const SIZES: [u64; 7] = [512, 1024, 2048, 4096, 8192, 16384, 32768];
 fn main() {
     let n = bench::arg_count(2_000);
     banner("Figure 4: ecall + buffer in/out/in&out vs size (median cycles)");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "bytes", "in", "out", "in&out", "user_check");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "bytes", "in", "out", "in&out", "user_check"
+    );
     for size in SIZES {
-        let row: Vec<u64> = [TransferMode::In, TransferMode::Out, TransferMode::InOut, TransferMode::UserCheck]
-            .iter()
-            .map(|&mode| ecall_buffer(mode, size, n, 51).median())
-            .collect();
-        println!("{size:>8} {:>10} {:>10} {:>10} {:>12}", row[0], row[1], row[2], row[3]);
+        let row: Vec<u64> = [
+            TransferMode::In,
+            TransferMode::Out,
+            TransferMode::InOut,
+            TransferMode::UserCheck,
+        ]
+        .iter()
+        .map(|&mode| ecall_buffer(mode, size, n, 51).median())
+        .collect();
+        println!(
+            "{size:>8} {:>10} {:>10} {:>10} {:>12}",
+            row[0], row[1], row[2], row[3]
+        );
     }
-    println!("\npaper @2KB: in 9,861 / out 11,172 / in&out 10,827 (out is dearest: byte-wise memset)");
+    println!(
+        "\npaper @2KB: in 9,861 / out 11,172 / in&out 10,827 (out is dearest: byte-wise memset)"
+    );
 }

@@ -8,13 +8,24 @@ const SIZES: [u64; 7] = [512, 1024, 2048, 4096, 8192, 16384, 32768];
 fn main() {
     let n = bench::arg_count(2_000);
     banner("Figure 5: ocall + buffer to/from/to&from vs size (median cycles)");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>12}", "bytes", "to(in)", "from(out)", "to&from", "user_check");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>12}",
+        "bytes", "to(in)", "from(out)", "to&from", "user_check"
+    );
     for size in SIZES {
-        let row: Vec<u64> = [TransferMode::In, TransferMode::Out, TransferMode::InOut, TransferMode::UserCheck]
-            .iter()
-            .map(|&mode| ocall_buffer(mode, size, n, 61).median())
-            .collect();
-        println!("{size:>8} {:>10} {:>10} {:>10} {:>12}", row[0], row[1], row[2], row[3]);
+        let row: Vec<u64> = [
+            TransferMode::In,
+            TransferMode::Out,
+            TransferMode::InOut,
+            TransferMode::UserCheck,
+        ]
+        .iter()
+        .map(|&mode| ocall_buffer(mode, size, n, 61).median())
+        .collect();
+        println!(
+            "{size:>8} {:>10} {:>10} {:>10} {:>12}",
+            row[0], row[1], row[2], row[3]
+        );
     }
     println!("\npaper @2KB: to 9,252 / from 11,418 / to&from 9,801 (redundant zeroing makes `from` dearest)");
 }

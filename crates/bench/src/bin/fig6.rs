@@ -8,7 +8,10 @@ const SIZES: [u64; 5] = [2048, 4096, 8192, 16384, 32768];
 fn main() {
     let n = bench::arg_count(1_500);
     banner("Figure 6: consecutive memory reads (median cycles)");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "bytes", "encrypted", "plaintext", "overhead%", "paper%");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "bytes", "encrypted", "plaintext", "overhead%", "paper%"
+    );
     for (i, size) in SIZES.iter().enumerate() {
         let iters = n.min(60_000_000 / *size as usize); // keep big sizes quick
         let enc = memory_read_windowed(Region::Encrypted, *size, iters, 71).median();

@@ -8,7 +8,10 @@ const SIZES: [u64; 6] = [1024, 2048, 4096, 8192, 16384, 32768];
 fn main() {
     let n = bench::arg_count(1_500);
     banner("Figure 7: consecutive memory writes (median cycles)");
-    println!("{:>8} {:>12} {:>12} {:>12}", "bytes", "encrypted", "plaintext", "overhead%");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "bytes", "encrypted", "plaintext", "overhead%"
+    );
     for size in SIZES {
         let iters = n.min(60_000_000 / size as usize);
         let enc = memory_write_windowed(Region::Encrypted, size, iters, 81).median();

@@ -1,7 +1,9 @@
 //! Regenerates Figure 8: normalized memory-encryption overhead, including
 //! the SPEC-2006-like kernels (mcf / libquantum / astar).
 
-use bench::micro::{cache_load_miss, cache_store_miss, memory_read_windowed, memory_write_windowed, Region};
+use bench::micro::{
+    cache_load_miss, cache_store_miss, memory_read_windowed, memory_write_windowed, Region,
+};
 use bench::report::{banner, paper};
 use sgx_sim::SimConfig;
 use workloads::spec::{
@@ -47,21 +49,50 @@ fn main() {
     bar("S: 2KB consecutive write", wr, Some(6875.0 / 6458.0));
 
     let mcf = kernel_slowdown(40 << 20, |m, r| {
-        run_mcf(m, r, McfConfig { nodes: 393_216, ops: 120_000, ..McfConfig::default() })
-            .expect("mcf")
+        run_mcf(
+            m,
+            r,
+            McfConfig {
+                nodes: 393_216,
+                ops: 120_000,
+                ..McfConfig::default()
+            },
+        )
+        .expect("mcf")
     });
     bar("mcf (pointer chasing)", mcf, Some(paper::MCF_SLOWDOWN));
 
     // libquantum: the 96 MB register vs the 93 MB EPC => paging collapse.
     let libq = kernel_slowdown(100 << 20, |m, r| {
-        run_libquantum(m, r, LibquantumConfig { register_bytes: 96 << 20, sweeps: 1, ..LibquantumConfig::default() })
-            .expect("libquantum")
+        run_libquantum(
+            m,
+            r,
+            LibquantumConfig {
+                register_bytes: 96 << 20,
+                sweeps: 1,
+                ..LibquantumConfig::default()
+            },
+        )
+        .expect("libquantum")
     });
-    bar("libquantum (96MB streaming)", libq, Some(paper::LIBQUANTUM_SLOWDOWN));
+    bar(
+        "libquantum (96MB streaming)",
+        libq,
+        Some(paper::LIBQUANTUM_SLOWDOWN),
+    );
 
     let astar = kernel_slowdown(56 << 20, |m, r| {
-        run_astar(m, r, AstarConfig { width: 1_024, height: 1_024, searches: 6, ..AstarConfig::default() })
-            .expect("astar")
+        run_astar(
+            m,
+            r,
+            AstarConfig {
+                width: 1_024,
+                height: 1_024,
+                searches: 6,
+                ..AstarConfig::default()
+            },
+        )
+        .expect("astar")
     });
     bar("astar (grid search)", astar, None);
 }

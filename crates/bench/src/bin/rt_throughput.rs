@@ -1,0 +1,220 @@
+//! `rt_throughput` — machine-readable throughput matrix for the pooled
+//! HotCalls runtime.
+//!
+//! Sweeps requesters × responders (1/2/4/8 × 1/2/4) over the MPMC ring
+//! pool under two workloads:
+//!
+//! * `cpu` — the handler is a trivial increment; measures pure data-plane
+//!   overhead. On a shared-core host extra responders cannot add CPU, so
+//!   this axis shows the pool costs nothing when it cannot help.
+//! * `io`  — the handler blocks ~200 µs (an IO-bound ocall body, e.g. a
+//!   `write` the enclave shipped out). Blocked responders hold no core, so
+//!   a second responder overlaps the waits and multiplies throughput —
+//!   the case batched multi-responder draining exists for.
+//!
+//! Also times the single-slot mailbox round trip, lock-free vs the
+//! preserved mutex-slot baseline, so the old-vs-new delta lands in the
+//! same artifact.
+//!
+//! Output: human-readable table on stdout plus `BENCH_rt.json` in the
+//! current directory (pass a path argument to override).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use bench::rt_baseline::MutexMailbox;
+use hotcalls::rt::{CallTable, HotCallServer, RingServer};
+use hotcalls::HotCallConfig;
+
+const RING_CAPACITY: usize = 64;
+const MEASURE: Duration = Duration::from_millis(250);
+const IO_HANDLER_SLEEP: Duration = Duration::from_micros(200);
+const MAILBOX_CALLS: u64 = 50_000;
+
+fn spin_config() -> HotCallConfig {
+    HotCallConfig {
+        idle_polls_before_sleep: None,
+        ..HotCallConfig::patient()
+    }
+}
+
+/// Pool deployments doze when idle: responders beyond the workload's
+/// parallelism must release the core, not spin on it.
+fn pool_config() -> HotCallConfig {
+    HotCallConfig {
+        idle_polls_before_sleep: Some(256),
+        ..HotCallConfig::patient()
+    }
+}
+
+/// ns per call through the old mutex-slot mailbox.
+fn mailbox_baseline_ns() -> f64 {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let inc = table.register(|x| x + 1);
+    let mb = MutexMailbox::spawn(table, spin_config());
+    for i in 0..1_000 {
+        mb.call(inc, i).unwrap();
+    }
+    let start = Instant::now();
+    for i in 0..MAILBOX_CALLS {
+        mb.call(inc, i).unwrap();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / MAILBOX_CALLS as f64;
+    mb.shutdown();
+    ns
+}
+
+/// ns per call through the live lock-free mailbox.
+fn mailbox_lockfree_ns() -> f64 {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let inc = table.register(|x| x + 1);
+    let server = HotCallServer::spawn(table, spin_config());
+    let r = server.requester();
+    for i in 0..1_000 {
+        r.call(inc, i).unwrap();
+    }
+    let start = Instant::now();
+    for i in 0..MAILBOX_CALLS {
+        r.call(inc, i).unwrap();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / MAILBOX_CALLS as f64;
+    server.shutdown();
+    ns
+}
+
+struct Cell {
+    workload: &'static str,
+    requesters: usize,
+    responders: usize,
+    calls: u64,
+    secs: f64,
+    calls_per_sec: f64,
+}
+
+/// Runs one matrix cell: R requester threads hammer the pool until the
+/// deadline, total completed calls over wall time is the throughput.
+fn pool_cell(workload: &'static str, requesters: usize, responders: usize) -> Cell {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let id = match workload {
+        "cpu" => table.register(|x| x + 1),
+        "io" => table.register(|x| {
+            std::thread::sleep(IO_HANDLER_SLEEP);
+            x + 1
+        }),
+        _ => unreachable!("unknown workload"),
+    };
+    let server = RingServer::spawn_pool(table, RING_CAPACITY, responders, pool_config())
+        .expect("pool shape is valid");
+
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let calls: u64 = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(requesters);
+        for t in 0..requesters as u64 {
+            let r = server.requester();
+            let stop = &stop;
+            handles.push(s.spawn(move || {
+                let mut done = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = t * 1_000_000 + i;
+                    assert_eq!(r.call(id, x).unwrap(), x + 1);
+                    done += 1;
+                    i += 1;
+                }
+                done
+            }));
+        }
+        std::thread::sleep(MEASURE);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    Cell {
+        workload,
+        requesters,
+        responders,
+        calls,
+        secs,
+        calls_per_sec: calls as f64 / secs,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_rt.json".into());
+
+    println!("rt_throughput: pooled HotCalls runtime matrix");
+    println!("host threads available: {}", host_threads());
+    println!();
+
+    let baseline_ns = mailbox_baseline_ns();
+    let lockfree_ns = mailbox_lockfree_ns();
+    println!("single mailbox round trip ({MAILBOX_CALLS} calls):");
+    println!("  mutex-slot baseline : {baseline_ns:10.1} ns/call");
+    println!("  lock-free (live)    : {lockfree_ns:10.1} ns/call");
+    println!();
+
+    let mut cells = Vec::new();
+    for workload in ["cpu", "io"] {
+        println!("workload `{workload}` (calls/sec):");
+        println!(
+            "  {:>10} | {:>12} {:>12} {:>12}",
+            "", "1 resp", "2 resp", "4 resp"
+        );
+        for requesters in [1usize, 2, 4, 8] {
+            let mut row = format!("  {requesters:>6} req |");
+            for responders in [1usize, 2, 4] {
+                let cell = pool_cell(workload, requesters, responders);
+                let _ = write!(row, " {:>12.0}", cell.calls_per_sec);
+                cells.push(cell);
+            }
+            println!("{row}");
+        }
+        println!();
+    }
+
+    let json = render_json(baseline_ns, lockfree_ns, &cells);
+    std::fs::write(&out_path, &json).expect("write BENCH_rt.json");
+    println!("wrote {out_path}");
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Hand-rolled JSON: every value is a number or a plain ASCII keyword, so
+/// no escaping (or serde) is needed.
+fn render_json(baseline_ns: f64, lockfree_ns: f64, cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"host_threads\": {},", host_threads());
+    let _ = writeln!(
+        s,
+        "  \"measure_ms\": {}, \"io_handler_us\": {}, \"ring_capacity\": {},",
+        MEASURE.as_millis(),
+        IO_HANDLER_SLEEP.as_micros(),
+        RING_CAPACITY
+    );
+    s.push_str("  \"mailbox_roundtrip_ns\": {\n");
+    let _ = writeln!(s, "    \"mutex_slot_baseline\": {baseline_ns:.1},");
+    let _ = writeln!(s, "    \"lock_free\": {lockfree_ns:.1}");
+    s.push_str("  },\n");
+    s.push_str("  \"ring_pool_throughput\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"workload\": \"{}\", \"requesters\": {}, \"responders\": {}, \
+             \"calls\": {}, \"secs\": {:.4}, \"calls_per_sec\": {:.1}}}{}",
+            c.workload, c.requesters, c.responders, c.calls, c.secs, c.calls_per_sec, comma
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -12,10 +12,18 @@ fn main() {
     println!("({n} measurements per benchmark; paper used 200,000)");
 
     let ecall_warm = ecall_latency(false, n, 1);
-    compare_cycles("1  ecall (warm cache)", paper::ECALL_WARM, ecall_warm.median());
+    compare_cycles(
+        "1  ecall (warm cache)",
+        paper::ECALL_WARM,
+        ecall_warm.median(),
+    );
 
     let ecall_cold = ecall_latency(true, n, 2);
-    compare_cycles("2  ecall (cold cache)", paper::ECALL_COLD, ecall_cold.median());
+    compare_cycles(
+        "2  ecall (cold cache)",
+        paper::ECALL_COLD,
+        ecall_cold.median(),
+    );
 
     for (mode, reference) in TransferMode::COPYING.iter().zip(paper::ECALL_BUF_2K) {
         let s = ecall_buffer(*mode, 2048, n, 3);
@@ -27,10 +35,18 @@ fn main() {
     }
 
     let ocall_warm = ocall_latency(false, n, 4);
-    compare_cycles("4  ocall (warm cache)", paper::OCALL_WARM, ocall_warm.median());
+    compare_cycles(
+        "4  ocall (warm cache)",
+        paper::OCALL_WARM,
+        ocall_warm.median(),
+    );
 
     let ocall_cold = ocall_latency(true, n, 5);
-    compare_cycles("5  ocall (cold cache)", paper::OCALL_COLD, ocall_cold.median());
+    compare_cycles(
+        "5  ocall (cold cache)",
+        paper::OCALL_COLD,
+        ocall_cold.median(),
+    );
 
     for (mode, reference) in TransferMode::COPYING.iter().zip(paper::OCALL_BUF_2K) {
         let s = ocall_buffer(*mode, 2048, n, 6);

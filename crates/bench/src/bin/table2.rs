@@ -7,7 +7,9 @@ fn main() {
     let rows = table2(Scale::default());
     banner("Table 2: API calls (x1000/second) in non-optimized SGX ports");
     for (row, (paper_total, paper_core)) in rows.iter().zip(
-        paper::TABLE2_TOTAL_KCALLS.iter().zip(paper::TABLE2_CORE_TIME.iter()),
+        paper::TABLE2_TOTAL_KCALLS
+            .iter()
+            .zip(paper::TABLE2_CORE_TIME.iter()),
     ) {
         println!("\n{}:", row.app);
         for (name, kcalls) in &row.frequent {

@@ -29,6 +29,7 @@ pub mod applications;
 pub mod hot;
 pub mod micro;
 pub mod report;
+pub mod rt_baseline;
 pub mod stats;
 
 /// Parses the optional first CLI argument as a sample-count override.

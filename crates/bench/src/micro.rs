@@ -47,7 +47,8 @@ pub enum TransferMode {
 
 impl TransferMode {
     /// The three copying modes of Figs. 4/5, in plot order.
-    pub const COPYING: [TransferMode; 3] = [TransferMode::In, TransferMode::Out, TransferMode::InOut];
+    pub const COPYING: [TransferMode; 3] =
+        [TransferMode::In, TransferMode::Out, TransferMode::InOut];
 
     fn ecall_name(&self) -> &'static str {
         match self {
@@ -382,8 +383,10 @@ mod tests {
         let t_out = ecall_buffer(TransferMode::Out, 2048, N, 7).median();
         let t_inout = ecall_buffer(TransferMode::InOut, 2048, N, 8).median();
         let t_uc = ecall_buffer(TransferMode::UserCheck, 2048, N, 9).median();
-        assert!(t_out > t_inout && t_inout > t_in && t_in > t_uc,
-            "expected uc < in < in&out < out, got uc={t_uc} in={t_in} inout={t_inout} out={t_out}");
+        assert!(
+            t_out > t_inout && t_inout > t_in && t_in > t_uc,
+            "expected uc < in < in&out < out, got uc={t_uc} in={t_in} inout={t_inout} out={t_out}"
+        );
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! The pre-pool mutex-slot mailbox, preserved verbatim-in-spirit as a
+//! benchmark baseline.
+//!
+//! This is the original `rt` data plane: one atomic state word plus two
+//! `parking_lot::Mutex<Option<..>>` payload slots, fixed `% 64` yield
+//! cadence in every spin loop, and globally shared atomic counters on the
+//! hot path. The live runtime replaced all three (lock-free `UnsafeCell`
+//! slots, adaptive backoff, responder-local stats); keeping the old shape
+//! here lets `benches/rt_roundtrip.rs` and `bin/rt_throughput.rs` measure
+//! the replacement against exactly what it replaced.
+
+// The `% 64` yield cadence is the historical artifact under measurement.
+#![allow(clippy::manual_is_multiple_of)]
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hotcalls::rt::CallTable;
+use hotcalls::{HotCallConfig, HotCallError, HotCallStats, Result};
+use parking_lot::{Condvar, Mutex};
+
+const IDLE: u8 = 0;
+const CLAIMED: u8 = 1;
+const REQUESTED: u8 = 2;
+const DONE: u8 = 3;
+const SHUTDOWN: u8 = 4;
+
+struct Shared<Req, Resp> {
+    state: AtomicU8,
+    req_slot: Mutex<Option<(u32, Req)>>,
+    resp_slot: Mutex<Option<Result<Resp>>>,
+    sleeping: AtomicU8,
+    wake_lock: Mutex<bool>,
+    wake_cv: Condvar,
+    calls: AtomicU64,
+    wakeups: AtomicU64,
+    idle_polls: AtomicU64,
+    busy_polls: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+/// The old single-mailbox server: responder thread + mutex payload slots.
+pub struct MutexMailbox<Req, Resp> {
+    shared: Arc<Shared<Req, Resp>>,
+    config: HotCallConfig,
+    join: Option<JoinHandle<()>>,
+}
+
+impl<Req, Resp> core::fmt::Debug for MutexMailbox<Req, Resp> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MutexMailbox").finish_non_exhaustive()
+    }
+}
+
+impl<Req, Resp> MutexMailbox<Req, Resp>
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    /// Spawns the responder thread over `table`, exactly as the old
+    /// `HotCallServer::spawn` did.
+    pub fn spawn(table: CallTable<Req, Resp>, config: HotCallConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: AtomicU8::new(IDLE),
+            req_slot: Mutex::new(None),
+            resp_slot: Mutex::new(None),
+            sleeping: AtomicU8::new(0),
+            wake_lock: Mutex::new(false),
+            wake_cv: Condvar::new(),
+            calls: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            idle_polls: AtomicU64::new(0),
+            busy_polls: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        });
+        let responder_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("bench-mutex-mailbox".into())
+            .spawn(move || responder_loop(responder_shared, table, config))
+            .expect("failed to spawn baseline responder thread");
+        MutexMailbox {
+            shared,
+            config,
+            join: Some(join),
+        }
+    }
+
+    /// Issues a call and spins until the response arrives (old protocol:
+    /// CAS-claim, mutex-write, `REQUESTED` store, `% 64` yield spin).
+    pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
+        let mut claimed = false;
+        'retries: for _ in 0..self.config.timeout_retries {
+            for _ in 0..self.config.spins_per_retry {
+                match self.shared.state.compare_exchange(
+                    IDLE,
+                    CLAIMED,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        claimed = true;
+                        break 'retries;
+                    }
+                    Err(SHUTDOWN) => return Err(HotCallError::ResponderGone),
+                    Err(_) => core::hint::spin_loop(),
+                }
+            }
+            std::thread::yield_now();
+        }
+        if !claimed {
+            self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return Err(HotCallError::ResponderTimeout {
+                retries: self.config.timeout_retries,
+            });
+        }
+
+        *self.shared.req_slot.lock() = Some((id, req));
+        self.shared.state.store(REQUESTED, Ordering::Release);
+
+        if self.shared.sleeping.load(Ordering::Acquire) == 1 {
+            let mut flag = self.shared.wake_lock.lock();
+            *flag = true;
+            self.shared.wake_cv.notify_one();
+            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let mut spins: u32 = 0;
+        loop {
+            match self.shared.state.load(Ordering::Acquire) {
+                DONE => break,
+                SHUTDOWN => return Err(HotCallError::ResponderGone),
+                _ => {
+                    core::hint::spin_loop();
+                    spins = spins.wrapping_add(1);
+                    if spins % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let result = self
+            .shared
+            .resp_slot
+            .lock()
+            .take()
+            .expect("DONE implies a response in the slot");
+        self.shared.state.store(IDLE, Ordering::Release);
+        result
+    }
+
+    /// Statistics snapshot (same fields the old server reported).
+    pub fn stats(&self) -> HotCallStats {
+        HotCallStats {
+            calls: self.shared.calls.load(Ordering::Relaxed),
+            fallbacks: self.shared.fallbacks.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
+            idle_polls: self.shared.idle_polls.load(Ordering::Relaxed),
+            busy_polls: self.shared.busy_polls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the responder and joins it.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl<Req, Resp> MutexMailbox<Req, Resp> {
+    fn shutdown_inner(&mut self) {
+        self.shared.state.store(SHUTDOWN, Ordering::Release);
+        {
+            let mut flag = self.shared.wake_lock.lock();
+            *flag = true;
+            self.shared.wake_cv.notify_all();
+        }
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl<Req, Resp> Drop for MutexMailbox<Req, Resp> {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn responder_loop<Req, Resp>(
+    shared: Arc<Shared<Req, Resp>>,
+    table: CallTable<Req, Resp>,
+    config: HotCallConfig,
+) {
+    let mut idle_count: u64 = 0;
+    loop {
+        match shared.state.load(Ordering::Acquire) {
+            SHUTDOWN => return,
+            REQUESTED => {
+                idle_count = 0;
+                shared.busy_polls.fetch_add(1, Ordering::Relaxed);
+                let (id, req) = shared
+                    .req_slot
+                    .lock()
+                    .take()
+                    .expect("REQUESTED implies a request in the slot");
+                let result = table
+                    .dispatch(id, req)
+                    .ok_or(HotCallError::UnknownCallId(id));
+                *shared.resp_slot.lock() = Some(result);
+                shared.calls.fetch_add(1, Ordering::Relaxed);
+                shared.state.store(DONE, Ordering::Release);
+            }
+            _ => {
+                idle_count += 1;
+                shared.idle_polls.fetch_add(1, Ordering::Relaxed);
+                if let Some(limit) = config.idle_polls_before_sleep {
+                    if idle_count >= limit {
+                        shared.sleeping.store(1, Ordering::Release);
+                        let mut flag = shared.wake_lock.lock();
+                        while !*flag
+                            && !matches!(shared.state.load(Ordering::Acquire), REQUESTED | SHUTDOWN)
+                        {
+                            shared.wake_cv.wait(&mut flag);
+                        }
+                        *flag = false;
+                        drop(flag);
+                        shared.sleeping.store(0, Ordering::Release);
+                        idle_count = 0;
+                        continue;
+                    }
+                }
+                core::hint::spin_loop();
+                if idle_count % 64 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_mailbox_still_round_trips() {
+        let mut table: CallTable<u64, u64> = CallTable::new();
+        let inc = table.register(|x| x + 1);
+        let mb = MutexMailbox::spawn(table, HotCallConfig::patient());
+        for i in 0..100 {
+            assert_eq!(mb.call(inc, i).unwrap(), i + 1);
+        }
+        assert_eq!(mb.stats().calls, 100);
+        mb.shutdown();
+    }
+}

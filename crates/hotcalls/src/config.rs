@@ -16,6 +16,11 @@ pub struct HotCallConfig {
     /// flag and blocks on a condition variable to conserve CPU (§4.2,
     /// "Conserving resources at idle times"). `None` polls forever.
     pub idle_polls_before_sleep: Option<u64>,
+    /// Maximum submitted ring slots a responder claims per tail advance
+    /// (batched drain). Larger batches amortize the tail CAS and the
+    /// wake/schedule cost under bursty load; `1` reproduces the original
+    /// one-at-a-time drain. Zero is treated as `1`.
+    pub drain_batch: u32,
 }
 
 impl Default for HotCallConfig {
@@ -24,6 +29,7 @@ impl Default for HotCallConfig {
             timeout_retries: 10,
             spins_per_retry: 16,
             idle_polls_before_sleep: None,
+            drain_batch: 8,
         }
     }
 }
@@ -35,6 +41,22 @@ impl HotCallConfig {
             idle_polls_before_sleep: Some(polls),
             ..Self::default()
         }
+    }
+
+    /// A configuration with a generous retry budget, for callers that
+    /// prefer waiting over the timeout fallback (tests, benchmarks,
+    /// saturated pools).
+    pub fn patient() -> Self {
+        HotCallConfig {
+            timeout_retries: 1_000_000,
+            spins_per_retry: 64,
+            ..Self::default()
+        }
+    }
+
+    /// The effective drain batch (zero-proofed).
+    pub(crate) fn drain_batch_clamped(&self) -> usize {
+        self.drain_batch.max(1) as usize
     }
 }
 
@@ -75,6 +97,16 @@ mod tests {
         let c = HotCallConfig::default();
         assert_eq!(c.timeout_retries, 10);
         assert!(c.idle_polls_before_sleep.is_none());
+        assert!(c.drain_batch >= 1);
+    }
+
+    #[test]
+    fn drain_batch_zero_is_clamped() {
+        let c = HotCallConfig {
+            drain_batch: 0,
+            ..HotCallConfig::default()
+        };
+        assert_eq!(c.drain_batch_clamped(), 1);
     }
 
     #[test]

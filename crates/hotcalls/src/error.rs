@@ -19,6 +19,9 @@ pub enum HotCallError {
     ResponderGone,
     /// No function is registered at the requested call id.
     UnknownCallId(u32),
+    /// A server constructor was given an unusable parameter (zero ring
+    /// capacity, empty responder pool).
+    InvalidConfig(&'static str),
     /// The underlying SDK layer failed (simulated variant only).
     Sdk(sgx_sdk::SdkError),
 }
@@ -31,6 +34,7 @@ impl fmt::Display for HotCallError {
             }
             HotCallError::ResponderGone => write!(f, "responder thread has shut down"),
             HotCallError::UnknownCallId(id) => write!(f, "no call registered with id {id}"),
+            HotCallError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
             HotCallError::Sdk(e) => write!(f, "sdk: {e}"),
         }
     }

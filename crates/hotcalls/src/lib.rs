@@ -15,8 +15,13 @@
 //!   the paper's Fig. 3 CDF and the application studies (Figs. 10, 11).
 //! * [`rt`] — a **real threaded runtime**: [`rt::HotCallServer`] spawns the
 //!   polling responder, [`rt::Requester`] issues calls, with the paper's
-//!   timeout-fallback and idle-sleep mechanisms. This is usable as a
-//!   general low-latency inter-thread call primitive.
+//!   timeout-fallback and idle-sleep mechanisms. The data plane is
+//!   lock-free (payloads in `UnsafeCell` slots guarded by the atomic state
+//!   machine, cache-line-padded hot words), and [`rt::RingServer`] scales
+//!   it out: a multi-slot submission ring served by a pool of responders
+//!   ([`rt::RingServer::spawn_pool`]) that drain submitted slots in
+//!   batches. This is usable as a general low-latency inter-thread call
+//!   primitive.
 //!
 //! ## Threaded quick start
 //!

@@ -10,58 +10,60 @@
 //! (logical) lock by CASing the state word, writes the request, signals
 //! "go", and spins for completion; the responder polls, executes via the
 //! call table, and signals "done".
+//!
+//! The data plane is lock-free: payloads live in `UnsafeCell`s whose
+//! exclusive access is granted by the state machine's acquire/release
+//! edges (see [`slot`]’s `CallSlot`), the state word sits on its own cache
+//! line, and hot-path statistics are responder-local counters flushed with
+//! plain stores. For a queued, multi-responder variant see [`RingServer`].
 
 mod calltable;
+mod pool;
 mod ring;
+mod slot;
 
 pub use calltable::CallTable;
 pub use ring::{RingRequester, RingServer, Ticket};
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-use parking_lot::{Condvar, Mutex};
 
 use crate::config::{HotCallConfig, HotCallStats};
 use crate::error::{HotCallError, Result};
 
-const IDLE: u8 = 0;
-const CLAIMED: u8 = 1;
-const REQUESTED: u8 = 2;
-const DONE: u8 = 3;
-const SHUTDOWN: u8 = 4;
+use slot::{Backoff, CachePadded, CallSlot, Doze, LocalStats, StatCell, DONE, SUBMITTED};
+
+/// How long (in poll iterations) a requester keeps waiting for `DONE`
+/// after it has observed shutdown, in case the responder's final sweep is
+/// still completing its call.
+const SHUTDOWN_GRACE_POLLS: u32 = 100_000;
 
 struct Shared<Req, Resp> {
-    /// Mailbox state word (the paper's lock + go/busy flags collapse into
-    /// one atomic state machine).
-    state: AtomicU8,
-    /// Request slot: (call_ID, payload). The parking_lot mutex is never
-    /// contended — the state machine serializes access — so locking it is
-    /// a single uncontended CAS, not a syscall.
-    req_slot: Mutex<Option<(u32, Req)>>,
-    /// Response slot.
-    resp_slot: Mutex<Option<Result<Resp>>>,
-    /// Set while the responder is parked on the condvar.
-    sleeping: AtomicU8,
-    wake_lock: Mutex<bool>,
-    wake_cv: Condvar,
-    // Statistics.
-    calls: AtomicU64,
+    /// The mailbox: state word on its own cache line, then the payload
+    /// cells (the paper's lock + go/busy flags collapse into the slot's
+    /// atomic state machine).
+    slot: CallSlot<Req, Resp>,
+    /// Shutdown lives outside the slot state so an in-flight call's phase
+    /// is never clobbered (the phase tells `Drop` which payload to free).
+    shutdown: AtomicBool,
+    doze: Doze,
+    /// Responder-owned running totals (padded: readers never dirty the
+    /// responder's line).
+    stats: CachePadded<StatCell>,
+    // Requester-side event counters; rare, so shared RMWs are fine.
     wakeups: AtomicU64,
-    idle_polls: AtomicU64,
-    busy_polls: AtomicU64,
     fallbacks: AtomicU64,
 }
 
 impl<Req, Resp> Shared<Req, Resp> {
     fn snapshot(&self) -> HotCallStats {
         HotCallStats {
-            calls: self.calls.load(Ordering::Relaxed),
+            calls: self.stats.calls.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
-            idle_polls: self.idle_polls.load(Ordering::Relaxed),
-            busy_polls: self.busy_polls.load(Ordering::Relaxed),
+            idle_polls: self.stats.idle_polls.load(Ordering::Relaxed),
+            busy_polls: self.stats.busy_polls.load(Ordering::Relaxed),
         }
     }
 }
@@ -93,7 +95,8 @@ pub struct HotCallServer<Req, Resp> {
 impl<Req, Resp> core::fmt::Debug for Shared<Req, Resp> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Shared")
-            .field("state", &self.state.load(Ordering::Relaxed))
+            .field("slot", &self.slot)
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -106,16 +109,11 @@ where
     /// Spawns the responder ("On Call") thread over `table`.
     pub fn spawn(table: CallTable<Req, Resp>, config: HotCallConfig) -> Self {
         let shared = Arc::new(Shared {
-            state: AtomicU8::new(IDLE),
-            req_slot: Mutex::new(None),
-            resp_slot: Mutex::new(None),
-            sleeping: AtomicU8::new(0),
-            wake_lock: Mutex::new(false),
-            wake_cv: Condvar::new(),
-            calls: AtomicU64::new(0),
+            slot: CallSlot::new(),
+            shutdown: AtomicBool::new(false),
+            doze: Doze::new(),
+            stats: CachePadded::new(StatCell::default()),
             wakeups: AtomicU64::new(0),
-            idle_polls: AtomicU64::new(0),
-            busy_polls: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
         });
         let responder_shared = Arc::clone(&shared);
@@ -152,13 +150,9 @@ where
 
 impl<Req, Resp> HotCallServer<Req, Resp> {
     fn shutdown_inner(&mut self) {
-        self.shared.state.store(SHUTDOWN, Ordering::Release);
+        self.shared.shutdown.store(true, Ordering::Release);
         // Wake the responder if it sleeps.
-        {
-            let mut flag = self.shared.wake_lock.lock();
-            *flag = true;
-            self.shared.wake_cv.notify_all();
-        }
+        self.shared.doze.wake_all();
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -178,59 +172,60 @@ fn responder_loop<Req, Resp>(
     table: CallTable<Req, Resp>,
     config: HotCallConfig,
 ) {
-    let mut idle_count: u64 = 0;
+    let mut local = LocalStats::default();
+    let mut backoff = Backoff::new();
+    let mut idle_streak: u64 = 0;
     loop {
-        match shared.state.load(Ordering::Acquire) {
-            SHUTDOWN => return,
-            REQUESTED => {
-                idle_count = 0;
-                shared.busy_polls.fetch_add(1, Ordering::Relaxed);
-                let (id, req) = shared
-                    .req_slot
-                    .lock()
-                    .take()
-                    .expect("REQUESTED implies a request in the slot");
-                let result = table
-                    .dispatch(id, req)
-                    .ok_or(HotCallError::UnknownCallId(id));
-                *shared.resp_slot.lock() = Some(result);
-                shared.calls.fetch_add(1, Ordering::Relaxed);
-                shared.state.store(DONE, Ordering::Release);
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Final sweep: fail an in-flight request so its requester
+            // unblocks instead of spinning on a dead mailbox.
+            if shared.slot.state() == SUBMITTED {
+                // SAFETY: SUBMITTED observed with Acquire and this thread
+                // is the mailbox's only responder, so it owns servicing.
+                let (_, stranded) = unsafe { shared.slot.take_request() };
+                drop(stranded);
+                // SAFETY: the request was taken by this thread just above.
+                unsafe { shared.slot.finish(Err(HotCallError::ResponderGone)) };
             }
-            _ => {
-                idle_count += 1;
-                shared.idle_polls.fetch_add(1, Ordering::Relaxed);
-                if let Some(limit) = config.idle_polls_before_sleep {
-                    if idle_count >= limit {
-                        // Conserve resources: park on the condvar until a
-                        // requester signals (paper §4.2).
-                        shared.sleeping.store(1, Ordering::Release);
-                        let mut flag = shared.wake_lock.lock();
-                        // Lost-wakeup guard: re-check state under the lock.
-                        while !*flag
-                            && !matches!(
-                                shared.state.load(Ordering::Acquire),
-                                REQUESTED | SHUTDOWN
-                            )
-                        {
-                            shared.wake_cv.wait(&mut flag);
-                        }
-                        *flag = false;
-                        drop(flag);
-                        shared.sleeping.store(0, Ordering::Release);
-                        idle_count = 0;
-                        continue;
-                    }
-                }
-                // The PAUSE of the paper's polling loop. On a dedicated
-                // core this would be a pure `PAUSE` spin; yielding
-                // periodically keeps the protocol live when the OS
-                // schedules requester and responder on shared cores.
-                core::hint::spin_loop();
-                if idle_count % 64 == 0 {
-                    std::thread::yield_now();
+            local.flush(&shared.stats);
+            return;
+        }
+        if shared.slot.state() == SUBMITTED {
+            idle_streak = 0;
+            backoff.reset();
+            // SAFETY: SUBMITTED observed with Acquire and this thread is
+            // the mailbox's only responder, so it owns servicing.
+            let (id, req) = unsafe { shared.slot.take_request() };
+            let result = table
+                .dispatch(id, req)
+                .ok_or(HotCallError::UnknownCallId(id));
+            local.calls += 1;
+            local.busy_polls += 1;
+            // Flush before DONE: the Release below orders these stores, so
+            // `stats().calls` is exact the moment the call returns.
+            local.flush(&shared.stats);
+            // SAFETY: this thread took the request for this call above.
+            unsafe { shared.slot.finish(result) };
+        } else {
+            idle_streak += 1;
+            local.idle_polls += 1;
+            if local.idle_polls % 1024 == 0 {
+                local.flush(&shared.stats);
+            }
+            if let Some(limit) = config.idle_polls_before_sleep {
+                if idle_streak >= limit {
+                    // Conserve resources: park on the condvar until a
+                    // requester signals (paper §4.2).
+                    local.flush(&shared.stats);
+                    shared.doze.sleep_unless(|| {
+                        shared.slot.state() == SUBMITTED || shared.shutdown.load(Ordering::Acquire)
+                    });
+                    idle_streak = 0;
+                    backoff.reset();
+                    continue;
                 }
             }
+            backoff.snooze();
         }
     }
 }
@@ -263,23 +258,19 @@ impl<Req, Resp> Requester<Req, Resp> {
     pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
         // Claim the mailbox (bounded retries — "Preventing starvation").
         let mut claimed = false;
+        let mut backoff = Backoff::new();
         'retries: for _ in 0..self.config.timeout_retries {
             for _ in 0..self.config.spins_per_retry {
-                match self.shared.state.compare_exchange(
-                    IDLE,
-                    CLAIMED,
-                    Ordering::Acquire,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        claimed = true;
-                        break 'retries;
-                    }
-                    Err(SHUTDOWN) => return Err(HotCallError::ResponderGone),
-                    Err(_) => core::hint::spin_loop(),
+                if self.shared.slot.try_claim() {
+                    claimed = true;
+                    break 'retries;
                 }
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    return Err(HotCallError::ResponderGone);
+                }
+                core::hint::spin_loop();
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
         if !claimed {
             self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -288,41 +279,39 @@ impl<Req, Resp> Requester<Req, Resp> {
             });
         }
 
-        *self.shared.req_slot.lock() = Some((id, req));
-        self.shared.state.store(REQUESTED, Ordering::Release);
+        // SAFETY: `try_claim` above won the EMPTY→CLAIMED CAS, which
+        // grants this thread exclusive write access to the request cell.
+        unsafe { self.shared.slot.publish(id, req) };
 
-        // Wake a sleeping responder.
-        if self.shared.sleeping.load(Ordering::Acquire) == 1 {
-            let mut flag = self.shared.wake_lock.lock();
-            *flag = true;
-            self.shared.wake_cv.notify_one();
+        // Wake a sleeping responder (ordered after the SUBMITTED store).
+        if self.shared.doze.wake() {
             self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
         }
 
-        // Spin for completion (with periodic yields for shared-core
-        // schedulers; a dedicated-core deployment would pure-spin).
-        let mut spins: u32 = 0;
+        // Spin for completion with escalating backoff.
+        let mut backoff = Backoff::new();
+        let mut grace: u32 = 0;
         loop {
-            match self.shared.state.load(Ordering::Acquire) {
+            match self.shared.slot.state() {
                 DONE => break,
-                SHUTDOWN => return Err(HotCallError::ResponderGone),
                 _ => {
-                    core::hint::spin_loop();
-                    spins = spins.wrapping_add(1);
-                    if spins % 64 == 0 {
-                        std::thread::yield_now();
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        // The responder's final sweep fails SUBMITTED
+                        // calls; if ours raced past the sweep, give up
+                        // after a bounded grace and strand the slot
+                        // (Drop frees the payload with the server).
+                        grace += 1;
+                        if grace > SHUTDOWN_GRACE_POLLS {
+                            return Err(HotCallError::ResponderGone);
+                        }
                     }
+                    backoff.snooze();
                 }
             }
         }
-        let result = self
-            .shared
-            .resp_slot
-            .lock()
-            .take()
-            .expect("DONE implies a response in the slot");
-        self.shared.state.store(IDLE, Ordering::Release);
-        result
+        // SAFETY: this thread submitted the call and observed DONE with
+        // Acquire, so it has exclusive access to take the response.
+        unsafe { self.shared.slot.redeem() }
     }
 
     /// Issues a call, running `fallback` locally if the fast path times
@@ -371,7 +360,10 @@ mod tests {
         let (t, _, _) = arith_table();
         let server = HotCallServer::spawn(t, HotCallConfig::default());
         let r = server.requester();
-        assert!(matches!(r.call(99, 1), Err(HotCallError::UnknownCallId(99))));
+        assert!(matches!(
+            r.call(99, 1),
+            Err(HotCallError::UnknownCallId(99))
+        ));
     }
 
     #[test]
@@ -394,7 +386,7 @@ mod tests {
             HotCallConfig {
                 timeout_retries: 1_000_000,
                 spins_per_retry: 64,
-                idle_polls_before_sleep: None,
+                ..HotCallConfig::default()
             },
         );
         let mut handles = Vec::new();
@@ -437,7 +429,7 @@ mod tests {
         assert_eq!(r.call(inc, 1).unwrap(), 2);
         // Give the responder time to fall asleep.
         let deadline = Instant::now() + Duration::from_secs(2);
-        while server.shared.sleeping.load(Ordering::Acquire) == 0 {
+        while server.shared.doze.sleepers.load(Ordering::SeqCst) == 0 {
             assert!(Instant::now() < deadline, "responder never slept");
             std::thread::yield_now();
         }
@@ -458,7 +450,7 @@ mod tests {
             HotCallConfig {
                 timeout_retries: 2,
                 spins_per_retry: 4,
-                idle_polls_before_sleep: None,
+                ..HotCallConfig::default()
             },
         );
         let r1 = server.requester();
@@ -484,5 +476,35 @@ mod tests {
         let stats = server.stats();
         assert!(stats.busy_polls >= 100);
         assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn shutdown_with_inflight_call_frees_payloads() {
+        // A request that is stranded mid-flight at shutdown must be failed
+        // (or completed), and its heap payload freed by the slot's Drop.
+        for _ in 0..8 {
+            let mut t: CallTable<Vec<u8>, u64> = CallTable::new();
+            let slow = t.register(|v: Vec<u8>| {
+                std::thread::sleep(Duration::from_millis(20));
+                v.len() as u64
+            });
+            let server = HotCallServer::spawn(
+                t,
+                HotCallConfig {
+                    timeout_retries: 1_000_000,
+                    spins_per_retry: 64,
+                    ..HotCallConfig::default()
+                },
+            );
+            let r = server.requester();
+            let h = std::thread::spawn(move || r.call(slow, vec![7u8; 4096]));
+            // Race shutdown against the in-flight call.
+            server.shutdown();
+            match h.join().unwrap() {
+                Ok(n) => assert_eq!(n, 4096),
+                Err(HotCallError::ResponderGone) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
     }
 }

@@ -1,0 +1,112 @@
+//! The ring's responder pool: batched drain with one tail CAS per batch.
+//!
+//! Every responder runs [`responder_loop`]: scan up to `drain_batch`
+//! contiguous `SUBMITTED` slots starting at `tail`, claim the whole run
+//! with a single CAS on `tail`, then service the claimed slots privately.
+//! The CAS is the ownership transfer — winning it while `tail` is
+//! unchanged proves no other responder touched those slots (`tail` is
+//! monotonic, so there is no ABA), and requesters cannot recycle a slot
+//! until it is serviced *and* redeemed, which itself requires `tail` to
+//! advance. Batching amortizes both the CAS and the wake/schedule cost of
+//! the drain, which is where switchless designs win under IO-heavy load.
+
+use std::sync::Arc;
+
+use crate::config::HotCallConfig;
+use crate::error::HotCallError;
+
+use super::ring::RingShared;
+use super::slot::{Backoff, LocalStats, SUBMITTED};
+use super::CallTable;
+
+use std::sync::atomic::Ordering;
+
+pub(super) fn responder_loop<Req, Resp>(
+    shared: Arc<RingShared<Req, Resp>>,
+    table: Arc<CallTable<Req, Resp>>,
+    index: usize,
+    config: HotCallConfig,
+) {
+    let cap = shared.slots.len();
+    // A batch longer than the ring would scan the same slot twice.
+    let batch = config.drain_batch_clamped().min(cap);
+    let cell = &shared.responders[index];
+    let mut local = LocalStats::default();
+    let mut backoff = Backoff::new();
+    let mut idle_streak: u64 = 0;
+    loop {
+        let tail = shared.tail.load(Ordering::Acquire);
+        // Scan a contiguous run of submitted slots (bounded by `batch`).
+        let mut run = 0usize;
+        while run < batch && shared.slots[tail.wrapping_add(run) % cap].state() == SUBMITTED {
+            run += 1;
+        }
+        if run == 0 {
+            // Drain-then-exit: responders keep servicing submitted work
+            // after the shutdown flag rises and leave only once the ring
+            // front is quiet (stragglers stuck mid-publish are failed by
+            // the waiter's shutdown grace instead).
+            if shared.shutdown.load(Ordering::Acquire) {
+                local.flush(cell);
+                return;
+            }
+            idle_streak += 1;
+            local.idle_polls += 1;
+            if local.idle_polls % 1024 == 0 {
+                local.flush(cell);
+            }
+            if let Some(limit) = config.idle_polls_before_sleep {
+                if idle_streak >= limit {
+                    local.flush(cell);
+                    shared.doze.sleep_unless(|| {
+                        shared.shutdown.load(Ordering::Acquire)
+                            || shared.slots[shared.tail.load(Ordering::Acquire) % cap].state()
+                                == SUBMITTED
+                    });
+                    idle_streak = 0;
+                    backoff.reset();
+                    continue;
+                }
+            }
+            backoff.snooze();
+            continue;
+        }
+        if shared
+            .tail
+            .compare_exchange(
+                tail,
+                tail.wrapping_add(run),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            // Another responder claimed the run; retry with a fresh tail.
+            core::hint::spin_loop();
+            continue;
+        }
+        idle_streak = 0;
+        backoff.reset();
+        for i in 0..run {
+            let slot = &shared.slots[tail.wrapping_add(i) % cap];
+            // SAFETY: the tail CAS above transferred exclusive service
+            // ownership of slots [tail, tail+run) to this thread: tail was
+            // unchanged between the SUBMITTED scan and the CAS (tail is
+            // monotonic, so CAS success rules out any concurrent claim),
+            // and no requester can recycle these slots before they are
+            // serviced here and then redeemed. SUBMITTED was observed with
+            // Acquire, so the payload is visible.
+            let (id, req) = unsafe { slot.take_request() };
+            let result = table
+                .dispatch(id, req)
+                .ok_or(HotCallError::UnknownCallId(id));
+            local.calls += 1;
+            local.busy_polls += 1;
+            // Flush before DONE so `stats().calls` is exact the moment the
+            // waiting requester's Acquire sees the completion.
+            local.flush(cell);
+            // SAFETY: this thread took the request for this slot above.
+            unsafe { slot.finish(result) };
+        }
+    }
+}

@@ -1,61 +1,81 @@
-//! A queued HotCalls variant: a multi-slot submission ring.
+//! A queued HotCalls variant: a multi-slot submission ring with a
+//! responder pool.
 //!
 //! The paper's single mailbox serializes requesters; §4.2 observes that
 //! responder utilization "can potentially be improved by sharing the
 //! responder thread with several requesters". [`RingServer`] realizes
 //! that: a fixed ring of request slots lets several requesters have calls
-//! in flight simultaneously while one responder drains them in order.
-//! Each slot is its own little mailbox (CLAIM → SUBMIT → DONE), so
-//! requesters never contend on a single word the way the plain channel
-//! does.
+//! in flight simultaneously while one *or more* responders drain them in
+//! order. Each slot is its own little mailbox (CLAIM → SUBMIT → DONE) on
+//! its own cache lines, so requesters never contend on a single word the
+//! way the plain channel does, and payloads move through lock-free
+//! `UnsafeCell`s guarded by the slot state machine (see [`super::slot`]).
+//!
+//! Responders claim work in batches: each scans up to
+//! [`HotCallConfig::drain_batch`] contiguous submitted slots from `tail`
+//! and takes ownership of the whole run with one CAS on `tail` (see
+//! [`super::pool`]), amortizing coordination the way batched switchless
+//! draining does in IO-heavy enclave workloads.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-
-use parking_lot::Mutex;
 
 use crate::config::{HotCallConfig, HotCallStats};
 use crate::error::{HotCallError, Result};
 
+use super::pool;
+use super::slot::{Backoff, CachePadded, CallSlot, Doze, StatCell, DONE, EMPTY};
 use super::CallTable;
 
-const SLOT_EMPTY: u8 = 0;
-const SLOT_CLAIMED: u8 = 1;
-const SLOT_SUBMITTED: u8 = 2;
-const SLOT_DONE: u8 = 3;
+/// Grace polls a waiter grants the shutdown sweep before giving up on a
+/// slot that will never complete (its payload is freed by the slot Drop).
+const SHUTDOWN_GRACE_POLLS: u32 = 100_000;
 
-struct Slot<Req, Resp> {
-    state: AtomicU8,
-    req: Mutex<Option<(u32, Req)>>,
-    resp: Mutex<Option<Result<Resp>>>,
+pub(super) struct RingShared<Req, Resp> {
+    /// Each slot is 64-byte aligned with its state word on its own line,
+    /// so neighbouring slots never false-share.
+    pub(super) slots: Box<[CallSlot<Req, Resp>]>,
+    /// Next slot index a requester claims. Padded: requesters hammer this
+    /// line; responders must not.
+    pub(super) head: CachePadded<AtomicUsize>,
+    /// Next slot index the responders service. Padded likewise.
+    pub(super) tail: CachePadded<AtomicUsize>,
+    pub(super) shutdown: AtomicBool,
+    pub(super) doze: Doze,
+    /// One padded statistics cell per responder; each responder writes
+    /// only its own (plain stores, no shared RMW on the hot path).
+    pub(super) responders: Box<[CachePadded<StatCell>]>,
+    // Requester-side event counters; rare, so shared RMWs are fine.
+    fallbacks: AtomicU64,
+    wakeups: AtomicU64,
 }
 
-struct RingShared<Req, Resp> {
-    slots: Vec<Slot<Req, Resp>>,
-    /// Next slot a requester claims.
-    head: AtomicUsize,
-    /// Next slot the responder services (slots complete in claim order).
-    tail: AtomicUsize,
-    shutdown: AtomicU8,
-    calls: AtomicU64,
-    busy_polls: AtomicU64,
-    idle_polls: AtomicU64,
-    fallbacks: AtomicU64,
+impl<Req, Resp> RingShared<Req, Resp> {
+    /// Slots currently between claim and service. `head` and `tail` are
+    /// monotonic with `head >= tail` at every instant, but two separate
+    /// loads can still see them "out of order" — the caller must load
+    /// `tail` *before* `head` (then the head snapshot can only be newer,
+    /// never older, than the tail snapshot) and this subtraction wraps
+    /// instead of panicking as a second line of defense.
+    pub(super) fn occupancy(head: usize, tail: usize) -> usize {
+        head.wrapping_sub(tail)
+    }
 }
 
 impl<Req, Resp> core::fmt::Debug for RingShared<Req, Resp> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("RingShared")
             .field("capacity", &self.slots.len())
+            .field("responders", &self.responders.len())
             .field("head", &self.head.load(Ordering::Relaxed))
             .field("tail", &self.tail.load(Ordering::Relaxed))
             .finish()
     }
 }
 
-/// A running ring server: one responder thread draining a multi-slot
-/// submission ring.
+/// A running ring server: a pool of responder threads draining a
+/// multi-slot submission ring in batches.
 ///
 /// # Examples
 ///
@@ -73,7 +93,7 @@ impl<Req, Resp> core::fmt::Debug for RingShared<Req, Resp> {
 pub struct RingServer<Req, Resp> {
     shared: Arc<RingShared<Req, Resp>>,
     config: HotCallConfig,
-    join: Option<JoinHandle<()>>,
+    joins: Vec<JoinHandle<()>>,
 }
 
 impl<Req, Resp> RingServer<Req, Resp>
@@ -81,39 +101,70 @@ where
     Req: Send + 'static,
     Resp: Send + 'static,
 {
-    /// Spawns the responder over `table` with a ring of `capacity` slots.
+    /// Spawns a single responder over `table` with a ring of `capacity`
+    /// slots (the original single-responder configuration).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn spawn(table: CallTable<Req, Resp>, capacity: usize, config: HotCallConfig) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
+        Self::spawn_pool(table, capacity, 1, config).expect("capacity and pool size validated")
+    }
+
+    /// Spawns a pool of `n_responders` threads draining one shared ring
+    /// of `capacity` slots. Each responder claims up to
+    /// [`HotCallConfig::drain_batch`] contiguous submissions per tail
+    /// advance.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] if `capacity` or `n_responders` is
+    /// zero.
+    pub fn spawn_pool(
+        table: CallTable<Req, Resp>,
+        capacity: usize,
+        n_responders: usize,
+        config: HotCallConfig,
+    ) -> Result<Self> {
+        if capacity == 0 {
+            return Err(HotCallError::InvalidConfig(
+                "ring capacity must be positive",
+            ));
+        }
+        if n_responders == 0 {
+            return Err(HotCallError::InvalidConfig(
+                "responder pool must have at least one thread",
+            ));
+        }
         let shared = Arc::new(RingShared {
-            slots: (0..capacity)
-                .map(|_| Slot {
-                    state: AtomicU8::new(SLOT_EMPTY),
-                    req: Mutex::new(None),
-                    resp: Mutex::new(None),
-                })
+            slots: (0..capacity).map(|_| CallSlot::new()).collect(),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            shutdown: AtomicBool::new(false),
+            doze: Doze::new(),
+            responders: (0..n_responders)
+                .map(|_| CachePadded::new(StatCell::default()))
                 .collect(),
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
-            shutdown: AtomicU8::new(0),
-            calls: AtomicU64::new(0),
-            busy_polls: AtomicU64::new(0),
-            idle_polls: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
         });
-        let responder = Arc::clone(&shared);
-        let join = std::thread::Builder::new()
-            .name("hotcalls-ring-responder".into())
-            .spawn(move || ring_responder(responder, table))
-            .expect("spawn ring responder");
-        RingServer {
+        let table = Arc::new(table);
+        let joins = (0..n_responders)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let table = Arc::clone(&table);
+                std::thread::Builder::new()
+                    .name(format!("hotcalls-ring-responder-{index}"))
+                    .spawn(move || pool::responder_loop(shared, table, index, config))
+                    .expect("spawn ring responder")
+            })
+            .collect();
+        Ok(RingServer {
             shared,
             config,
-            join: Some(join),
-        }
+            joins,
+        })
     }
 
     /// Creates a requester handle.
@@ -124,18 +175,29 @@ where
         }
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> HotCallStats {
-        HotCallStats {
-            calls: self.shared.calls.load(Ordering::Relaxed),
-            fallbacks: self.shared.fallbacks.load(Ordering::Relaxed),
-            wakeups: 0,
-            idle_polls: self.shared.idle_polls.load(Ordering::Relaxed),
-            busy_polls: self.shared.busy_polls.load(Ordering::Relaxed),
-        }
+    /// Number of responder threads in the pool.
+    pub fn responders(&self) -> usize {
+        self.shared.responders.len()
     }
 
-    /// Stops the responder and joins it.
+    /// Statistics so far, aggregated over the responder pool.
+    pub fn stats(&self) -> HotCallStats {
+        let mut s = HotCallStats {
+            calls: 0,
+            fallbacks: self.shared.fallbacks.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
+            idle_polls: 0,
+            busy_polls: 0,
+        };
+        for cell in self.shared.responders.iter() {
+            s.calls += cell.calls.load(Ordering::Relaxed);
+            s.idle_polls += cell.idle_polls.load(Ordering::Relaxed);
+            s.busy_polls += cell.busy_polls.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Stops the responders and joins them.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -143,8 +205,9 @@ where
 
 impl<Req, Resp> RingServer<Req, Resp> {
     fn shutdown_inner(&mut self) {
-        self.shared.shutdown.store(1, Ordering::Release);
-        if let Some(j) = self.join.take() {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.doze.wake_all();
+        for j in self.joins.drain(..) {
             let _ = j.join();
         }
     }
@@ -152,44 +215,8 @@ impl<Req, Resp> RingServer<Req, Resp> {
 
 impl<Req, Resp> Drop for RingServer<Req, Resp> {
     fn drop(&mut self) {
-        if self.join.is_some() {
+        if !self.joins.is_empty() {
             self.shutdown_inner();
-        }
-    }
-}
-
-fn ring_responder<Req, Resp>(shared: Arc<RingShared<Req, Resp>>, table: CallTable<Req, Resp>) {
-    let cap = shared.slots.len();
-    let mut idle: u64 = 0;
-    loop {
-        if shared.shutdown.load(Ordering::Acquire) == 1 {
-            // Fail any in-flight submissions so requesters unblock.
-            for slot in &shared.slots {
-                if slot.state.load(Ordering::Acquire) == SLOT_SUBMITTED {
-                    *slot.resp.lock() = Some(Err(HotCallError::ResponderGone));
-                    slot.state.store(SLOT_DONE, Ordering::Release);
-                }
-            }
-            return;
-        }
-        let tail = shared.tail.load(Ordering::Acquire);
-        let slot = &shared.slots[tail % cap];
-        if slot.state.load(Ordering::Acquire) == SLOT_SUBMITTED {
-            idle = 0;
-            shared.busy_polls.fetch_add(1, Ordering::Relaxed);
-            let (id, req) = slot.req.lock().take().expect("submitted slot has request");
-            let result = table.dispatch(id, req).ok_or(HotCallError::UnknownCallId(id));
-            *slot.resp.lock() = Some(result);
-            slot.state.store(SLOT_DONE, Ordering::Release);
-            shared.calls.fetch_add(1, Ordering::Relaxed);
-            shared.tail.store(tail + 1, Ordering::Release);
-        } else {
-            idle += 1;
-            shared.idle_polls.fetch_add(1, Ordering::Relaxed);
-            core::hint::spin_loop();
-            if idle % 64 == 0 {
-                std::thread::yield_now();
-            }
         }
     }
 }
@@ -227,24 +254,30 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
     pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
         let cap = self.shared.slots.len();
+        let mut backoff = Backoff::new();
         for _retry in 0..self.config.timeout_retries {
             for _ in 0..self.config.spins_per_retry {
-                if self.shared.shutdown.load(Ordering::Acquire) == 1 {
+                if self.shared.shutdown.load(Ordering::Acquire) {
                     return Err(HotCallError::ResponderGone);
                 }
-                let head = self.shared.head.load(Ordering::Acquire);
+                // Load `tail` before `head`: both only grow, so the head
+                // snapshot cannot lag the tail snapshot and the occupancy
+                // subtraction cannot go negative. (The old head-then-tail
+                // order let a responder advance `tail` past the stale head
+                // snapshot in between, underflowing `head - tail`.)
                 let tail = self.shared.tail.load(Ordering::Acquire);
-                // Full ring: wait for the responder to drain.
-                if head - tail >= cap {
+                let head = self.shared.head.load(Ordering::Acquire);
+                // Full ring: wait for the responders to drain.
+                if RingShared::<Req, Resp>::occupancy(head, tail) >= cap {
                     core::hint::spin_loop();
                     continue;
                 }
                 // The target slot may still hold an un-redeemed DONE
-                // response from the previous lap (the responder advanced
+                // response from the previous lap (a responder advanced
                 // `tail` before that requester called `wait`); it only
                 // becomes EMPTY when redeemed. Never claim a non-empty
                 // slot.
-                if self.shared.slots[head % cap].state.load(Ordering::Acquire) != SLOT_EMPTY {
+                if self.shared.slots[head % cap].state() != EMPTY {
                     core::hint::spin_loop();
                     continue;
                 }
@@ -257,15 +290,21 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                     continue;
                 }
                 // Winning the CAS on `head` makes the (empty) slot ours:
-                // the only writer that could repopulate it is a submitter
-                // holding this same head value.
+                // any other claimant of this physical slot would need
+                // `head` to advance a full lap first, which requires this
+                // very submission to be serviced and redeemed.
                 let slot = &self.shared.slots[head % cap];
-                slot.state.store(SLOT_CLAIMED, Ordering::Release);
-                *slot.req.lock() = Some((id, req));
-                slot.state.store(SLOT_SUBMITTED, Ordering::Release);
+                slot.mark_claimed();
+                // SAFETY: the head CAS above granted exclusive claim
+                // ownership of this slot (see comment); publish once.
+                unsafe { slot.publish(id, req) };
+                // Wake a sleeping responder (after the SUBMITTED store).
+                if self.shared.doze.wake() {
+                    self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                }
                 return Ok(Ticket { index: head });
             }
-            std::thread::yield_now();
+            backoff.snooze();
         }
         self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
         Err(HotCallError::ResponderTimeout {
@@ -282,31 +321,32 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     pub fn wait(&self, ticket: Ticket) -> Result<Resp> {
         let cap = self.shared.slots.len();
         let slot = &self.shared.slots[ticket.index % cap];
-        let mut spins: u32 = 0;
+        let mut backoff = Backoff::new();
+        let mut grace: u32 = 0;
         loop {
-            match slot.state.load(Ordering::Acquire) {
-                SLOT_DONE => break,
+            match slot.state() {
+                DONE => break,
                 _ => {
-                    // After shutdown the responder's sweep marks submitted
-                    // slots DONE with an error; if our submission raced the
-                    // sweep (still CLAIMED), give up after a grace period.
-                    if self.shared.shutdown.load(Ordering::Acquire) == 1 {
-                        if spins > 100_000 {
+                    // The pool drains submitted work before exiting, but a
+                    // submission that raced the shutdown flag (or sits
+                    // behind a neighbour stuck mid-publish) may never be
+                    // serviced; give up after a bounded grace. The slot
+                    // stays occupied and its payload is freed by Drop.
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        grace += 1;
+                        if grace > SHUTDOWN_GRACE_POLLS {
                             return Err(HotCallError::ResponderGone);
                         }
-                        std::thread::yield_now();
                     }
-                    core::hint::spin_loop();
-                    spins = spins.wrapping_add(1);
-                    if spins % 64 == 0 {
-                        std::thread::yield_now();
-                    }
+                    backoff.snooze();
                 }
             }
         }
-        let result = slot.resp.lock().take().expect("done slot has response");
-        slot.state.store(SLOT_EMPTY, Ordering::Release);
-        result
+        // SAFETY: this requester submitted the call at `ticket.index` and
+        // observed DONE with Acquire; only the submitter redeems a slot,
+        // and the previous lap's DONE was redeemed before this slot could
+        // be claimed again, so this DONE is ours.
+        unsafe { slot.redeem() }
     }
 
     /// Submit + wait in one step.
@@ -317,6 +357,23 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
         let t = self.submit(id, req)?;
         self.wait(t)
+    }
+
+    /// Statistics so far, aggregated over the responder pool.
+    pub fn stats(&self) -> HotCallStats {
+        let mut s = HotCallStats {
+            calls: 0,
+            fallbacks: self.shared.fallbacks.load(Ordering::Relaxed),
+            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
+            idle_polls: 0,
+            busy_polls: 0,
+        };
+        for cell in self.shared.responders.iter() {
+            s.calls += cell.calls.load(Ordering::Relaxed);
+            s.idle_polls += cell.idle_polls.load(Ordering::Relaxed);
+            s.busy_polls += cell.busy_polls.load(Ordering::Relaxed);
+        }
+        s
     }
 }
 
@@ -331,11 +388,7 @@ mod tests {
     }
 
     fn generous() -> HotCallConfig {
-        HotCallConfig {
-            timeout_retries: 1_000_000,
-            spins_per_retry: 64,
-            idle_polls_before_sleep: None,
-        }
+        HotCallConfig::patient()
     }
 
     #[test]
@@ -395,7 +448,10 @@ mod tests {
         let (t, _) = table();
         let server = RingServer::spawn(t, 2, generous());
         let r = server.requester();
-        assert!(matches!(r.call(42, 1), Err(HotCallError::UnknownCallId(42))));
+        assert!(matches!(
+            r.call(42, 1),
+            Err(HotCallError::UnknownCallId(42))
+        ));
     }
 
     #[test]
@@ -413,5 +469,124 @@ mod tests {
     fn zero_capacity_rejected() {
         let (t, _) = table();
         let _ = RingServer::spawn(t, 0, generous());
+    }
+
+    #[test]
+    fn pool_rejects_degenerate_shapes() {
+        let (t, _) = table();
+        assert!(matches!(
+            RingServer::spawn_pool(t, 0, 2, generous()),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+        let (t, _) = table();
+        assert!(matches!(
+            RingServer::spawn_pool(t, 8, 0, generous()),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn pool_services_concurrent_requesters() {
+        let (t, sq) = table();
+        let server = RingServer::spawn_pool(t, 16, 3, generous()).unwrap();
+        assert_eq!(server.responders(), 3);
+        let mut handles = Vec::new();
+        for th in 0..4u64 {
+            let r = server.requester();
+            handles.push(std::thread::spawn(move || {
+                (0..400u64)
+                    .map(|i| r.call(sq, th * 1_000 + i).unwrap())
+                    .sum::<u64>()
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let want: u64 = (0..4u64)
+            .flat_map(|th| (0..400u64).map(move |i| (th * 1_000 + i) * (th * 1_000 + i)))
+            .sum();
+        assert_eq!(total, want);
+        assert_eq!(server.stats().calls, 1_600);
+    }
+
+    #[test]
+    fn pool_batched_drain_handles_bursts() {
+        // A tiny drain batch and a large one must both preserve
+        // exactly-once results over pipelined bursts.
+        for batch in [1u32, 4, 64] {
+            let (t, sq) = table();
+            let config = HotCallConfig {
+                drain_batch: batch,
+                ..generous()
+            };
+            let server = RingServer::spawn_pool(t, 8, 2, config).unwrap();
+            let r = server.requester();
+            for _ in 0..50 {
+                let tickets: Vec<Ticket> = (0..8u64).map(|i| r.submit(sq, i).unwrap()).collect();
+                for (i, t) in tickets.into_iter().enumerate() {
+                    assert_eq!(r.wait(t).unwrap(), (i * i) as u64, "batch={batch}");
+                }
+            }
+            assert_eq!(server.stats().calls, 400);
+        }
+    }
+
+    #[test]
+    fn pool_idle_sleep_wakes_on_submit() {
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            idle_polls_before_sleep: Some(200),
+            ..generous()
+        };
+        let server = RingServer::spawn_pool(t, 8, 2, config).unwrap();
+        let r = server.requester();
+        assert_eq!(r.call(sq, 5).unwrap(), 25);
+        // Let both responders doze off, then prove a call still lands.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.shared.doze.sleepers.load(Ordering::SeqCst) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "responders never slept"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(r.call(sq, 6).unwrap(), 36);
+        let stats = server.stats();
+        assert!(stats.wakeups >= 1, "wakeups not accounted: {stats:?}");
+    }
+
+    #[test]
+    fn occupancy_is_underflow_proof() {
+        // The regression this fixes: a stale head snapshot paired with a
+        // fresher tail snapshot made `head - tail` underflow. The helper
+        // must stay a plain difference for in-order snapshots and must not
+        // panic for out-of-order ones.
+        type R = RingShared<u64, u64>;
+        assert_eq!(R::occupancy(5, 3), 2);
+        assert_eq!(R::occupancy(7, 7), 0);
+        // Out-of-order snapshot (tail "ahead" of head): wraps instead of
+        // panicking, and the huge value safely reads as "full" upstream.
+        assert!(R::occupancy(3, 5) >= usize::MAX - 1);
+    }
+
+    #[test]
+    fn stale_head_stress_on_tiny_ring() {
+        // Maximize head/tail snapshot races: capacity-1 ring, several
+        // requesters, responders constantly advancing tail. With the old
+        // head-then-tail load order this underflowed in debug builds.
+        let (t, sq) = table();
+        let server = RingServer::spawn_pool(t, 1, 2, generous()).unwrap();
+        let mut handles = Vec::new();
+        for th in 0..4u64 {
+            let r = server.requester();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    let x = th * 100 + i % 50;
+                    assert_eq!(r.call(sq, x).unwrap(), x * x);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().calls, 1_200);
     }
 }

@@ -1,0 +1,469 @@
+//! Lock-free building blocks shared by the mailbox and ring runtimes.
+//!
+//! The paper's protocol already serializes every payload handoff through an
+//! atomic state machine; the mutexes the first implementation wrapped
+//! around the request/response slots were pure overhead. This module keeps
+//! the payloads in [`UnsafeCell`]s and makes the state machine the *only*
+//! synchronization: each state transition's acquire/release edge publishes
+//! the payload written before it.
+//!
+//! It also provides the layout and pacing primitives the data plane needs:
+//! [`CachePadded`] (kill false sharing between slots and counters),
+//! [`Backoff`] (adaptive spin → pause ladder → yield), [`Doze`]
+//! (sleep/wake for idle responders) and [`StatCell`]/[`LocalStats`]
+//! (responder-local statistics flushed with plain stores instead of
+//! `fetch_add` on shared lines every poll).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::Result;
+
+/// Pads and aligns a value to a cache line so neighbouring values never
+/// share one (the classic crossbeam `CachePadded`). 64 bytes covers x86-64
+/// and pre-Apple-silicon ARM; on 128-byte-line parts two values per line is
+/// still far better than the unpadded worst case.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    pub(crate) const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> core::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> core::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Slot has no call in it and may be claimed by a requester.
+pub(crate) const EMPTY: u8 = 0;
+/// A requester won the claim and is writing the request payload.
+pub(crate) const CLAIMED: u8 = 1;
+/// Request payload is published; a responder may take the slot.
+pub(crate) const SUBMITTED: u8 = 2;
+/// A responder took the request and is executing the handler.
+pub(crate) const SERVICING: u8 = 3;
+/// Response payload is published; the submitting requester may redeem it.
+pub(crate) const DONE: u8 = 4;
+
+/// One call slot: the state word on its own cache line, then the request
+/// and response payload cells.
+///
+/// The payload cells carry no synchronization of their own. Exclusive
+/// access is granted by state-machine transitions:
+///
+/// * `EMPTY → CLAIMED` (requester CAS, or the ring's head-counter CAS)
+///   grants the winning requester exclusive write access to `req`.
+/// * `SUBMITTED` observed with `Acquire` *plus* service ownership (single
+///   responder, or winning the ring's tail CAS) grants a responder
+///   exclusive access to take `req` and write `resp`.
+/// * `DONE` observed with `Acquire` by the submitting requester grants it
+///   exclusive access to take `resp` and release the slot.
+///
+/// Each `unsafe fn` below names the edge that makes it sound.
+pub(crate) struct CallSlot<Req, Resp> {
+    /// Isolated on its own line: requesters and responders spin on this
+    /// word, and sharing it with payload bytes would ping-pong the line on
+    /// every payload write.
+    state: CachePadded<AtomicU8>,
+    req: UnsafeCell<MaybeUninit<(u32, Req)>>,
+    resp: UnsafeCell<MaybeUninit<Result<Resp>>>,
+}
+
+// SAFETY: the payload cells are only ever accessed by the single thread
+// the state machine designates (see the struct docs); sending the payloads
+// across threads is what the slot is for, hence `Req: Send`/`Resp: Send`.
+unsafe impl<Req: Send, Resp: Send> Sync for CallSlot<Req, Resp> {}
+unsafe impl<Req: Send, Resp: Send> Send for CallSlot<Req, Resp> {}
+
+impl<Req, Resp> CallSlot<Req, Resp> {
+    pub(crate) fn new() -> Self {
+        CallSlot {
+            state: CachePadded::new(AtomicU8::new(EMPTY)),
+            req: UnsafeCell::new(MaybeUninit::uninit()),
+            resp: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Current state (`Acquire`: pairs with the release transition that
+    /// published it, so payload written before that transition is visible).
+    #[inline]
+    pub(crate) fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    /// Tries the `EMPTY → CLAIMED` edge (mailbox claim).
+    #[inline]
+    pub(crate) fn try_claim(&self) -> bool {
+        self.state
+            .compare_exchange(EMPTY, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Marks the slot claimed when ownership was won elsewhere (the ring's
+    /// head-counter CAS). Relaxed is enough: claimability of this physical
+    /// slot by any later requester is ordered through the head/tail
+    /// counters, not through this word.
+    #[inline]
+    pub(crate) fn mark_claimed(&self) {
+        self.state.store(CLAIMED, Ordering::Relaxed);
+    }
+
+    /// Publishes the request: `CLAIMED → SUBMITTED`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold the claim (won [`Self::try_claim`] or the ring's
+    /// head CAS followed by [`Self::mark_claimed`]) and call this at most
+    /// once per claim. That claim is exclusive, so no other thread reads
+    /// or writes `req` until the Release store below hands the slot over.
+    #[inline]
+    pub(crate) unsafe fn publish(&self, id: u32, req: Req) {
+        debug_assert_eq!(self.state.load(Ordering::Relaxed), CLAIMED);
+        (*self.req.get()).write((id, req));
+        self.state.store(SUBMITTED, Ordering::Release);
+    }
+
+    /// Takes the request out: `SUBMITTED → SERVICING`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must own servicing of this slot: it observed `SUBMITTED`
+    /// with `Acquire` (so the payload written by [`Self::publish`] is
+    /// visible) *and* is the designated responder (the only responder, or
+    /// the winner of the ring's tail CAS covering this slot). Ownership
+    /// makes the payload read exclusive and unrepeatable.
+    #[inline]
+    pub(crate) unsafe fn take_request(&self) -> (u32, Req) {
+        debug_assert_eq!(self.state.load(Ordering::Relaxed), SUBMITTED);
+        let payload = (*self.req.get()).assume_init_read();
+        // Relaxed: only this thread advances the slot until `finish`, and
+        // `Drop` (which keys payload cleanup on this word) holds `&mut`.
+        self.state.store(SERVICING, Ordering::Relaxed);
+        payload
+    }
+
+    /// Publishes the response: `SERVICING → DONE`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the servicing responder (took [`Self::take_request`]
+    /// for this call) and call this at most once per call; until the
+    /// Release store below, no other thread touches `resp`.
+    #[inline]
+    pub(crate) unsafe fn finish(&self, resp: Result<Resp>) {
+        debug_assert_eq!(self.state.load(Ordering::Relaxed), SERVICING);
+        (*self.resp.get()).write(resp);
+        self.state.store(DONE, Ordering::Release);
+    }
+
+    /// Takes the response out and frees the slot: `DONE → EMPTY`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the requester that submitted this call and must have
+    /// observed `DONE` with `Acquire` (making the response visible). Being
+    /// the submitter makes the read exclusive: nobody else redeems a slot
+    /// they did not submit to.
+    #[inline]
+    pub(crate) unsafe fn redeem(&self) -> Result<Resp> {
+        let payload = (*self.resp.get()).assume_init_read();
+        // Release: the next claimant's Acquire (CAS or counter chain) must
+        // see the payload as consumed before it rewrites the cells.
+        self.state.store(EMPTY, Ordering::Release);
+        payload
+    }
+}
+
+impl<Req, Resp> Drop for CallSlot<Req, Resp> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent access. Which payload (if any) is
+        // live is exactly what the state word records: a request that was
+        // published but never serviced, or a response that was published
+        // but never redeemed (both happen when shutdown strands a call).
+        match *self.state.get_mut() {
+            // SAFETY: SUBMITTED means `publish` ran and `take_request`
+            // did not; the request payload is initialized and unowned.
+            SUBMITTED => unsafe {
+                drop(self.req.get_mut().assume_init_read());
+            },
+            // SAFETY: DONE means `finish` ran and `redeem` did not; the
+            // response payload is initialized and unowned.
+            DONE => unsafe {
+                drop(self.resp.get_mut().assume_init_read());
+            },
+            // EMPTY/CLAIMED: no payload written. SERVICING: the request
+            // was already moved out and the response not yet written.
+            _ => {}
+        }
+    }
+}
+
+impl<Req, Resp> core::fmt::Debug for CallSlot<Req, Resp> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CallSlot")
+            .field("state", &self.state.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Upper bound of the pause ladder: 2^6 = 64 `PAUSE`s before escalating.
+const SPIN_LIMIT: u32 = 6;
+
+/// `true` when the host exposes a single hardware thread. Computed once:
+/// `available_parallelism` is a syscall, far too slow for a wait loop.
+fn single_core() -> bool {
+    static CORES: AtomicUsize = AtomicUsize::new(0);
+    let mut n = CORES.load(Ordering::Relaxed);
+    if n == 0 {
+        n = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        CORES.store(n, Ordering::Relaxed);
+    }
+    n == 1
+}
+
+/// Adaptive waiting: a geometric `PAUSE` ladder that escalates to
+/// `yield_now` once spinning has demonstrably not helped (the fix for the
+/// old fixed `spins % 64 == 0` yield, which both yielded too late under a
+/// descheduled peer and too eagerly under a fast one).
+#[derive(Debug, Default)]
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    #[inline]
+    pub(crate) fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Progress was made; start the ladder over.
+    #[inline]
+    pub(crate) fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits a little longer than last time: 1, 2, 4, … 64 `PAUSE`s, then
+    /// a scheduler yield per call.
+    ///
+    /// On a single-core host the ladder is skipped entirely: the peer we
+    /// are waiting on cannot run until we give up the core, so every
+    /// `PAUSE` before the yield is pure added latency (measured ~2.5x on
+    /// the round-trip benchmark).
+    #[inline]
+    pub(crate) fn snooze(&mut self) {
+        if single_core() {
+            std::thread::yield_now();
+        } else if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                core::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Sleep/wake rendezvous for idle responders (paper §4.2, "Conserving
+/// resources at idle times"), shared by the mailbox and the ring pool.
+#[derive(Debug)]
+pub(crate) struct Doze {
+    /// How many responders are in (or entering) the sleep protocol.
+    /// Requesters read it to skip the mutex on the hot path.
+    pub(crate) sleepers: AtomicUsize,
+    /// The wake flag; `true` means "a wake was posted, re-check for work".
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Doze {
+    pub(crate) fn new() -> Self {
+        Doze {
+            sleepers: AtomicUsize::new(0),
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Parks the calling responder until a wake is posted or `work`
+    /// reports something to do.
+    ///
+    /// Lost-wakeup freedom is the flag-flag (Dekker) argument: the
+    /// responder registers in `sleepers` with a SeqCst RMW *before*
+    /// re-checking `work`, and [`Doze::wake`] publishes its work with a
+    /// SeqCst fence *before* reading `sleepers` — in any interleaving at
+    /// least one side sees the other.
+    pub(crate) fn sleep_unless(&self, work: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if work() {
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        let mut flag = self.flag.lock();
+        while !*flag && !work() {
+            self.cv.wait(&mut flag);
+        }
+        *flag = false;
+        drop(flag);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Posts a wake if any responder sleeps. Returns whether one was
+    /// posted (the caller counts it as a `wakeups` statistic).
+    ///
+    /// Must be called *after* the Release store that published the work
+    /// being signalled (see [`Doze::sleep_unless`] for the pairing).
+    pub(crate) fn wake(&self) -> bool {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let mut flag = self.flag.lock();
+        *flag = true;
+        self.cv.notify_one();
+        true
+    }
+
+    /// Posts a wake to every sleeping responder (shutdown path).
+    pub(crate) fn wake_all(&self) {
+        let mut flag = self.flag.lock();
+        *flag = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A responder-owned statistics cell. Only its responder writes it (plain
+/// stores of running totals), anyone may read it; padded wherever it is
+/// embedded so readers never dirty the responder's line.
+#[derive(Debug, Default)]
+pub(crate) struct StatCell {
+    pub(crate) calls: AtomicU64,
+    pub(crate) busy_polls: AtomicU64,
+    pub(crate) idle_polls: AtomicU64,
+}
+
+/// The responder's private (non-atomic) counters, flushed to its
+/// [`StatCell`]: before every `DONE` hand-off (so `stats().calls` is exact
+/// the moment a call returns), every 1024 idle polls, before sleeping, and
+/// at exit.
+#[derive(Debug, Default)]
+pub(crate) struct LocalStats {
+    pub(crate) calls: u64,
+    pub(crate) busy_polls: u64,
+    pub(crate) idle_polls: u64,
+}
+
+impl LocalStats {
+    /// Publishes the running totals. Plain Relaxed stores: the cell is
+    /// this responder's alone, and exactness-on-return is ordered by the
+    /// `DONE` Release store that follows the flush.
+    #[inline]
+    pub(crate) fn flush(&self, cell: &StatCell) {
+        cell.calls.store(self.calls, Ordering::Relaxed);
+        cell.busy_polls.store(self.busy_polls, Ordering::Relaxed);
+        cell.idle_polls.store(self.idle_polls, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padding_isolates_lines() {
+        assert_eq!(core::mem::align_of::<CachePadded<AtomicU64>>(), 64);
+        assert!(core::mem::size_of::<CachePadded<AtomicU64>>() >= 64);
+        // The slot's state word starts a line; payloads follow it.
+        assert_eq!(core::mem::align_of::<CallSlot<u64, u64>>(), 64);
+    }
+
+    #[test]
+    fn slot_roundtrip_moves_payloads() {
+        let slot: CallSlot<String, String> = CallSlot::new();
+        assert!(slot.try_claim());
+        assert!(!slot.try_claim(), "claim is exclusive");
+        // SAFETY: we hold the claim won above.
+        unsafe { slot.publish(7, "ping".to_string()) };
+        assert_eq!(slot.state(), SUBMITTED);
+        // SAFETY: single thread; SUBMITTED observed; sole responder.
+        let (id, req) = unsafe { slot.take_request() };
+        assert_eq!((id, req.as_str()), (7, "ping"));
+        // SAFETY: we took the request above.
+        unsafe { slot.finish(Ok("pong".to_string())) };
+        assert_eq!(slot.state(), DONE);
+        // SAFETY: we are the submitter and observed DONE.
+        let resp = unsafe { slot.redeem() };
+        assert_eq!(resp.unwrap(), "pong");
+        assert_eq!(slot.state(), EMPTY);
+    }
+
+    #[test]
+    fn drop_frees_stranded_payloads() {
+        use std::sync::Arc;
+        // A submitted-but-never-serviced request must be dropped.
+        let marker = Arc::new(());
+        {
+            let slot: CallSlot<Arc<()>, Arc<()>> = CallSlot::new();
+            assert!(slot.try_claim());
+            // SAFETY: claim held.
+            unsafe { slot.publish(0, Arc::clone(&marker)) };
+        }
+        assert_eq!(Arc::strong_count(&marker), 1, "request payload leaked");
+        // A finished-but-never-redeemed response must be dropped.
+        {
+            let slot: CallSlot<Arc<()>, Arc<()>> = CallSlot::new();
+            assert!(slot.try_claim());
+            // SAFETY: claim held.
+            unsafe { slot.publish(0, Arc::clone(&marker)) };
+            // SAFETY: single thread, SUBMITTED observed.
+            let _ = unsafe { slot.take_request() };
+            // SAFETY: request taken above.
+            unsafe { slot.finish(Ok(Arc::clone(&marker))) };
+        }
+        assert_eq!(Arc::strong_count(&marker), 1, "response payload leaked");
+    }
+
+    #[test]
+    fn backoff_escalates_without_panicking() {
+        let mut b = Backoff::new();
+        for _ in 0..SPIN_LIMIT + 10 {
+            b.snooze();
+        }
+        b.reset();
+        assert_eq!(b.step, 0);
+    }
+
+    #[test]
+    fn doze_wakes_a_sleeper() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let doze = Arc::new(Doze::new());
+        let go = Arc::new(AtomicBool::new(false));
+        let (d, g) = (Arc::clone(&doze), Arc::clone(&go));
+        let t = std::thread::spawn(move || d.sleep_unless(|| g.load(Ordering::SeqCst)));
+        while doze.sleepers.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        go.store(true, Ordering::SeqCst);
+        doze.wake();
+        t.join().unwrap();
+        assert_eq!(doze.sleepers.load(Ordering::SeqCst), 0);
+    }
+}

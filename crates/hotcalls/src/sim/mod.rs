@@ -212,8 +212,14 @@ impl SimHotCalls {
                 let mut area = StagingArea::untrusted(m, self.shared_area, SHARED_BYTES);
                 area.reserve(plan.struct_bytes);
                 m.write(self.shared_area, plan.struct_bytes)?;
-                let (args, staged) =
-                    stage(m, &plan, bufs, &mut area, CallerSide::Trusted, ctx.options())?;
+                let (args, staged) = stage(
+                    m,
+                    &plan,
+                    bufs,
+                    &mut area,
+                    CallerSide::Trusted,
+                    ctx.options(),
+                )?;
                 self.publish(m)?;
                 self.responder_pickup(m)?;
                 let r = body(ctx, m, &args);
@@ -230,8 +236,14 @@ impl SimHotCalls {
                 self.responder_pickup(m)?;
                 m.read(self.shared_area, plan.struct_bytes)?;
                 let mut area = StagingArea::secure(m, self.secure_area, SECURE_BYTES);
-                let (args, staged) =
-                    stage(m, &plan, bufs, &mut area, CallerSide::Untrusted, ctx.options())?;
+                let (args, staged) = stage(
+                    m,
+                    &plan,
+                    bufs,
+                    &mut area,
+                    CallerSide::Untrusted,
+                    ctx.options(),
+                )?;
                 let r = body(ctx, m, &args);
                 unstage(m, &staged)?;
                 self.complete(m)?;
@@ -412,7 +424,10 @@ mod tests {
             ok += 1;
         }
         assert_eq!(ok, 50);
-        assert!(hot.stats().calls > 40, "most calls should take the fast path");
+        assert!(
+            hot.stats().calls > 40,
+            "most calls should take the fast path"
+        );
     }
 
     #[test]

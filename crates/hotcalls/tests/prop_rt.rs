@@ -22,11 +22,7 @@ proptest! {
         let dbl = table.register(|x| x * 2);
         let neg = table.register(|x| !x);
         let ids = [add, dbl, neg];
-        let server = HotCallServer::spawn(table, HotCallConfig {
-            timeout_retries: 1_000_000,
-            spins_per_retry: 64,
-            idle_polls_before_sleep: None,
-        });
+        let server = HotCallServer::spawn(table, HotCallConfig::patient());
         let r = server.requester();
         let mut expected_calls = 0u64;
         for (which, payload) in reqs {
@@ -50,11 +46,7 @@ proptest! {
     ) {
         let mut table: CallTable<u64, u64> = CallTable::new();
         let triple = table.register(|x| x * 3);
-        let server = HotCallServer::spawn(table, HotCallConfig {
-            timeout_retries: 1_000_000,
-            spins_per_retry: 64,
-            idle_polls_before_sleep: None,
-        });
+        let server = HotCallServer::spawn(table, HotCallConfig::patient());
         let (ra, rb) = (server.requester(), server.requester());
         let (va, vb) = (a.clone(), b.clone());
         let ha = std::thread::spawn(move || va.iter().map(|&x| ra.call(triple, x).unwrap()).sum::<u64>());

@@ -14,7 +14,7 @@
 
 use sgx_sim::{Addr, Cycles, EnclaveId, Machine};
 
-use crate::edger8r::{edger8r, ProxyPlan, Proxies};
+use crate::edger8r::{edger8r, Proxies, ProxyPlan};
 use crate::edl::Edl;
 use crate::error::{Result, SdkError};
 use crate::marshal::{stage, unstage, CallerSide, StagingArea};
@@ -182,7 +182,13 @@ impl EnclaveCtx {
     ///
     /// Fails on unknown names, argument-count mismatches, boundary-check
     /// violations, nested ecalls, or machine-model errors.
-    pub fn ecall<R, F>(&mut self, m: &mut Machine, name: &str, bufs: &[BufArg], body: F) -> Result<R>
+    pub fn ecall<R, F>(
+        &mut self,
+        m: &mut Machine,
+        name: &str,
+        bufs: &[BufArg],
+        body: F,
+    ) -> Result<R>
     where
         F: FnOnce(&mut EnclaveCtx, &mut Machine, &CallArgs) -> Result<R>,
     {
@@ -217,12 +223,19 @@ impl EnclaveCtx {
         // Stage buffers per transfer mode into the secure scratch (the same
         // code HotCalls reuses — see `crate::marshal`).
         let mut area = StagingArea::secure(m, self.secure_area, SCRATCH_BYTES);
-        let result = stage(m, &plan, bufs, &mut area, CallerSide::Untrusted, self.options)
-            .and_then(|(args, staged)| {
-                let r = body(self, m, &args)?;
-                unstage(m, &staged)?;
-                Ok(r)
-            });
+        let result = stage(
+            m,
+            &plan,
+            bufs,
+            &mut area,
+            CallerSide::Untrusted,
+            self.options,
+        )
+        .and_then(|(args, staged)| {
+            let r = body(self, m, &args)?;
+            unstage(m, &staged)?;
+            Ok(r)
+        });
 
         // EEXIT happens regardless of body outcome (the SDK's error paths
         // also leave the enclave).
@@ -244,7 +257,13 @@ impl EnclaveCtx {
     ///
     /// Fails if no ecall is active, on unknown names or argument
     /// mismatches, boundary violations, or machine errors.
-    pub fn ocall<R, F>(&mut self, m: &mut Machine, name: &str, bufs: &[BufArg], body: F) -> Result<R>
+    pub fn ocall<R, F>(
+        &mut self,
+        m: &mut Machine,
+        name: &str,
+        bufs: &[BufArg],
+        body: F,
+    ) -> Result<R>
     where
         F: FnOnce(&mut EnclaveCtx, &mut Machine, &CallArgs) -> Result<R>,
     {
@@ -317,7 +336,6 @@ impl EnclaveCtx {
         m.eexit(self.eid, tcs)?;
         Ok(())
     }
-
 }
 
 fn check_arg_count(plan: &ProxyPlan, bufs: &[BufArg]) -> Result<()> {
@@ -503,9 +521,12 @@ mod tests {
         ctx.enter_main(&mut m).unwrap();
         let outside = m.alloc_untrusted(64, 64);
         let err = ctx
-            .ocall(&mut m, "ocall_in", &[BufArg::new(outside, 64)], |_, _, _| {
-                Ok(())
-            })
+            .ocall(
+                &mut m,
+                "ocall_in",
+                &[BufArg::new(outside, 64)],
+                |_, _, _| Ok(()),
+            )
             .unwrap_err();
         assert!(matches!(err, SdkError::PointerMustBeInside(_)));
     }

@@ -84,20 +84,23 @@ impl Proxies {
 fn generate_plan(f: &EdgeFn, index: usize) -> Result<ProxyPlan> {
     // Validate size= references: they must name a by-value parameter.
     for (i, p) in f.params.iter().enumerate() {
-        if let ParamKind::Buffer { size, .. } = &p.kind {
-            if let SizeSpec::Param(size_param) = size {
-                let ok = f.params.iter().any(|q| {
-                    q.name == *size_param && matches!(q.kind, ParamKind::Value { .. })
-                });
-                if !ok {
-                    return Err(SdkError::Edl(crate::edl::EdlError {
-                        line: 0,
-                        message: format!(
-                            "`{}` parameter {} (`{}`): size={size_param} does not name a value parameter",
-                            f.name, i, p.name
-                        ),
-                    }));
-                }
+        if let ParamKind::Buffer {
+            size: SizeSpec::Param(size_param),
+            ..
+        } = &p.kind
+        {
+            let ok = f
+                .params
+                .iter()
+                .any(|q| q.name == *size_param && matches!(q.kind, ParamKind::Value { .. }));
+            if !ok {
+                return Err(SdkError::Edl(crate::edl::EdlError {
+                    line: 0,
+                    message: format!(
+                        "`{}` parameter {} (`{}`): size={size_param} does not name a value parameter",
+                        f.name, i, p.name
+                    ),
+                }));
             }
         }
     }

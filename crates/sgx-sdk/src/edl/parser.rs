@@ -164,11 +164,7 @@ impl<'a> Lexer<'a> {
             }
             b'0'..=b'9' => {
                 let start = self.pos;
-                while self
-                    .src
-                    .get(self.pos)
-                    .is_some_and(|c| c.is_ascii_digit())
-                {
+                while self.src.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
                     self.pos += 1;
                 }
                 let text = core::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
@@ -417,9 +413,7 @@ impl Parser {
                         Tok::Ident(p) => SizeSpec::Param(p),
                         other => {
                             self.pos -= 1;
-                            return Err(
-                                self.error(format!("expected size value, found {other:?}"))
-                            );
+                            return Err(self.error(format!("expected size value, found {other:?}")));
                         }
                     };
                     if key == "size" {
@@ -456,8 +450,9 @@ impl Parser {
                     // Lookahead: if the following token is an ident too, the
                     // current one is part of the type; if it is `(`/`,`/`)`,
                     // the current ident is actually the name — stop.
-                    let next_is_ident = matches!(self.toks.get(self.pos + 1), Some((Tok::Ident(_), _)))
-                        || matches!(self.toks.get(self.pos + 1), Some((Tok::Star, _)));
+                    let next_is_ident =
+                        matches!(self.toks.get(self.pos + 1), Some((Tok::Ident(_), _)))
+                            || matches!(self.toks.get(self.pos + 1), Some((Tok::Star, _)));
                     if words.is_empty() || is_type_word(&s) || next_is_ident {
                         self.bump()?;
                         words.push(s);
@@ -636,10 +631,9 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let edl = parse_edl(
-            "// header\nenclave { /* block\ncomment */ trusted { public void f(); }; };",
-        )
-        .unwrap();
+        let edl =
+            parse_edl("// header\nenclave { /* block\ncomment */ trusted { public void f(); }; };")
+                .unwrap();
         assert_eq!(edl.trusted[0].name, "f");
     }
 
@@ -664,19 +658,17 @@ mod tests {
 
     #[test]
     fn user_check_with_in_is_rejected() {
-        let err = parse_edl(
-            "enclave { trusted { public void f([user_check, in] uint8_t* p); }; };",
-        )
-        .unwrap_err();
+        let err =
+            parse_edl("enclave { trusted { public void f([user_check, in] uint8_t* p); }; };")
+                .unwrap_err();
         assert!(err.message.contains("user_check"), "{err}");
     }
 
     #[test]
     fn count_scales_by_element_size() {
-        let edl = parse_edl(
-            "enclave { trusted { public void f([in, count=4] const uint64_t* v); }; };",
-        )
-        .unwrap();
+        let edl =
+            parse_edl("enclave { trusted { public void f([in, count=4] const uint64_t* v); }; };")
+                .unwrap();
         assert!(matches!(
             edl.trusted[0].params[0].kind,
             ParamKind::Buffer {
@@ -688,8 +680,8 @@ mod tests {
 
     #[test]
     fn error_reports_line() {
-        let err = parse_edl("enclave {\n  trusted {\n    public void f(???);\n  };\n};")
-            .unwrap_err();
+        let err =
+            parse_edl("enclave {\n  trusted {\n    public void f(???);\n  };\n};").unwrap_err();
         assert_eq!(err.line, 3);
     }
 

@@ -54,7 +54,10 @@ impl fmt::Display for SdkError {
                 name,
                 expected,
                 got,
-            } => write!(f, "`{name}` declares {expected} buffers but {got} were supplied"),
+            } => write!(
+                f,
+                "`{name}` declares {expected} buffers but {got} were supplied"
+            ),
             SdkError::PointerMustBeOutside(a) => {
                 write!(f, "pointer {a} must reference untrusted memory")
             }
@@ -64,7 +67,10 @@ impl fmt::Display for SdkError {
             SdkError::NotInEnclave => write!(f, "ocall issued while not executing in the enclave"),
             SdkError::AlreadyInEnclave => write!(f, "nested ecall is not supported"),
             SdkError::ScratchExhausted { requested } => {
-                write!(f, "marshalling scratch exhausted ({requested} bytes requested)")
+                write!(
+                    f,
+                    "marshalling scratch exhausted ({requested} bytes requested)"
+                )
             }
         }
     }

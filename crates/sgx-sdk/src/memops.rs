@@ -60,10 +60,7 @@ mod tests {
         let fast = sdk_memset(&mut m, a, 2048, true).unwrap();
         // Byte-wise: 2048 compute cycles vs 256. Memory traffic is warmer
         // the second time, so the gap is conservative.
-        assert!(
-            slow.get() > fast.get() + 1_500,
-            "slow={slow} fast={fast}"
-        );
+        assert!(slow.get() > fast.get() + 1_500, "slow={slow} fast={fast}");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use sgx_sdk::edl::{parse_edl, Direction, EdgeFn, Edl, Param, ParamKind, SizeSpec};
 use sgx_sdk::edger8r::edger8r;
+use sgx_sdk::edl::{parse_edl, Direction, EdgeFn, Edl, Param, ParamKind, SizeSpec};
 use sgx_sdk::marshal::{stage, unstage, CallerSide, StagingArea};
 use sgx_sdk::{BufArg, MarshalOptions};
 use sgx_sim::{EnclaveBuildOptions, Machine, SimConfig};

@@ -51,7 +51,10 @@ impl Report {
     /// path run by a verifying enclave on the same machine).
     pub(crate) fn verify(&self, master_secret: &[u8; DIGEST_LEN]) -> bool {
         let key = derive_key(master_secret, "report", b"");
-        let expected = hmac_sha256(&key, &Self::mac_message(&self.measurement, &self.report_data));
+        let expected = hmac_sha256(
+            &key,
+            &Self::mac_message(&self.measurement, &self.report_data),
+        );
         verify_tag(&expected, &self.mac)
     }
 }

@@ -39,8 +39,7 @@ impl SetAssocCache {
         SetAssocCache {
             sets: (0..sets)
                 .map(|_| {
-                    Vec::with_capacity(geometry.ways as usize)
-                        .tap_fill(geometry.ways as usize)
+                    Vec::with_capacity(geometry.ways as usize).tap_fill(geometry.ways as usize)
                 })
                 .collect(),
             set_mask: sets - 1,

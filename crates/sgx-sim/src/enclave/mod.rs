@@ -156,10 +156,7 @@ impl Enclave {
     ///
     /// Fails if the index is invalid or the TCS was not busy.
     pub fn release_tcs(&mut self, index: usize) -> Result<()> {
-        let t = self
-            .tcs
-            .get_mut(index)
-            .ok_or(SgxError::NoSuchTcs(index))?;
+        let t = self.tcs.get_mut(index).ok_or(SgxError::NoSuchTcs(index))?;
         if !t.busy {
             return Err(SgxError::NotEntered);
         }

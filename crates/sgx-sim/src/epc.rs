@@ -13,7 +13,7 @@ use crate::config::PagingConfig;
 use crate::crypto::{hmac_sha256, verify_tag, DIGEST_LEN};
 use crate::cycles::Cycles;
 use crate::error::{Result, SgxError};
-use crate::mem::{Addr, BumpAllocator, AddrRange, EPC_WINDOW, PAGE_SIZE, PRM_BASE};
+use crate::mem::{Addr, AddrRange, BumpAllocator, EPC_WINDOW, PAGE_SIZE, PRM_BASE};
 
 /// Outcome of touching an EPC page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

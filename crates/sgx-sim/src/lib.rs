@@ -54,8 +54,8 @@ pub mod enclave;
 pub mod epc;
 mod error;
 mod machine;
-pub mod mem;
 pub mod mee;
+pub mod mem;
 pub mod seal;
 pub mod tlb;
 

@@ -15,9 +15,9 @@ use crate::cycles::{Clock, Cycles};
 use crate::enclave::{Enclave, EnclaveId, EnclaveState, Measurement, PageType, Secs, Tcs};
 use crate::epc::{Epc, EpcStats};
 use crate::error::{Result, SgxError};
-use crate::mem::{Addr, AddrRange, AddressSpace, PAGE_SIZE, PRM_BASE};
 use crate::mee::{AccessPattern, Mee};
-use crate::seal::{self, SealedBlob, SealError, SealPolicy};
+use crate::mem::{Addr, AddrRange, AddressSpace, PAGE_SIZE, PRM_BASE};
+use crate::seal::{self, SealError, SealPolicy, SealedBlob};
 use crate::tlb::Tlb;
 
 /// Kind of memory access.
@@ -316,16 +316,17 @@ impl Machine {
             tlb_cost = Cycles::new(self.config.tlb_miss);
         }
         let served = self.caches.access_line(line);
-        let cost = tlb_cost + match served {
-            ServedBy::L1 | ServedBy::L2 | ServedBy::Llc => {
-                let latency = self
-                    .caches
-                    .hit_latency(served)
-                    .expect("hit levels have latencies");
-                Cycles::new(latency)
-            }
-            ServedBy::Memory => self.miss_cost(line_addr, line, kind)?,
-        };
+        let cost = tlb_cost
+            + match served {
+                ServedBy::L1 | ServedBy::L2 | ServedBy::Llc => {
+                    let latency = self
+                        .caches
+                        .hit_latency(served)
+                        .expect("hit levels have latencies");
+                    Cycles::new(latency)
+                }
+                ServedBy::Memory => self.miss_cost(line_addr, line, kind)?,
+            };
         if kind == AccessKind::Store {
             self.caches.mark_dirty(line);
         }
@@ -467,7 +468,10 @@ impl Machine {
         };
         // The heap is carved later by `build_enclave`; raw ecreate leaves the
         // whole span heap-addressable after its first page of entry code.
-        let heap = AddrRange::new(base.offset(2 * PAGE_SIZE), base.offset((pages + 1) * PAGE_SIZE));
+        let heap = AddrRange::new(
+            base.offset(2 * PAGE_SIZE),
+            base.offset((pages + 1) * PAGE_SIZE),
+        );
         let enclave = Enclave::new(id, secs, heap, base.offset(PAGE_SIZE));
         self.enclaves.insert(id.0, enclave);
         self.next_enclave += 1;
@@ -487,7 +491,10 @@ impl Machine {
         page_type: PageType,
         content: &[u8],
     ) -> Result<Addr> {
-        let enclave = self.enclaves.get_mut(&eid.0).ok_or(SgxError::NoSuchEnclave(eid.0))?;
+        let enclave = self
+            .enclaves
+            .get_mut(&eid.0)
+            .ok_or(SgxError::NoSuchEnclave(eid.0))?;
         enclave.record_eadd(page_offset * PAGE_SIZE, page_type)?;
         let chunks = content.chunks(256);
         let mut n_chunks = 0u64;
@@ -508,7 +515,10 @@ impl Machine {
     ///
     /// Fails if the enclave does not exist or is initialized.
     pub fn add_tcs(&mut self, eid: EnclaveId, tcs: Tcs) -> Result<usize> {
-        let enclave = self.enclaves.get_mut(&eid.0).ok_or(SgxError::NoSuchEnclave(eid.0))?;
+        let enclave = self
+            .enclaves
+            .get_mut(&eid.0)
+            .ok_or(SgxError::NoSuchEnclave(eid.0))?;
         if enclave.state != EnclaveState::Building {
             return Err(SgxError::InvalidState {
                 op: "EADD(TCS)",
@@ -594,7 +604,9 @@ impl Machine {
     ///
     /// Fails if the id is unknown.
     pub fn enclave(&self, eid: EnclaveId) -> Result<&Enclave> {
-        self.enclaves.get(&eid.0).ok_or(SgxError::NoSuchEnclave(eid.0))
+        self.enclaves
+            .get(&eid.0)
+            .ok_or(SgxError::NoSuchEnclave(eid.0))
     }
 
     /// Mutable access to an enclave.
@@ -603,7 +615,9 @@ impl Machine {
     ///
     /// Fails if the id is unknown.
     pub fn enclave_mut(&mut self, eid: EnclaveId) -> Result<&mut Enclave> {
-        self.enclaves.get_mut(&eid.0).ok_or(SgxError::NoSuchEnclave(eid.0))
+        self.enclaves
+            .get_mut(&eid.0)
+            .ok_or(SgxError::NoSuchEnclave(eid.0))
     }
 
     // ----- Entry / exit -------------------------------------------------------
@@ -1093,7 +1107,9 @@ mod tests {
                 tcs_count: 1,
             })
             .unwrap();
-        let heap = m.alloc_enclave_heap(eid, 70 * PAGE_SIZE, PAGE_SIZE).unwrap();
+        let heap = m
+            .alloc_enclave_heap(eid, 70 * PAGE_SIZE, PAGE_SIZE)
+            .unwrap();
         // Sweep the heap twice; the second sweep still page-faults.
         for _ in 0..2 {
             for p in 0..70 {

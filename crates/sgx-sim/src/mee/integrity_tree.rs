@@ -120,8 +120,20 @@ mod tests {
         let t = IntegrityTree::new(1 << 20, 8);
         let path: Vec<NodeId> = t.path(1000).collect();
         assert_eq!(path.len(), t.levels() as usize);
-        assert_eq!(path[0], NodeId { level: 0, index: 125 });
-        assert_eq!(path[1], NodeId { level: 1, index: 15 });
+        assert_eq!(
+            path[0],
+            NodeId {
+                level: 0,
+                index: 125
+            }
+        );
+        assert_eq!(
+            path[1],
+            NodeId {
+                level: 1,
+                index: 15
+            }
+        );
         // Indexes shrink monotonically going up.
         for w in path.windows(2) {
             assert!(w[1].index <= w[0].index);

@@ -130,10 +130,7 @@ mod tests {
         let second = m.load_cost(1, AccessPattern::Demand);
         // Line 1 shares the L0 node with line 0: walk terminates instantly.
         assert!(second < first);
-        assert_eq!(
-            second,
-            Cycles::new(SimConfig::default().mee.crypto_load)
-        );
+        assert_eq!(second, Cycles::new(SimConfig::default().mee.crypto_load));
     }
 
     #[test]

@@ -157,7 +157,13 @@ mod tests {
     #[test]
     fn roundtrip_mrenclave() {
         let master = [9u8; DIGEST_LEN];
-        let blob = seal(&master, &m(1), SealPolicy::MrEnclave, [7; 16], b"secret state");
+        let blob = seal(
+            &master,
+            &m(1),
+            SealPolicy::MrEnclave,
+            [7; 16],
+            b"secret state",
+        );
         assert_ne!(blob.ciphertext, b"secret state");
         let out = unseal(&master, &m(1), &blob).unwrap();
         assert_eq!(out, b"secret state");
@@ -180,7 +186,10 @@ mod tests {
     #[test]
     fn other_machine_cannot_unseal() {
         let blob = seal(&[1u8; 32], &m(1), SealPolicy::AnyEnclave, [7; 16], b"x");
-        assert_eq!(unseal(&[2u8; 32], &m(1), &blob), Err(SealError::MacMismatch));
+        assert_eq!(
+            unseal(&[2u8; 32], &m(1), &blob),
+            Err(SealError::MacMismatch)
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl Default for HttpLoadConfig {
 /// # Panics
 ///
 /// Panics if the server returns a non-200 response for a published page.
-pub fn run(env: &mut AppEnv, server: &mut Lighttpd, cfg: HttpLoadConfig) -> apps::Result<RunResult> {
+pub fn run(
+    env: &mut AppEnv,
+    server: &mut Lighttpd,
+    cfg: HttpLoadConfig,
+) -> apps::Result<RunResult> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for p in 0..cfg.pages {
         server.publish(env, &format!("/page/{p}.bin"), cfg.page_bytes)?;

@@ -134,7 +134,10 @@ mod tests {
         let h = bandwidth_mbps(&hot, pb);
         let z = bandwidth_mbps(&nrz, pb);
         assert!(n <= 935.0, "capped at the link: {n}");
-        assert!(n > 2.0 * s, "SDK port should lose >half the bandwidth: {n} vs {s}");
+        assert!(
+            n > 2.0 * s,
+            "SDK port should lose >half the bandwidth: {n} vs {s}"
+        );
         assert!(h > 1.7 * s, "HotCalls should recover >1.7x: {h} vs {s}");
         assert!(z >= h, "NRZ adds on top: {z} vs {h}");
     }

@@ -109,7 +109,11 @@ fn key_of(i: u64) -> Vec<u8> {
 ///
 /// Panics if the server returns a malformed response (the generator
 /// validates every reply, as memtier does).
-pub fn run(env: &mut AppEnv, server: &mut Memcached, cfg: MemtierConfig) -> apps::Result<RunResult> {
+pub fn run(
+    env: &mut AppEnv,
+    server: &mut Memcached,
+    cfg: MemtierConfig,
+) -> apps::Result<RunResult> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let value = vec![0xA5u8; cfg.value_bytes];
 
@@ -118,7 +122,9 @@ pub fn run(env: &mut AppEnv, server: &mut Memcached, cfg: MemtierConfig) -> apps
         let wire = protocol::encode_set(&key_of(i), &value, i as u32);
         let resp = server.serve(env, wire)?;
         assert_eq!(
-            protocol::parse_response(resp).expect("prefill response").status,
+            protocol::parse_response(resp)
+                .expect("prefill response")
+                .status,
             protocol::Status::Ok
         );
     }
@@ -144,7 +150,10 @@ pub fn run(env: &mut AppEnv, server: &mut Memcached, cfg: MemtierConfig) -> apps
             assert_eq!(parsed.value.len(), cfg.value_bytes);
         }
     }
-    assert!(hits * 10 >= gets * 9, "uniform GETs over a prefilled keyspace should hit");
+    assert!(
+        hits * 10 >= gets * 9,
+        "uniform GETs over a prefilled keyspace should hit"
+    );
 
     let elapsed = env.machine.now() - start;
     let elapsed_secs = elapsed.as_secs(env.machine.config().core_ghz);
@@ -194,9 +203,24 @@ mod tests {
         let sdk = run_mode(IfaceMode::Sdk, 600);
         let hot = run_mode(IfaceMode::HotCalls, 600);
         let nrz = run_mode(IfaceMode::HotCallsNrz, 600);
-        assert!(native.ops_per_sec > sdk.ops_per_sec * 2.0, "native {} sdk {}", native.ops_per_sec, sdk.ops_per_sec);
-        assert!(hot.ops_per_sec > sdk.ops_per_sec * 1.8, "hot {} sdk {}", hot.ops_per_sec, sdk.ops_per_sec);
-        assert!(nrz.ops_per_sec >= hot.ops_per_sec, "nrz {} hot {}", nrz.ops_per_sec, hot.ops_per_sec);
+        assert!(
+            native.ops_per_sec > sdk.ops_per_sec * 2.0,
+            "native {} sdk {}",
+            native.ops_per_sec,
+            sdk.ops_per_sec
+        );
+        assert!(
+            hot.ops_per_sec > sdk.ops_per_sec * 1.8,
+            "hot {} sdk {}",
+            hot.ops_per_sec,
+            sdk.ops_per_sec
+        );
+        assert!(
+            nrz.ops_per_sec >= hot.ops_per_sec,
+            "nrz {} hot {}",
+            nrz.ops_per_sec,
+            hot.ops_per_sec
+        );
         // Latency ordering is the inverse.
         assert!(sdk.latency_ms > hot.latency_ms && hot.latency_ms > native.latency_ms);
     }

@@ -112,7 +112,10 @@ mod tests {
         let sdk = rtt(IfaceMode::Sdk);
         let hot = rtt(IfaceMode::HotCalls);
         let nrz = rtt(IfaceMode::HotCallsNrz);
-        assert!(sdk > 2.0 * native, "SGX ping should be >2x native: {sdk} vs {native}");
+        assert!(
+            sdk > 2.0 * native,
+            "SGX ping should be >2x native: {sdk} vs {native}"
+        );
         assert!(hot < sdk * 0.6, "HotCalls cuts RTT by >40%: {hot} vs {sdk}");
         assert!(nrz <= hot, "NRZ at least matches: {nrz} vs {hot}");
         // Absolute regime: native flood-ping RTT ~1-2 ms in the paper.

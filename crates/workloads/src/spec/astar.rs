@@ -58,7 +58,13 @@ pub fn run(m: &mut Machine, region: Addr, cfg: AstarConfig) -> Result<KernelResu
     let score_base = (w * h) as u64 * CELL_BYTES;
     // Real terrain: per-cell traversal cost 1..=9, with some walls.
     let terrain: Vec<u8> = (0..w * h)
-        .map(|_| if rng.gen_bool(0.12) { u8::MAX } else { rng.gen_range(1..=9) })
+        .map(|_| {
+            if rng.gen_bool(0.12) {
+                u8::MAX
+            } else {
+                rng.gen_range(1..=9)
+            }
+        })
         .collect();
 
     let start_t = m.now();
@@ -84,9 +90,8 @@ pub fn run(m: &mut Machine, region: Addr, cfg: AstarConfig) -> Result<KernelResu
             if (x, y) == goal || expanded_this > (w * h) as u64 / 4 {
                 break;
             }
-            let heuristic = |cx: usize, cy: usize| {
-                (cx.abs_diff(goal.0) + cy.abs_diff(goal.1)) as u32
-            };
+            let heuristic =
+                |cx: usize, cy: usize| (cx.abs_diff(goal.0) + cy.abs_diff(goal.1)) as u32;
             let _ = f;
             for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
                 let nx = x as i64 + dx;

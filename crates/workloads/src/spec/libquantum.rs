@@ -61,7 +61,7 @@ pub fn run(m: &mut Machine, region: Addr, cfg: LibquantumConfig) -> Result<Kerne
                 }
             }
             m.charge(sgx_sim::Cycles::new(n)); // ~1 cycle/record of ALU work
-            // Stream the span back out.
+                                               // Stream the span back out.
             m.write(region.offset(offset), span)?;
             ops += n;
             offset += span;

@@ -74,10 +74,10 @@ pub fn run(m: &mut Machine, region: Addr, cfg: McfConfig) -> Result<KernelResult
         // Visit the node: read its 64 B of state.
         m.read(region.offset(current as u64 * NODE_BYTES), NODE_BYTES)?;
         m.charge(sgx_sim::Cycles::new(14)); // reduced-cost arithmetic
-        // Every 4th visit also prices a side arc's head node.
+                                            // Every 4th visit also prices a side arc's head node.
         if op % 4 == 0 {
-            let side = side_arcs[(current * (cfg.arcs_per_node - 1).max(1))
-                % side_arcs.len()] as u64;
+            let side =
+                side_arcs[(current * (cfg.arcs_per_node - 1).max(1)) % side_arcs.len()] as u64;
             m.read(region.offset(side * NODE_BYTES), 8)?;
             m.reset_stream_detector();
         }

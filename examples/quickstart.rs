@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Local attestation round trip.
     let report = machine.ereport(enclave, [7u8; REPORT_DATA_LEN])?;
-    println!("attestation report verifies: {}", machine.verify_report(&report));
+    println!(
+        "attestation report verifies: {}",
+        machine.verify_report(&report)
+    );
 
     // Declare the interface in EDL, exactly as with the real SDK.
     let edl = parse_edl(
@@ -40,8 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctx.enter_main(&mut machine)?;
     let msg = machine.alloc_enclave_heap(enclave, 64, 64)?;
     for _ in 0..3 {
-        ctx.ocall(&mut machine, "ocall_log", &[hotcalls_repro::sgx_sdk::BufArg::new(msg, 64)], |_, _, _| Ok(()))?;
-        hot.hot_ocall(&mut machine, &mut ctx, "ocall_log", &[hotcalls_repro::sgx_sdk::BufArg::new(msg, 64)], |_, _, _| Ok(()))?;
+        ctx.ocall(
+            &mut machine,
+            "ocall_log",
+            &[hotcalls_repro::sgx_sdk::BufArg::new(msg, 64)],
+            |_, _, _| Ok(()),
+        )?;
+        hot.hot_ocall(
+            &mut machine,
+            &mut ctx,
+            "ocall_log",
+            &[hotcalls_repro::sgx_sdk::BufArg::new(msg, 64)],
+            |_, _, _| Ok(()),
+        )?;
     }
 
     let start = machine.now();

@@ -6,9 +6,7 @@
 //! cargo run --example sealed_storage
 //! ```
 
-use hotcalls_repro::sgx_sim::{
-    EnclaveBuildOptions, Machine, SealPolicy, SimConfig,
-};
+use hotcalls_repro::sgx_sim::{EnclaveBuildOptions, Machine, SealPolicy, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(SimConfig::default());

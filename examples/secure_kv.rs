@@ -12,10 +12,18 @@ use hotcalls_repro::workloads::memtier;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("memcached under four interfaces (2 KB values, 1:1 SET:GET):\n");
-    println!("{:<14} {:>14} {:>12} {:>14}", "mode", "requests/s", "latency", "calls/request");
+    println!(
+        "{:<14} {:>14} {:>12} {:>14}",
+        "mode", "requests/s", "latency", "calls/request"
+    );
     let mut native_rps = 0.0;
     for mode in IfaceMode::ALL {
-        let mut env = AppEnv::new(SimConfig::default(), mode, &memcached::api_table(), 64 << 20)?;
+        let mut env = AppEnv::new(
+            SimConfig::default(),
+            mode,
+            &memcached::api_table(),
+            64 << 20,
+        )?;
         let mut server = Memcached::new(&mut env, 4_096, 2_048)?;
         let result = memtier::run(
             &mut env,

@@ -12,7 +12,10 @@ use hotcalls_repro::workloads::http_load;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("lighttpd serving 20 KB pages to 100 concurrent clients:\n");
-    println!("{:<14} {:>12} {:>12} {:>16}", "mode", "pages/s", "latency", "ocalls/request");
+    println!(
+        "{:<14} {:>12} {:>12} {:>16}",
+        "mode", "pages/s", "latency", "ocalls/request"
+    );
     for mode in IfaceMode::ALL {
         let mut env = AppEnv::new(SimConfig::default(), mode, &lighttpd::api_table(), 64 << 20)?;
         env.enter_main()?;
@@ -20,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = http_load::run(
             &mut env,
             &mut server,
-            http_load::HttpLoadConfig { fetches: 1_000, pages: 16, ..http_load::HttpLoadConfig::default() },
+            http_load::HttpLoadConfig {
+                fetches: 1_000,
+                pages: 16,
+                ..http_load::HttpLoadConfig::default()
+            },
         )?;
         println!(
             "{:<14} {:>12.0} {:>10.2}ms {:>16.1}",

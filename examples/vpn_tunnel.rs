@@ -15,13 +15,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let secret = [0x42u8; 32];
 
     // Show the tunnel actually tunnels.
-    let mut env = AppEnv::new(SimConfig::default(), IfaceMode::Native, &openvpn::api_table(), 1 << 20)?;
+    let mut env = AppEnv::new(
+        SimConfig::default(),
+        IfaceMode::Native,
+        &openvpn::api_table(),
+        1 << 20,
+    )?;
     let mut a = OpenVpn::new(&mut env, &secret)?;
     let mut b = OpenVpn::new(&mut env, &secret)?;
     let wire = a.seal(b"the keys never leave the enclave");
-    println!("wire packet ({} bytes) decrypts to: {:?}\n",
+    println!(
+        "wire packet ({} bytes) decrypts to: {:?}\n",
         wire.len(),
-        core::str::from_utf8(&b.open(&wire)?).unwrap());
+        core::str::from_utf8(&b.open(&wire)?).unwrap()
+    );
 
     println!("{:<14} {:>12} {:>12}", "mode", "Mbit/s", "ping RTT");
     for mode in IfaceMode::ALL {
@@ -35,18 +42,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             1 << 20,
         )?;
         let mut peer = OpenVpn::new(&mut peer_env, &secret)?;
-        let cfg = iperf::IperfConfig { packets: 1_000, ..iperf::IperfConfig::default() };
+        let cfg = iperf::IperfConfig {
+            packets: 1_000,
+            ..iperf::IperfConfig::default()
+        };
         let run = iperf::run(&mut env, &mut endpoint, &mut peer, cfg)?;
         let mbps = iperf::bandwidth_mbps(&run, cfg.payload_bytes);
 
-        let mut env2 = AppEnv::new(SimConfig::builder().seed(9).build(), mode, &openvpn::api_table(), 16 << 20)?;
+        let mut env2 = AppEnv::new(
+            SimConfig::builder().seed(9).build(),
+            mode,
+            &openvpn::api_table(),
+            16 << 20,
+        )?;
         env2.enter_main()?;
         let mut endpoint2 = OpenVpn::new(&mut env2, &secret)?;
         let mut peer2 = OpenVpn::new(&mut peer_env, &secret)?;
-        let rtt = ping::run(&mut env2, &mut endpoint2, &mut peer2,
-            ping::PingConfig { count: 500, ..ping::PingConfig::default() })?;
+        let rtt = ping::run(
+            &mut env2,
+            &mut endpoint2,
+            &mut peer2,
+            ping::PingConfig {
+                count: 500,
+                ..ping::PingConfig::default()
+            },
+        )?;
 
-        println!("{:<14} {:>12.0} {:>10.2}ms", mode.label(), mbps, rtt.latency_ms);
+        println!(
+            "{:<14} {:>12.0} {:>10.2}ms",
+            mode.label(),
+            mbps,
+            rtt.latency_ms
+        );
     }
     println!("\n(paper: native 866 -> SGX 309 -> HotCalls 694 -> +NRZ 823 Mbit/s)");
     Ok(())

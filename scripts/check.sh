@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, and the tier-1 build + tests.
+# Run from anywhere; everything executes at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets --workspace -- -D warnings"
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> all checks passed"

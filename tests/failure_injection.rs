@@ -8,9 +8,7 @@ use hotcalls_repro::hotcalls::sim::SimHotCalls;
 use hotcalls_repro::hotcalls::{HotCallConfig, HotCallError};
 use hotcalls_repro::sgx_sdk::edl::parse_edl;
 use hotcalls_repro::sgx_sdk::{BufArg, EnclaveCtx, MarshalOptions, SdkError};
-use hotcalls_repro::sgx_sim::{
-    EnclaveBuildOptions, Machine, NoiseConfig, SimConfig, SgxError,
-};
+use hotcalls_repro::sgx_sim::{EnclaveBuildOptions, Machine, NoiseConfig, SgxError, SimConfig};
 
 #[test]
 fn aex_storm_is_detected_and_discardable() {
@@ -28,11 +26,12 @@ fn aex_storm_is_detected_and_discardable() {
     );
     let mut contaminated = 0;
     for _ in 0..200 {
-        let r = m.measure(|m| {
-            m.charge(hotcalls_repro::sgx_sim::Cycles::new(100));
-            Ok(())
-        })
-        .unwrap();
+        let r = m
+            .measure(|m| {
+                m.charge(hotcalls_repro::sgx_sim::Cycles::new(100));
+                Ok(())
+            })
+            .unwrap();
         if r.aex {
             contaminated += 1;
             assert!(r.cycles.get() > 9_000, "AEX penalty must show up");
@@ -105,7 +104,7 @@ fn rt_timeout_under_long_handler_then_recovers() {
         HotCallConfig {
             timeout_retries: 2,
             spins_per_retry: 4,
-            idle_polls_before_sleep: None,
+            ..HotCallConfig::default()
         },
     );
     let r1 = server.requester();

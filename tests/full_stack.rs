@@ -7,9 +7,7 @@ use hotcalls_repro::hotcalls::sim::SimHotCalls;
 use hotcalls_repro::hotcalls::HotCallConfig;
 use hotcalls_repro::sgx_sdk::edl::parse_edl;
 use hotcalls_repro::sgx_sdk::{BufArg, EnclaveCtx, MarshalOptions};
-use hotcalls_repro::sgx_sim::{
-    EnclaveBuildOptions, Machine, SimConfig, REPORT_DATA_LEN,
-};
+use hotcalls_repro::sgx_sim::{EnclaveBuildOptions, Machine, SimConfig, REPORT_DATA_LEN};
 
 #[test]
 fn lifecycle_attestation_calls_hotcalls_end_to_end() {
@@ -47,20 +45,34 @@ fn lifecycle_attestation_calls_hotcalls_end_to_end() {
     let mut hot = SimHotCalls::new(&mut m, &ctx, HotCallConfig::default()).unwrap();
 
     let untrusted = m.alloc_untrusted(1024, 64);
-    ctx.ecall(&mut m, "ecall_touch", &[BufArg::new(untrusted, 1024)], |ctx, m, args| {
-        // Trusted body sees the staged secure copy, reads it, and emits a
-        // result through an ocall.
-        m.read(args.bufs[0], 1024)?;
-        let secure_src = args.bufs[0];
-        ctx.ocall(m, "ocall_emit", &[BufArg::new(secure_src, 128)], |_, _, _| Ok(()))
-    })
+    ctx.ecall(
+        &mut m,
+        "ecall_touch",
+        &[BufArg::new(untrusted, 1024)],
+        |ctx, m, args| {
+            // Trusted body sees the staged secure copy, reads it, and emits a
+            // result through an ocall.
+            m.read(args.bufs[0], 1024)?;
+            let secure_src = args.bufs[0];
+            ctx.ocall(
+                m,
+                "ocall_emit",
+                &[BufArg::new(secure_src, 128)],
+                |_, _, _| Ok(()),
+            )
+        },
+    )
     .unwrap();
 
     let secure = m.alloc_enclave_heap(eid, 256, 64).unwrap();
     ctx.enter_main(&mut m).unwrap();
-    hot.hot_ocall(&mut m, &mut ctx, "ocall_emit", &[BufArg::new(secure, 256)], |_, _, _| {
-        Ok(())
-    })
+    hot.hot_ocall(
+        &mut m,
+        &mut ctx,
+        "ocall_emit",
+        &[BufArg::new(secure, 256)],
+        |_, _, _| Ok(()),
+    )
     .unwrap();
     ctx.leave_main(&mut m).unwrap();
 
@@ -79,12 +91,14 @@ fn hotcalls_speedup_is_paper_magnitude_in_sim() {
 
     // Warm both paths.
     for _ in 0..5 {
-        ctx.ocall(&mut m, "ocall_nop", &[], |_, _, _| Ok(())).unwrap();
+        ctx.ocall(&mut m, "ocall_nop", &[], |_, _, _| Ok(()))
+            .unwrap();
         hot.hot_ocall(&mut m, &mut ctx, "ocall_nop", &[], |_, _, _| Ok(()))
             .unwrap();
     }
     let t0 = m.now();
-    ctx.ocall(&mut m, "ocall_nop", &[], |_, _, _| Ok(())).unwrap();
+    ctx.ocall(&mut m, "ocall_nop", &[], |_, _, _| Ok(()))
+        .unwrap();
     let sdk = (m.now() - t0).get();
     let t0 = m.now();
     hot.hot_ocall(&mut m, &mut ctx, "ocall_nop", &[], |_, _, _| Ok(()))
@@ -147,8 +161,16 @@ fn cold_cache_ratio_holds_at_the_call_level() {
     let cold = (m.now() - t0).get();
 
     let syscall = 150.0;
-    assert!((40.0..75.0).contains(&(warm as f64 / syscall)), "warm/syscall {}", warm as f64 / syscall);
-    assert!((75.0..125.0).contains(&(cold as f64 / syscall)), "cold/syscall {}", cold as f64 / syscall);
+    assert!(
+        (40.0..75.0).contains(&(warm as f64 / syscall)),
+        "warm/syscall {}",
+        warm as f64 / syscall
+    );
+    assert!(
+        (75.0..125.0).contains(&(cold as f64 / syscall)),
+        "cold/syscall {}",
+        cold as f64 / syscall
+    );
 }
 
 #[test]
@@ -170,7 +192,9 @@ fn epc_tamper_detection_reaches_the_app_level() {
             tcs_count: 1,
         })
         .unwrap();
-    let heap = m.alloc_enclave_heap(eid, 70 * PAGE_SIZE, PAGE_SIZE).unwrap();
+    let heap = m
+        .alloc_enclave_heap(eid, 70 * PAGE_SIZE, PAGE_SIZE)
+        .unwrap();
     // Thrash so pages cycle through EWB/ELDU, proving integrity protection
     // engages (statistics, not silent).
     for _ in 0..2 {

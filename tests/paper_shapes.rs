@@ -137,21 +137,41 @@ fn ocall_in_beats_ecall_out_for_returning_data() {
     let inside = m.alloc_enclave_heap(eid, 2048, 64).unwrap();
 
     // Warm both paths.
-    ctx.ecall(&mut m, "ecall_fetch", &[BufArg::new(outside, 2048)], |_, _, _| Ok(()))
-        .unwrap();
+    ctx.ecall(
+        &mut m,
+        "ecall_fetch",
+        &[BufArg::new(outside, 2048)],
+        |_, _, _| Ok(()),
+    )
+    .unwrap();
     ctx.enter_main(&mut m).unwrap();
-    ctx.ocall(&mut m, "ocall_deliver", &[BufArg::new(inside, 2048)], |_, _, _| Ok(()))
-        .unwrap();
+    ctx.ocall(
+        &mut m,
+        "ocall_deliver",
+        &[BufArg::new(inside, 2048)],
+        |_, _, _| Ok(()),
+    )
+    .unwrap();
 
     let t0 = m.now();
-    ctx.ocall(&mut m, "ocall_deliver", &[BufArg::new(inside, 2048)], |_, _, _| Ok(()))
-        .unwrap();
+    ctx.ocall(
+        &mut m,
+        "ocall_deliver",
+        &[BufArg::new(inside, 2048)],
+        |_, _, _| Ok(()),
+    )
+    .unwrap();
     let via_ocall = (m.now() - t0).get();
     ctx.leave_main(&mut m).unwrap();
 
     let t0 = m.now();
-    ctx.ecall(&mut m, "ecall_fetch", &[BufArg::new(outside, 2048)], |_, _, _| Ok(()))
-        .unwrap();
+    ctx.ecall(
+        &mut m,
+        "ecall_fetch",
+        &[BufArg::new(outside, 2048)],
+        |_, _, _| Ok(()),
+    )
+    .unwrap();
     let via_ecall = (m.now() - t0).get();
 
     assert!(

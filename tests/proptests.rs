@@ -6,8 +6,8 @@ use hotcalls_repro::apps::memcached::protocol;
 use hotcalls_repro::apps::openvpn::{chacha20_xor, KEY_LEN, NONCE_LEN};
 use hotcalls_repro::sgx_sim::cache::SetAssocCache;
 use hotcalls_repro::sgx_sim::crypto::{hmac_sha256, Sha256};
-use hotcalls_repro::sgx_sim::CacheGeometry;
 use hotcalls_repro::sgx_sim::tlb::Tlb;
+use hotcalls_repro::sgx_sim::CacheGeometry;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

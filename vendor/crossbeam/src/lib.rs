@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` crate: scoped threads only,
+//! implemented over `std::thread::scope` (the std API that replaced the
+//! pattern crossbeam pioneered). The subset mirrors
+//! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); }).unwrap()`.
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// Handle for spawning threads tied to the scope's lifetime.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam's signature), which it may use for nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reborrow = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&reborrow)),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. `Err` carries the first panic payload, as in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

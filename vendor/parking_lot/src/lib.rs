@@ -1,0 +1,177 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors the *API subset it actually uses* — `Mutex`
+//! (guard-returning `lock()`, no poisoning) and `Condvar`
+//! (`wait(&mut MutexGuard)`) — implemented over `std::sync`. Poison errors
+//! are swallowed exactly the way `parking_lot` avoids them by design: a
+//! panicking holder does not wedge later lockers.
+
+use std::sync;
+
+/// A mutual-exclusion primitive: `parking_lot::Mutex`'s guard-returning,
+/// non-poisoning `lock()` over `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> core::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> core::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable compatible with [`Mutex`]/[`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks the current thread until notified. The guard is atomically
+    /// released while waiting and re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY-free std dance: we need to move the inner guard out to
+        // pass it by value, then put the re-acquired guard back. `Option`
+        // is avoided by using `std::mem::replace` with an unreachable
+        // placeholder — instead we use the raw std API directly via a
+        // small unsafe-free trick: `wait` consumes and returns the guard.
+        replace_with(&mut guard.inner, |g| match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        true
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+/// Replaces `*slot` with `f(old)`, aborting the process if `f` panics
+/// (there is no way to restore a `MutexGuard` after a panic mid-wait).
+fn replace_with<T>(slot: &mut T, f: impl FnOnce(T) -> T) {
+    struct AbortOnPanic;
+    impl Drop for AbortOnPanic {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    let bomb = AbortOnPanic;
+    // SAFETY: `slot` is valid for reads and writes; the value read is
+    // passed to `f` and the result written back before anyone can observe
+    // the hole. If `f` unwinds, the bomb aborts before the duplicated
+    // value could be dropped twice.
+    unsafe {
+        let old = core::ptr::read(slot);
+        let new = f(old);
+        core::ptr::write(slot, new);
+    }
+    core::mem::forget(bomb);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            *p2.0.lock() = true;
+            p2.1.notify_one();
+        });
+        let mut flag = pair.0.lock();
+        while !*flag {
+            pair.1.wait(&mut flag);
+        }
+        drop(flag);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and result
+//! types but never actually serializes them (report output is hand-
+//! formatted). This stub provides the two traits as blanket-implemented
+//! markers and re-exports inert derive macros, so `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` attributes compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

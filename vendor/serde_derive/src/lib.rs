@@ -1,0 +1,21 @@
+//! Inert derive macros for the offline `serde` stand-in.
+//!
+//! Both derives expand to nothing: the stand-in's `Serialize`/`Deserialize`
+//! traits are blanket-implemented, so the derive only needs to accept the
+//! `#[serde(...)]` helper attribute and produce no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attrs); expands to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attrs); expands to
+/// nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
