@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use hotcalls::rt::{CallTable, RingRequester, RingServer};
+use hotcalls::rt::{ArenaStats, ByteCallTable, ByteCaller, ByteRing};
 use hotcalls::sim::SimHotCalls;
 use hotcalls::{HotCallConfig, HotCallStats};
 use sgx_sdk::edger8r::{edger8r, Proxies};
@@ -38,50 +38,86 @@ const RT_IDLE_POLLS_BEFORE_SLEEP: u64 = 256;
 /// The real switchless transport carried alongside the cycle model in the
 /// HotCalls modes: a pooled, batched-drain submission ring whose responder
 /// threads play the untrusted "On Call" side. The simulator still charges
-/// the paper's cycle costs; this pool moves each call's control transfer
-/// (and its byte count as the marshalled payload stand-in) for real, so
-/// every application API call exercises the production data plane.
+/// the paper's cycle costs; this pool moves each call's marshalled payload
+/// for real through arena-backed buffers — callee-bound bytes ride in the
+/// request, the "OS" writes caller-bound bytes into the same buffer in
+/// place, and the buffer recycles into the caller's slab arena (inline in
+/// the slot when it fits a cache line), so every application API call
+/// exercises the production zero-copy data plane.
 #[derive(Debug)]
 struct RtPool {
-    server: RingServer<u64, u64>,
-    requester: RingRequester<u64, u64>,
+    server: ByteRing,
+    caller: ByteCaller,
     ids: BTreeMap<&'static str, u32>,
     /// Fallback id for calls outside the declared API table (and the
     /// `RunEnclaveFunction` ecall shell).
     run_fn: u32,
+    /// Reusable staging for the request payload: 8-byte response-length
+    /// header followed by the callee-bound bytes. Grows to the largest
+    /// request ever sent and is never shrunk or re-zeroed.
+    tx_scratch: Vec<u8>,
+}
+
+/// The untrusted responder's "OS body", shared by every API id: consume
+/// the callee-bound payload, then write the number of caller-bound bytes
+/// the 8-byte request header asked for — `read`/`recvfrom` semantics, the
+/// full-buffer write that makes NRZ's elided zeroing safe.
+fn os_responder(req_len: usize, buf: &mut [u8]) -> usize {
+    let want = if req_len >= 8 {
+        u64::from_le_bytes(buf[..8].try_into().expect("8-byte header")) as usize
+    } else {
+        0
+    };
+    let want = want.min(buf.len());
+    buf[..want].fill(0x42);
+    want
 }
 
 impl RtPool {
     fn new(apis: &[ApiDecl]) -> Result<Self> {
-        let mut table: CallTable<u64, u64> = CallTable::new();
+        let mut table = ByteCallTable::new();
         let mut ids = BTreeMap::new();
         for api in apis {
-            // The untrusted proxy "performs" the OS call: acknowledge the
-            // byte count it would have moved.
-            ids.insert(api.name, table.register(|len| len));
+            ids.insert(api.name, table.register(os_responder));
         }
-        let run_fn = table.register(|len| len);
+        let run_fn = table.register(os_responder);
         let config = HotCallConfig {
             idle_polls_before_sleep: Some(RT_IDLE_POLLS_BEFORE_SLEEP),
             ..HotCallConfig::patient()
         };
-        let server = RingServer::spawn_pool(table, RT_RING_CAPACITY, RT_POOL_RESPONDERS, config)?;
-        let requester = server.requester();
+        let server = ByteRing::spawn_pool(table, RT_RING_CAPACITY, RT_POOL_RESPONDERS, config)?;
+        let caller = server.caller();
         Ok(RtPool {
             server,
-            requester,
+            caller,
             ids,
             run_fn,
+            tx_scratch: Vec::new(),
         })
     }
 
-    fn call(&self, name: &str, bytes: u64) -> Result<u64> {
+    /// Carries one call: `in_bytes` travel to the responder, `out_bytes`
+    /// come back (written by the responder into the same buffer). Returns
+    /// the caller-bound byte count actually produced.
+    fn call(&mut self, name: &str, in_bytes: u64, out_bytes: u64) -> Result<u64> {
         let id = self.ids.get(name).copied().unwrap_or(self.run_fn);
-        Ok(self.requester.call(id, bytes)?)
+        let req_len = 8 + in_bytes as usize;
+        if self.tx_scratch.len() < req_len {
+            self.tx_scratch.resize(req_len, 0);
+        }
+        self.tx_scratch[..8].copy_from_slice(&out_bytes.to_le_bytes());
+        let n = self
+            .caller
+            .call(id, &self.tx_scratch[..req_len], out_bytes as usize)?;
+        Ok(n as u64)
     }
 
     fn stats(&self) -> HotCallStats {
         self.server.stats()
+    }
+
+    fn arena_stats(&self) -> ArenaStats {
+        self.caller.arena_stats()
     }
 }
 
@@ -313,11 +349,27 @@ impl AppEnv {
                 Ok(())
             }
             IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
-                // The real data plane: submit the call into the pooled
-                // ring and wait for an "On Call" responder to answer.
-                let moved: u64 = bufs.iter().map(|b| b.len).sum();
-                let rt = self.rt.as_ref().expect("hot mode has rt pool");
-                rt.call(name, moved)?;
+                // The real data plane: stage the callee-bound bytes into an
+                // arena-backed buffer, submit it into the pooled ring, and
+                // let an "On Call" responder write the caller-bound bytes
+                // back into the same buffer.
+                let plan = self.proxies.ocall(name)?;
+                let mut in_bytes = 0u64;
+                let mut out_bytes = 0u64;
+                for (step, arg) in plan.steps.iter().zip(bufs.iter()) {
+                    match step.direction {
+                        Direction::In => in_bytes += arg.len,
+                        Direction::Out => out_bytes += arg.len,
+                        Direction::InOut => {
+                            in_bytes += arg.len;
+                            out_bytes += arg.len;
+                        }
+                        Direction::UserCheck => {}
+                    }
+                }
+                let rt = self.rt.as_mut().expect("hot mode has rt pool");
+                let produced = rt.call(name, in_bytes, out_bytes)?;
+                debug_assert_eq!(produced, out_bytes, "responder fills the out request");
                 // The cycle model: charge the paper's HotCall cost.
                 let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
                 let hot = self.hot.as_mut().expect("hot mode has channel");
@@ -364,9 +416,10 @@ impl AppEnv {
                 r
             }
             IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
-                // The real data plane carries the ecall shell...
-                let rt = self.rt.as_ref().expect("hot mode has rt pool");
-                rt.call("RunEnclaveFunction", 8)?;
+                // The real data plane carries the ecall shell (the 8-byte
+                // routine pointer rides inline in the slot)...
+                let rt = self.rt.as_mut().expect("hot mode has rt pool");
+                rt.call("RunEnclaveFunction", 8, 0)?;
                 let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
                 let hot = self.hot.as_mut().expect("hot mode has channel");
                 // ...the hot-ecall transport shell (the user_check
@@ -417,6 +470,13 @@ impl AppEnv {
     /// that have no switchless channel.
     pub fn rt_stats(&self) -> Option<HotCallStats> {
         self.rt.as_ref().map(RtPool::stats)
+    }
+
+    /// Buffer-arena counters of the real transport (HotCalls modes only):
+    /// inline hits, slab recycles, fresh allocations. `None` for modes
+    /// that have no switchless channel.
+    pub fn arena_stats(&self) -> Option<ArenaStats> {
+        self.rt.as_ref().map(RtPool::arena_stats)
     }
 
     /// Cycles spent inside the call interface so far (enclave modes only;
@@ -521,6 +581,25 @@ mod tests {
         // Modes without a switchless channel have no pool.
         assert!(env(IfaceMode::Native).rt_stats().is_none());
         assert!(env(IfaceMode::Sdk).rt_stats().is_none());
+    }
+
+    #[test]
+    fn rt_payloads_ride_the_arena() {
+        let mut hot = env(IfaceMode::HotCallsNrz);
+        let data = hot.alloc_data(4096).unwrap();
+        hot.enter_main().unwrap();
+        // No buffers: the 8-byte header rides inline in the slot.
+        hot.api_call("getpid", &[]).unwrap();
+        // 2 KiB `out` reads: one cold slab alloc, then steady-state reuse.
+        for _ in 0..10 {
+            hot.api_call("read", &[BufArg::new(data, 2048)]).unwrap();
+        }
+        let arena = hot.arena_stats().expect("hot mode has an arena");
+        assert!(arena.inline_hits >= 1, "{arena:?}");
+        assert_eq!(arena.allocs, 1, "{arena:?}");
+        assert_eq!(arena.recycles, 9, "{arena:?}");
+        assert!(env(IfaceMode::Sdk).arena_stats().is_none());
+        assert!(env(IfaceMode::Native).arena_stats().is_none());
     }
 
     #[test]

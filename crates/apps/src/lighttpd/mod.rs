@@ -239,6 +239,24 @@ mod tests {
     }
 
     #[test]
+    fn hot_mode_serves_files_through_the_arena() {
+        let mut e = env(IfaceMode::HotCallsNrz);
+        e.enter_main().unwrap();
+        let mut www = Lighttpd::new(&mut e).unwrap();
+        www.publish(&mut e, "/a.bin", 8 * 1024).unwrap();
+        for _ in 0..5 {
+            let (head, body) = www.serve(&mut e, &http::get_request("/a.bin")).unwrap();
+            assert!(core::str::from_utf8(&head).unwrap().contains("200 OK"));
+            assert_eq!(body.len(), 8 * 1024);
+        }
+        let arena = e.arena_stats().expect("hot mode has an arena");
+        // Request reads recycle a slab; `inet_ntop` (46 bytes) and the
+        // header `writev`s fit a cache line and never touch the heap.
+        assert!(arena.inline_hits > 0, "{arena:?}");
+        assert!(arena.recycles > arena.allocs, "{arena:?}");
+    }
+
+    #[test]
     fn missing_file_is_404() {
         let mut e = env(IfaceMode::Native);
         e.enter_main().unwrap();

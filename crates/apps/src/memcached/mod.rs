@@ -259,6 +259,24 @@ mod tests {
     }
 
     #[test]
+    fn hot_mode_serves_requests_through_the_arena() {
+        let mut e = env(IfaceMode::HotCallsNrz);
+        let mut mc = Memcached::new(&mut e, 64, 2048).unwrap();
+        for i in 0..6u32 {
+            mc.serve(&mut e, protocol::encode_set(b"k", &[1; 512], i))
+                .unwrap();
+        }
+        let arena = e.arena_stats().expect("hot mode has an arena");
+        // Each request's `read` pulls a full RX_BUF_LEN out-buffer: one
+        // cold slab alloc, then steady-state recycling. The
+        // RunEnclaveFunction shell and the small set-response `sendmsg`
+        // ride inline in the slot.
+        assert_eq!(arena.allocs, 1, "{arena:?}");
+        assert_eq!(arena.recycles, 5, "{arena:?}");
+        assert!(arena.inline_hits >= 12, "{arena:?}");
+    }
+
+    #[test]
     fn sdk_mode_is_much_slower_per_request_than_native() {
         let per_request = |mode| {
             let mut e = env(mode);

@@ -24,13 +24,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use bench::rt_baseline::MutexMailbox;
-use hotcalls::rt::{CallTable, HotCallServer, RingServer};
+use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, HotCallServer, RingServer};
 use hotcalls::HotCallConfig;
 
 const RING_CAPACITY: usize = 64;
 const MEASURE: Duration = Duration::from_millis(250);
 const IO_HANDLER_SLEEP: Duration = Duration::from_micros(200);
 const MAILBOX_CALLS: u64 = 50_000;
+const ARENA_CALLS: u64 = 50_000;
+const ARENA_PAYLOADS: [usize; 4] = [16, 64, 256, 4096];
 
 fn spin_config() -> HotCallConfig {
     HotCallConfig {
@@ -90,6 +92,46 @@ struct Cell {
     calls: u64,
     secs: f64,
     calls_per_sec: f64,
+}
+
+struct ArenaCell {
+    payload: usize,
+    ns_per_call: f64,
+    inline_hit_rate: f64,
+    recycle_rate: f64,
+    allocs_per_op: f64,
+}
+
+/// Runs the byte-payload hot path at one payload size: the handler
+/// reverses the bytes in place, the buffer cycles through the caller's
+/// arena, and the arena counters say how the payload traveled (inline in
+/// the slot vs recycled slab vs fresh allocation).
+fn arena_cell(payload: usize) -> ArenaCell {
+    let mut table = ByteCallTable::new();
+    let id = table.register(|n, buf| {
+        buf[..n].reverse();
+        n
+    });
+    let ring = ByteRing::spawn_pool(table, RING_CAPACITY, 1, spin_config()).expect("valid shape");
+    let mut caller = ring.caller();
+    let data = vec![0x5Au8; payload];
+    for _ in 0..1_000 {
+        caller.call(id, &data, 0).unwrap();
+    }
+    let start = Instant::now();
+    for _ in 0..ARENA_CALLS {
+        caller.call(id, &data, 0).unwrap();
+    }
+    let ns_per_call = start.elapsed().as_nanos() as f64 / ARENA_CALLS as f64;
+    let stats = caller.arena_stats();
+    ring.shutdown();
+    ArenaCell {
+        payload,
+        ns_per_call,
+        inline_hit_rate: stats.inline_hit_rate(),
+        recycle_rate: stats.recycle_rate(),
+        allocs_per_op: stats.allocs_per_op(),
+    }
 }
 
 /// Runs one matrix cell: R requester threads hammer the pool until the
@@ -177,7 +219,27 @@ fn main() {
         println!();
     }
 
-    let json = render_json(baseline_ns, lockfree_ns, &cells);
+    println!("byte-payload arena ({ARENA_CALLS} calls per size):");
+    println!(
+        "  {:>8} | {:>10} {:>12} {:>12} {:>10}",
+        "payload", "ns/call", "inline hits", "recycles", "allocs/op"
+    );
+    let mut arena = Vec::new();
+    for payload in ARENA_PAYLOADS {
+        let cell = arena_cell(payload);
+        println!(
+            "  {:>8} | {:>10.1} {:>11.1}% {:>11.1}% {:>10.5}",
+            cell.payload,
+            cell.ns_per_call,
+            100.0 * cell.inline_hit_rate,
+            100.0 * cell.recycle_rate,
+            cell.allocs_per_op
+        );
+        arena.push(cell);
+    }
+    println!();
+
+    let json = render_json(baseline_ns, lockfree_ns, &cells, &arena);
     std::fs::write(&out_path, &json).expect("write BENCH_rt.json");
     println!("wrote {out_path}");
 }
@@ -190,7 +252,7 @@ fn host_threads() -> usize {
 
 /// Hand-rolled JSON: every value is a number or a plain ASCII keyword, so
 /// no escaping (or serde) is needed.
-fn render_json(baseline_ns: f64, lockfree_ns: f64, cells: &[Cell]) -> String {
+fn render_json(baseline_ns: f64, lockfree_ns: f64, cells: &[Cell], arena: &[ArenaCell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"host_threads\": {},", host_threads());
@@ -213,6 +275,17 @@ fn render_json(baseline_ns: f64, lockfree_ns: f64, cells: &[Cell]) -> String {
             "    {{\"workload\": \"{}\", \"requesters\": {}, \"responders\": {}, \
              \"calls\": {}, \"secs\": {:.4}, \"calls_per_sec\": {:.1}}}{}",
             c.workload, c.requesters, c.responders, c.calls, c.secs, c.calls_per_sec, comma
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"arena\": [\n");
+    for (i, c) in arena.iter().enumerate() {
+        let comma = if i + 1 == arena.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"payload_bytes\": {}, \"ns_per_call\": {:.1}, \"inline_hit_rate\": {:.4}, \
+             \"recycle_rate\": {:.4}, \"allocs_per_op\": {:.5}}}{}",
+            c.payload, c.ns_per_call, c.inline_hit_rate, c.recycle_rate, c.allocs_per_op, comma
         );
     }
     s.push_str("  ]\n}\n");

@@ -1,0 +1,428 @@
+//! Reusable payload buffers for the byte-carrying hot path.
+//!
+//! PR 1 made the transport lock-free, but every byte-carrying call still
+//! boxed a fresh payload — the allocator, not the mailbox, became the hot
+//! path. This module is the runtime's analog of the paper's
+//! No-Redundant-Zeroing marshalling: buffer *management* work that is
+//! security-irrelevant gets taken off the per-call path.
+//!
+//! * **Inline fast path** — payloads at or below [`INLINE_CAPACITY`] (one
+//!   cache line, matching the slot layout in [`super::slot`]) are stored
+//!   directly in the message and move through the ring with **zero heap
+//!   traffic**.
+//! * **Slab recycling** — larger payloads draw from per-size-class free
+//!   lists of previously used boxes. Recycled slabs are deliberately *not*
+//!   zeroed: like an NRZ `out` staging buffer, a slab is only handed to a
+//!   handler that overwrites the bytes it reports back, so scrubbing it
+//!   would be redundant work.
+//! * **Generation-tagged handles** — every slab box carries a
+//!   [`SlabHandle`] minted by its arena; recycling validates the tag, so a
+//!   buffer from a different (or dead) arena is dropped and counted
+//!   instead of poisoning a free list.
+//!
+//! The arena is deliberately single-owner (one per requester): buffers
+//! travel *by value* through the ring and come back with the response, so
+//! no lock or atomic is needed on the alloc/recycle path.
+
+/// Payloads at or below this many bytes ride inline in the message — one
+/// cache line, the same granularity the slot state machine pads to.
+pub const INLINE_CAPACITY: usize = 64;
+
+/// Smallest slab size class (bytes). Anything below rides inline, so
+/// classes start just above the cache line.
+const MIN_SLAB_BYTES: usize = 128;
+
+/// Counters describing an arena's buffer traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Fresh heap allocations (a size class's free list was empty).
+    pub allocs: u64,
+    /// Buffers served by reusing a recycled slab (no heap traffic).
+    pub recycles: u64,
+    /// Payloads that fit the inline fast path (no slab at all).
+    pub inline_hits: u64,
+    /// Recycle attempts whose generation tag did not match this arena —
+    /// the buffer was dropped instead of entering a free list.
+    pub stale_recycles: u64,
+}
+
+impl ArenaStats {
+    /// Buffers handed out in total.
+    pub fn acquires(&self) -> u64 {
+        self.allocs + self.recycles + self.inline_hits
+    }
+
+    /// Fraction of acquires served inline (0 when idle).
+    pub fn inline_hit_rate(&self) -> f64 {
+        ratio(self.inline_hits, self.acquires())
+    }
+
+    /// Fraction of *slab* acquires served from the free lists.
+    pub fn recycle_rate(&self) -> f64 {
+        ratio(self.recycles, self.allocs + self.recycles)
+    }
+
+    /// Fresh heap allocations per acquire — the number the inline path and
+    /// the free lists drive toward zero.
+    pub fn allocs_per_op(&self) -> f64 {
+        ratio(self.allocs, self.acquires())
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Proof that a slab box was minted by a particular arena: its slot in the
+/// arena's generation table plus the generation it was issued under. The
+/// tag is validated (and the generation bumped) on recycle, so a stale or
+/// foreign handle can never land a buffer in a free list it doesn't belong
+/// to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabHandle {
+    index: u32,
+    generation: u32,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Inline {
+        len: u8,
+        bytes: [u8; INLINE_CAPACITY],
+    },
+    Slab {
+        handle: SlabHandle,
+        len: usize,
+        bytes: Box<[u8]>,
+    },
+}
+
+/// A payload buffer on the hot path: either a cache line of inline bytes
+/// or an arena-managed slab. Constructed only by [`SlabArena::acquire`],
+/// transformed in place by the responder, and returned to
+/// [`SlabArena::recycle`] when redeemed.
+#[derive(Debug)]
+pub struct HotBuf {
+    repr: Repr,
+}
+
+impl HotBuf {
+    /// Logical length of the valid bytes.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Slab { len, .. } => *len,
+        }
+    }
+
+    /// No valid bytes?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total writable capacity (inline line or slab class size).
+    pub fn capacity(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { .. } => INLINE_CAPACITY,
+            Repr::Slab { bytes, .. } => bytes.len(),
+        }
+    }
+
+    /// Did this payload take the zero-heap inline path?
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+
+    /// The valid bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Inline { len, bytes } => &bytes[..*len as usize],
+            Repr::Slab { len, bytes, .. } => &bytes[..*len],
+        }
+    }
+
+    /// The whole capacity, for a handler to write its response into.
+    /// Bytes beyond [`HotBuf::len`] are unspecified garbage — recycled
+    /// slabs are not zeroed (the NRZ discipline), so read only what you
+    /// wrote.
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        match &mut self.repr {
+            Repr::Inline { bytes, .. } => &mut bytes[..],
+            Repr::Slab { bytes, .. } => &mut bytes[..],
+        }
+    }
+
+    /// Declares the first `len` bytes valid (a handler's response length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`HotBuf::capacity`].
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            len <= self.capacity(),
+            "len {len} exceeds capacity {}",
+            self.capacity()
+        );
+        match &mut self.repr {
+            Repr::Inline { len: l, .. } => *l = len as u8,
+            Repr::Slab { len: l, .. } => *l = len,
+        }
+    }
+}
+
+/// A single-owner pool of reusable payload buffers with per-size-class
+/// free lists.
+///
+/// # Examples
+///
+/// ```
+/// use hotcalls::rt::SlabArena;
+///
+/// let mut arena = SlabArena::new();
+/// let small = arena.acquire(b"ping", 4);
+/// assert!(small.is_inline());
+/// let big = arena.acquire(&[7u8; 500], 500);
+/// assert!(!big.is_inline());
+/// arena.recycle(small);
+/// arena.recycle(big);
+/// // The next 500-byte acquire reuses the recycled slab: no new heap box.
+/// let again = arena.acquire(&[8u8; 500], 500);
+/// assert_eq!(arena.stats().allocs, 1);
+/// assert_eq!(arena.stats().recycles, 1);
+/// # drop(again);
+/// ```
+#[derive(Debug, Default)]
+pub struct SlabArena {
+    /// Free lists indexed by size-class (log2 of the class byte size).
+    free: Vec<Vec<Box<[u8]>>>,
+    /// Current generation per handle slot; bumped on every recycle so old
+    /// tags die.
+    generations: Vec<u32>,
+    /// Handle slots free for reuse.
+    free_handles: Vec<u32>,
+    stats: ArenaStats,
+}
+
+impl SlabArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        SlabArena::default()
+    }
+
+    /// Size class for a requested capacity: power-of-two bytes, floored at
+    /// [`MIN_SLAB_BYTES`].
+    fn class_bytes(capacity: usize) -> usize {
+        capacity.next_power_of_two().max(MIN_SLAB_BYTES)
+    }
+
+    fn class_index(class_bytes: usize) -> usize {
+        class_bytes.trailing_zeros() as usize
+    }
+
+    /// Hands out a buffer holding a copy of `data`, with room for at least
+    /// `capacity` bytes (the larger of the two wins — an `out`-style call
+    /// sends a small request but needs space for a big response).
+    ///
+    /// Payloads that fit [`INLINE_CAPACITY`] take the inline path: no heap
+    /// interaction at all. Larger ones reuse a recycled slab of the right
+    /// size class when available, allocating only on a cold free list.
+    pub fn acquire(&mut self, data: &[u8], capacity: usize) -> HotBuf {
+        let need = data.len().max(capacity);
+        if need <= INLINE_CAPACITY {
+            self.stats.inline_hits += 1;
+            let mut bytes = [0u8; INLINE_CAPACITY];
+            bytes[..data.len()].copy_from_slice(data);
+            return HotBuf {
+                repr: Repr::Inline {
+                    len: data.len() as u8,
+                    bytes,
+                },
+            };
+        }
+        let class = Self::class_bytes(need);
+        let ci = Self::class_index(class);
+        let recycled = if ci < self.free.len() {
+            self.free[ci].pop()
+        } else {
+            None
+        };
+        let mut bytes = match recycled {
+            Some(b) => {
+                self.stats.recycles += 1;
+                b
+            }
+            None => {
+                self.stats.allocs += 1;
+                vec![0u8; class].into_boxed_slice()
+            }
+        };
+        bytes[..data.len()].copy_from_slice(data);
+        let index = match self.free_handles.pop() {
+            Some(i) => i,
+            None => {
+                self.generations.push(0);
+                (self.generations.len() - 1) as u32
+            }
+        };
+        HotBuf {
+            repr: Repr::Slab {
+                handle: SlabHandle {
+                    index,
+                    generation: self.generations[index as usize],
+                },
+                len: data.len(),
+                bytes,
+            },
+        }
+    }
+
+    /// Returns a buffer to the arena. Inline buffers cost nothing; a slab
+    /// whose generation tag matches goes back on its free list (without
+    /// being zeroed), and a stale or foreign slab is dropped and counted
+    /// in [`ArenaStats::stale_recycles`].
+    pub fn recycle(&mut self, buf: HotBuf) {
+        let (handle, bytes) = match buf.repr {
+            Repr::Inline { .. } => return,
+            Repr::Slab { handle, bytes, .. } => (handle, bytes),
+        };
+        let valid = self
+            .generations
+            .get(handle.index as usize)
+            .is_some_and(|&g| g == handle.generation);
+        if !valid {
+            self.stats.stale_recycles += 1;
+            return;
+        }
+        self.generations[handle.index as usize] = handle.generation.wrapping_add(1);
+        self.free_handles.push(handle.index);
+        let ci = Self::class_index(bytes.len());
+        if self.free.len() <= ci {
+            self.free.resize_with(ci + 1, Vec::new);
+        }
+        self.free[ci].push(bytes);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_threshold_is_one_cache_line() {
+        let mut arena = SlabArena::new();
+        assert!(arena.acquire(&[1u8; INLINE_CAPACITY], 0).is_inline());
+        assert!(!arena.acquire(&[1u8; INLINE_CAPACITY + 1], 0).is_inline());
+        assert_eq!(arena.stats().inline_hits, 1);
+        assert_eq!(arena.stats().allocs, 1);
+    }
+
+    #[test]
+    fn capacity_request_forces_slab_even_for_small_data() {
+        let mut arena = SlabArena::new();
+        let buf = arena.acquire(b"rd", 2048);
+        assert!(!buf.is_inline());
+        assert!(buf.capacity() >= 2048);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.as_slice(), b"rd");
+    }
+
+    #[test]
+    fn recycled_slab_is_reused_and_not_zeroed() {
+        let mut arena = SlabArena::new();
+        let mut a = arena.acquire(&[0xEE; 300], 300);
+        a.raw_mut().fill(0xEE);
+        a.set_len(300);
+        arena.recycle(a);
+        let b = arena.acquire(b"xy", 300);
+        assert_eq!(arena.stats().allocs, 1);
+        assert_eq!(arena.stats().recycles, 1);
+        // The NRZ discipline: beyond the copied-in request, the slab still
+        // holds the previous call's bytes.
+        assert_eq!(b.as_slice(), b"xy");
+        let mut b = b;
+        assert_eq!(b.raw_mut()[2], 0xEE);
+    }
+
+    #[test]
+    fn foreign_handles_are_rejected_not_pooled() {
+        let mut a = SlabArena::new();
+        let mut b = SlabArena::new();
+        let buf = a.acquire(&[1u8; 200], 200);
+        b.recycle(buf);
+        assert_eq!(b.stats().stale_recycles, 1);
+        // b's free lists stay empty: the foreign slab was dropped.
+        let fresh = b.acquire(&[2u8; 200], 200);
+        assert_eq!(b.stats().allocs, 1);
+        assert_eq!(b.stats().recycles, 0);
+        drop(fresh);
+    }
+
+    #[test]
+    fn generations_invalidate_resurrected_handles() {
+        let mut arena = SlabArena::new();
+        let buf = arena.acquire(&[1u8; 200], 200);
+        let Repr::Slab { handle, .. } = buf.repr else {
+            panic!("expected slab");
+        };
+        arena.recycle(HotBuf {
+            repr: Repr::Slab {
+                handle,
+                len: 0,
+                bytes: vec![0u8; 256].into_boxed_slice(),
+            },
+        });
+        // First recycle is legitimate (tag matches) ...
+        assert_eq!(arena.stats().stale_recycles, 0);
+        // ... but replaying the same generation is stale.
+        arena.recycle(HotBuf {
+            repr: Repr::Slab {
+                handle,
+                len: 0,
+                bytes: vec![0u8; 256].into_boxed_slice(),
+            },
+        });
+        assert_eq!(arena.stats().stale_recycles, 1);
+    }
+
+    #[test]
+    fn size_classes_keep_big_and_small_apart() {
+        let mut arena = SlabArena::new();
+        let small = arena.acquire(&[1u8; 200], 200); // 256-class
+        let big = arena.acquire(&[1u8; 5000], 5000); // 8192-class
+        arena.recycle(small);
+        arena.recycle(big);
+        let again_big = arena.acquire(&[2u8; 4097], 4097);
+        assert!(again_big.capacity() >= 8192);
+        assert_eq!(arena.stats().recycles, 1, "big class reused");
+        let again_small = arena.acquire(&[2u8; 129], 129);
+        assert!(again_small.capacity() >= 256);
+        assert_eq!(arena.stats().recycles, 2, "small class reused");
+    }
+
+    #[test]
+    fn stats_rates_are_sane() {
+        let mut arena = SlabArena::new();
+        for _ in 0..8 {
+            let b = arena.acquire(&[0u8; 16], 16);
+            arena.recycle(b);
+        }
+        let big = arena.acquire(&[0u8; 1000], 1000);
+        arena.recycle(big);
+        let big = arena.acquire(&[0u8; 1000], 1000);
+        arena.recycle(big);
+        let s = arena.stats();
+        assert_eq!(s.acquires(), 10);
+        assert!((s.inline_hit_rate() - 0.8).abs() < 1e-12);
+        assert!((s.recycle_rate() - 0.5).abs() < 1e-12);
+        assert!((s.allocs_per_op() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! The byte-payload hot path: arena-backed buffers over the submission
+//! ring.
+//!
+//! [`ByteRing`] specializes [`super::RingServer`] to `HotBuf` payloads and
+//! pairs every caller with its own [`SlabArena`]: a request buffer is
+//! acquired from the arena (inline for cache-line-sized payloads, a
+//! recycled slab otherwise), travels through the ring *by value*, is
+//! transformed **in place** by the handler — the same buffer carries the
+//! response back — and returns to the arena when redeemed. Steady state
+//! does zero per-call heap work: small payloads never touch the heap,
+//! large ones cycle through the per-size-class free lists.
+//!
+//! Handlers see `(request_len, &mut [u8])` over the buffer's full capacity
+//! and return the response length. Capacity beyond the request holds
+//! whatever the previous call left there — the NRZ discipline: write your
+//! response, report its length, and nobody pays for zeroing in between.
+
+use crate::config::{HotCallConfig, HotCallStats};
+use crate::error::Result;
+
+use super::arena::{ArenaStats, HotBuf, SlabArena};
+use super::ring::{RingRequester, RingServer};
+use super::CallTable;
+
+/// A call table whose handlers transform byte payloads in place.
+#[derive(Debug, Default)]
+pub struct ByteCallTable {
+    inner: CallTable<HotBuf, HotBuf>,
+}
+
+impl ByteCallTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ByteCallTable::default()
+    }
+
+    /// Registers a handler and returns its call id.
+    ///
+    /// The handler receives the request length and the buffer's **full
+    /// capacity** as a mutable slice (bytes past the request length are
+    /// unspecified garbage — recycled memory is not zeroed), writes its
+    /// response from offset 0, and returns the response length, which is
+    /// clamped to the capacity.
+    pub fn register<F>(&mut self, handler: F) -> u32
+    where
+        F: Fn(usize, &mut [u8]) -> usize + Send + Sync + 'static,
+    {
+        self.inner.register(move |mut buf: HotBuf| {
+            let req_len = buf.len();
+            let cap = buf.capacity();
+            let resp_len = handler(req_len, buf.raw_mut()).min(cap);
+            buf.set_len(resp_len);
+            buf
+        })
+    }
+}
+
+/// A running byte-payload ring: responder pool + in-place handlers.
+///
+/// # Examples
+///
+/// ```
+/// use hotcalls::rt::{ByteCallTable, ByteRing};
+/// use hotcalls::HotCallConfig;
+///
+/// let mut table = ByteCallTable::new();
+/// let upper = table.register(|n, buf| {
+///     buf[..n].make_ascii_uppercase();
+///     n
+/// });
+/// let ring = ByteRing::spawn_pool(table, 8, 1, HotCallConfig::patient()).unwrap();
+/// let mut caller = ring.caller();
+/// let n = caller
+///     .call_with(upper, b"hotcalls", 0, |resp| {
+///         assert_eq!(resp, b"HOTCALLS");
+///         resp.len()
+///     })
+///     .unwrap();
+/// assert_eq!(n, 8);
+/// assert_eq!(caller.arena_stats().inline_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct ByteRing {
+    server: RingServer<HotBuf, HotBuf>,
+}
+
+impl ByteRing {
+    /// Spawns `n_responders` threads draining a ring of `capacity` slots.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingServer::spawn_pool`].
+    pub fn spawn_pool(
+        table: ByteCallTable,
+        capacity: usize,
+        n_responders: usize,
+        config: HotCallConfig,
+    ) -> Result<Self> {
+        Ok(ByteRing {
+            server: RingServer::spawn_pool(table.inner, capacity, n_responders, config)?,
+        })
+    }
+
+    /// A caller handle with its own private arena (no cross-thread
+    /// coordination on the buffer path).
+    pub fn caller(&self) -> ByteCaller {
+        ByteCaller {
+            requester: self.server.requester(),
+            arena: SlabArena::new(),
+        }
+    }
+
+    /// Transport statistics, aggregated over the responder pool.
+    pub fn stats(&self) -> HotCallStats {
+        self.server.stats()
+    }
+
+    /// Stops the responders and joins them.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+/// A byte-call handle owning the arena its payloads cycle through.
+#[derive(Debug)]
+pub struct ByteCaller {
+    requester: RingRequester<HotBuf, HotBuf>,
+    arena: SlabArena,
+}
+
+impl ByteCaller {
+    /// Issues a call carrying `data`, with room for a response of up to
+    /// `out_capacity` bytes, and returns the response length. The payload
+    /// buffer is recycled into the arena on return.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::call`]. On error the in-flight buffer is lost
+    /// to the slot (freed on shutdown), not recycled.
+    pub fn call(&mut self, id: u32, data: &[u8], out_capacity: usize) -> Result<usize> {
+        self.call_with(id, data, out_capacity, <[u8]>::len)
+    }
+
+    /// Issues a call and hands the response bytes to `read` before the
+    /// buffer is recycled — the zero-copy way to consume a response.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::call`].
+    pub fn call_with<R>(
+        &mut self,
+        id: u32,
+        data: &[u8],
+        out_capacity: usize,
+        read: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R> {
+        let buf = self.arena.acquire(data, out_capacity);
+        let resp = self.requester.call(id, buf)?;
+        let r = read(resp.as_slice());
+        self.arena.recycle(resp);
+        Ok(r)
+    }
+
+    /// Counters of this caller's private arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Transport statistics, aggregated over the responder pool.
+    pub fn stats(&self) -> HotCallStats {
+        self.requester.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_table() -> (ByteCallTable, u32, u32) {
+        let mut t = ByteCallTable::new();
+        let rev = t.register(|n, buf| {
+            buf[..n].reverse();
+            n
+        });
+        // An `out`-style handler: ignores the request body, reads the
+        // requested response size from an 8-byte header, fills that many
+        // bytes.
+        let produce = t.register(|n, buf| {
+            assert!(n >= 8);
+            let want = u64::from_le_bytes(buf[..8].try_into().unwrap()) as usize;
+            let want = want.min(buf.len());
+            buf[..want].fill(0xAB);
+            want
+        });
+        (t, rev, produce)
+    }
+
+    #[test]
+    fn inline_payloads_roundtrip_in_place() {
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 4, 1, HotCallConfig::patient()).unwrap();
+        let mut caller = ring.caller();
+        for _ in 0..100 {
+            caller
+                .call_with(rev, b"abcdef", 0, |resp| assert_eq!(resp, b"fedcba"))
+                .unwrap();
+        }
+        let stats = caller.arena_stats();
+        assert_eq!(stats.inline_hits, 100);
+        assert_eq!(stats.allocs, 0, "inline path must never touch the heap");
+        assert_eq!(ring.stats().calls, 100);
+    }
+
+    #[test]
+    fn slab_payloads_recycle_in_steady_state() {
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 4, 2, HotCallConfig::patient()).unwrap();
+        let mut caller = ring.caller();
+        let data = vec![7u8; 2000];
+        for _ in 0..50 {
+            let n = caller.call(rev, &data, 0).unwrap();
+            assert_eq!(n, 2000);
+        }
+        let stats = caller.arena_stats();
+        assert_eq!(stats.allocs, 1, "one cold alloc, then reuse");
+        assert_eq!(stats.recycles, 49);
+    }
+
+    #[test]
+    fn out_style_call_grows_into_its_capacity() {
+        let (t, _, produce) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 4, 1, HotCallConfig::patient()).unwrap();
+        let mut caller = ring.caller();
+        let want = 1500u64.to_le_bytes();
+        let n = caller
+            .call_with(produce, &want, 1500, |resp| {
+                assert!(resp.iter().all(|&b| b == 0xAB));
+                resp.len()
+            })
+            .unwrap();
+        assert_eq!(n, 1500);
+        // 8-byte request, 1500-byte response: the capacity hint routed it
+        // to a slab big enough for the reply.
+        assert_eq!(caller.arena_stats().allocs, 1);
+    }
+
+    #[test]
+    fn concurrent_callers_have_independent_arenas() {
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 8, 2, HotCallConfig::patient()).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let mut caller = ring.caller();
+            handles.push(std::thread::spawn(move || {
+                let data = vec![3u8; 300];
+                for _ in 0..200 {
+                    caller.call(rev, &data, 0).unwrap();
+                }
+                caller.arena_stats()
+            }));
+        }
+        for h in handles {
+            let s = h.join().unwrap();
+            assert_eq!(s.allocs, 1);
+            assert_eq!(s.recycles, 199);
+        }
+        assert_eq!(ring.stats().calls, 600);
+    }
+}

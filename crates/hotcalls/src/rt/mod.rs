@@ -17,11 +17,15 @@
 //! line, and hot-path statistics are responder-local counters flushed with
 //! plain stores. For a queued, multi-responder variant see [`RingServer`].
 
+pub mod arena;
+mod bytes;
 mod calltable;
 mod pool;
 mod ring;
 mod slot;
 
+pub use arena::{ArenaStats, HotBuf, SlabArena, INLINE_CAPACITY};
+pub use bytes::{ByteCallTable, ByteCaller, ByteRing};
 pub use calltable::CallTable;
 pub use ring::{RingRequester, RingServer, Ticket};
 
@@ -256,14 +260,19 @@ impl<Req, Resp> Requester<Req, Resp> {
     /// paper prescribes); [`HotCallError::ResponderGone`] if it shut down;
     /// [`HotCallError::UnknownCallId`] for unregistered ids.
     pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
-        // Claim the mailbox (bounded retries — "Preventing starvation").
-        let mut claimed = false;
+        self.claim_mailbox()?;
+        self.exchange(id, req)
+    }
+
+    /// Claims the mailbox with bounded retries ("Preventing starvation").
+    /// On success the caller owns the request cell and **must** follow up
+    /// with [`Requester::exchange`].
+    fn claim_mailbox(&self) -> Result<()> {
         let mut backoff = Backoff::new();
-        'retries: for _ in 0..self.config.timeout_retries {
+        for _ in 0..self.config.timeout_retries {
             for _ in 0..self.config.spins_per_retry {
                 if self.shared.slot.try_claim() {
-                    claimed = true;
-                    break 'retries;
+                    return Ok(());
                 }
                 if self.shared.shutdown.load(Ordering::Acquire) {
                     return Err(HotCallError::ResponderGone);
@@ -272,14 +281,16 @@ impl<Req, Resp> Requester<Req, Resp> {
             }
             backoff.snooze();
         }
-        if !claimed {
-            self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
-            return Err(HotCallError::ResponderTimeout {
-                retries: self.config.timeout_retries,
-            });
-        }
+        self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Err(HotCallError::ResponderTimeout {
+            retries: self.config.timeout_retries,
+        })
+    }
 
-        // SAFETY: `try_claim` above won the EMPTY→CLAIMED CAS, which
+    /// Publishes a request into the already-claimed mailbox and spins for
+    /// the response.
+    fn exchange(&self, id: u32, req: Req) -> Result<Resp> {
+        // SAFETY: `claim_mailbox` won the EMPTY→CLAIMED CAS, which
         // grants this thread exclusive write access to the request cell.
         unsafe { self.shared.slot.publish(id, req) };
 
@@ -316,14 +327,18 @@ impl<Req, Resp> Requester<Req, Resp> {
 
     /// Issues a call, running `fallback` locally if the fast path times
     /// out — the paper's SDK-call fallback, generalized.
+    ///
+    /// The request is moved into the mailbox only after the claim
+    /// succeeds, so the hot path never clones: on timeout the original
+    /// request goes to `fallback` as-is. (`Req: Clone` is not required.)
     pub fn call_with_fallback<F>(&self, id: u32, req: Req, fallback: F) -> Result<Resp>
     where
         F: FnOnce(Req) -> Resp,
-        Req: Clone,
     {
-        match self.call(id, req.clone()) {
+        match self.claim_mailbox() {
+            Ok(()) => self.exchange(id, req),
             Err(HotCallError::ResponderTimeout { .. }) => Ok(fallback(req)),
-            other => other,
+            Err(e) => Err(e),
         }
     }
 

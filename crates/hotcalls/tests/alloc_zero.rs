@@ -1,0 +1,91 @@
+//! Allocation proof for the byte-payload hot path.
+//!
+//! The slab arena and inline fast path exist so that steady-state calls
+//! touch no heap: inline payloads ride inside the ring slot, slab payloads
+//! recycle through the caller's free lists. This test swaps in a counting
+//! global allocator and asserts the delta across thousands of calls is
+//! exactly zero — any per-call `Box`/`Vec` sneaking back into the
+//! requester, ring, dispatch, or arena path fails it.
+//!
+//! The whole file is a single `#[test]` so no sibling test can allocate
+//! concurrently and muddy the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hotcalls::rt::{ByteCallTable, ByteRing, INLINE_CAPACITY};
+use hotcalls::HotCallConfig;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Spin-only config: an idle responder dozing on a condvar is fine in
+/// production but would tangle OS wakeup bookkeeping into the counter.
+fn spin_config() -> HotCallConfig {
+    HotCallConfig {
+        idle_polls_before_sleep: None,
+        ..HotCallConfig::patient()
+    }
+}
+
+#[test]
+fn hot_path_makes_zero_heap_allocations() {
+    let mut table = ByteCallTable::new();
+    let id = table.register(|n, buf| {
+        buf[..n].reverse();
+        n
+    });
+    let ring = ByteRing::spawn_pool(table, 8, 1, spin_config()).unwrap();
+    let mut caller = ring.caller();
+
+    // Inline payloads: after warmup, N calls must allocate nothing at all.
+    let data = [0x5Au8; INLINE_CAPACITY];
+    for _ in 0..100 {
+        caller.call(id, &data, 0).unwrap();
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..5_000 {
+        let n = caller.call(id, &data, 0).unwrap();
+        assert_eq!(n, data.len());
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "inline hot path allocated {delta} times");
+    assert_eq!(caller.arena_stats().allocs, 0);
+
+    // Slab payloads: the first call allocates the slab, every later call
+    // recycles it — steady state is alloc-free too.
+    let big = vec![0xC3u8; 2048];
+    for _ in 0..100 {
+        caller.call(id, &big, 0).unwrap();
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..5_000 {
+        let n = caller.call(id, &big, 0).unwrap();
+        assert_eq!(n, big.len());
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "slab steady state allocated {delta} times");
+    assert_eq!(caller.arena_stats().allocs, 1);
+
+    ring.shutdown();
+}

@@ -50,6 +50,19 @@ pub struct MarshalOptions {
     pub optimized_memset: bool,
 }
 
+impl MarshalOptions {
+    /// The No-Redundant-Zeroing variant: skip the security-pointless
+    /// zeroing of `out`/`in&out` staging regions in untrusted memory,
+    /// keeping the byte-wise `memset` for the zeroing that remains
+    /// security-mandatory.
+    pub fn nrz() -> Self {
+        MarshalOptions {
+            no_redundant_zeroing: true,
+            optimized_memset: false,
+        }
+    }
+}
+
 /// The pointers the callee sees for each buffer parameter after
 /// marshalling: secure copies for `in`/`out`/`in&out`, the original for
 /// `user_check`.

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bytes;
 mod calls;
 pub mod edger8r;
 pub mod edl;

@@ -43,6 +43,42 @@ pub fn sdk_memset(m: &mut Machine, dst: Addr, len: u64, optimized: bool) -> Resu
     Ok(m.now() - start)
 }
 
+/// What happened to one staging region's pre-call zeroing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZeroOutcome {
+    /// The region was zeroed (`memset`): bytes written.
+    Zeroed(u64),
+    /// No-Redundant-Zeroing elided the `memset`: bytes *not* written. Only
+    /// the per-buffer tracking cost was charged.
+    Elided(u64),
+}
+
+/// Zeroes (or, under No-Redundant-Zeroing, deliberately does not zero) one
+/// staging region, charging the two variants their distinct costs: the
+/// SDK-faithful path pays the `memset` compute plus its write traffic, the
+/// NRZ path pays only [`sgx_sim::SdkCostConfig::nrz_track_per_buffer`] of
+/// bookkeeping (deciding from the EDL direction that the region will be
+/// fully overwritten).
+///
+/// # Errors
+///
+/// Propagates memory-model errors from the `memset` write.
+pub fn sdk_zero_staging(
+    m: &mut Machine,
+    dst: Addr,
+    len: u64,
+    optimized: bool,
+    elide: bool,
+) -> Result<ZeroOutcome> {
+    if elide {
+        m.charge(Cycles::new(m.config().sdk.nrz_track_per_buffer));
+        Ok(ZeroOutcome::Elided(len))
+    } else {
+        sdk_memset(m, dst, len, optimized)?;
+        Ok(ZeroOutcome::Zeroed(len))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +117,25 @@ mod tests {
         let a = m.alloc_untrusted(64, 64);
         let c = sdk_memcpy(&mut m, a, a, 0).unwrap();
         assert_eq!(c, Cycles::ZERO);
+    }
+
+    #[test]
+    fn elided_zeroing_charges_only_the_tracking_cost() {
+        let mut m = machine();
+        let a = m.alloc_untrusted(4096, 64);
+        let s = m.now();
+        let outcome = sdk_zero_staging(&mut m, a, 4096, false, true).unwrap();
+        let elided_cost = (m.now() - s).get();
+        assert_eq!(outcome, ZeroOutcome::Elided(4096));
+        assert_eq!(elided_cost, m.config().sdk.nrz_track_per_buffer);
+
+        let s = m.now();
+        let outcome = sdk_zero_staging(&mut m, a, 4096, false, false).unwrap();
+        let zeroed_cost = (m.now() - s).get();
+        assert_eq!(outcome, ZeroOutcome::Zeroed(4096));
+        assert!(
+            zeroed_cost > elided_cost * 10,
+            "memset {zeroed_cost} vs tracking {elided_cost}"
+        );
     }
 }

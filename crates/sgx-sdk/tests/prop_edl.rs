@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use sgx_sdk::bytes::ByteStaging;
 use sgx_sdk::edger8r::edger8r;
 use sgx_sdk::edl::{parse_edl, Direction, EdgeFn, Edl, Param, ParamKind, SizeSpec};
 use sgx_sdk::marshal::{stage, unstage, CallerSide, StagingArea};
@@ -217,5 +218,106 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// No-Redundant-Zeroing is observationally equivalent to the
+    /// SDK-faithful zeroing marshaller for callees that fully write their
+    /// `out` regions: across a sequence of calls reusing one (dirty)
+    /// staging region, with arbitrary buffer shapes spanning all four EDL
+    /// directions, every caller buffer ends byte-for-byte identical.
+    #[test]
+    fn nrz_marshalling_is_byte_equivalent(
+        calls in proptest::collection::vec(
+            proptest::collection::vec((direction_strategy(), 1usize..512), 1..5),
+            1..6,
+        ),
+        seed in any::<u8>(),
+    ) {
+        let mut outcomes = Vec::new();
+        for nrz in [false, true] {
+            let mut staging = ByteStaging::new();
+            let mut finals = Vec::new();
+            for (c, shape) in calls.iter().enumerate() {
+                let mut bufs: Vec<(Vec<u8>, Direction)> = shape
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(d, len))| {
+                        let data = (0..len)
+                            .map(|j| seed ^ (c as u8) ^ (i as u8 ^ j as u8).wrapping_mul(31))
+                            .collect();
+                        (data, d)
+                    })
+                    .collect();
+                let dirs: Vec<Direction> = shape.iter().map(|&(d, _)| d).collect();
+                staging.run_call(&mut bufs, nrz, |i, b| match dirs[i] {
+                    // `out`: fully written without reading — the contract
+                    // NRZ requires of callees.
+                    Direction::Out => {
+                        for (j, x) in b.iter_mut().enumerate() {
+                            *x = (i as u8).wrapping_add(j as u8).wrapping_mul(13);
+                        }
+                    }
+                    // Input-visible modes may read their incoming bytes
+                    // (identical in both runs) and mix them into the
+                    // response.
+                    _ => {
+                        let sum = b.iter().fold(0u8, |a, &x| a.wrapping_add(x));
+                        for (j, x) in b.iter_mut().enumerate() {
+                            *x = sum ^ (j as u8);
+                        }
+                    }
+                });
+                finals.push(bufs.into_iter().map(|(v, _)| v).collect::<Vec<_>>());
+            }
+            outcomes.push(finals);
+        }
+        prop_assert_eq!(
+            &outcomes[0], &outcomes[1],
+            "NRZ and zeroing marshallers must agree byte-for-byte"
+        );
+    }
+
+    /// Cycle-model cross-check: on the untrusted staging side, the bytes
+    /// NRZ elides are exactly the bytes the SDK-faithful marshaller zeroes,
+    /// and NRZ itself zeroes nothing.
+    #[test]
+    fn nrz_elides_exactly_what_zeroing_zeroes(
+        dirs in proptest::collection::vec(direction_strategy(), 1..4),
+        lens in proptest::collection::vec(64u64..4_096, 1..4),
+    ) {
+        let params: Vec<String> = dirs.iter().enumerate().map(|(i, d)| {
+            let attr = match d {
+                Direction::UserCheck => "[user_check]".to_string(),
+                d => format!("[{}, size=n{i}]", d.as_edl()),
+            };
+            format!("{attr} uint8_t* b{i}, size_t n{i}")
+        }).collect();
+        let src = format!(
+            "enclave {{ untrusted {{ void f({}); }}; }};",
+            params.join(", ")
+        );
+        let edl = parse_edl(&src).unwrap();
+        let proxies = edger8r(&edl).unwrap();
+
+        let mut ledgers = Vec::new();
+        for options in [MarshalOptions::default(), MarshalOptions::nrz()] {
+            let mut m = Machine::new(SimConfig::builder().deterministic().build());
+            let eid = m.build_enclave(EnclaveBuildOptions::default()).unwrap();
+            let bufs: Vec<BufArg> = dirs.iter().zip(lens.iter().cycle()).map(|(_, &len)| {
+                BufArg::new(m.alloc_enclave_heap(eid, len, 64).unwrap(), len)
+            }).collect();
+            let area_base = m.alloc_untrusted(1 << 20, 4096);
+            let mut area = StagingArea::untrusted(&m, area_base, 1 << 20);
+            stage(
+                &mut m, proxies.ocall("f").unwrap(), &bufs, &mut area,
+                CallerSide::Trusted, options,
+            ).unwrap();
+            ledgers.push(area.ledger());
+        }
+
+        let (faithful, nrz) = (ledgers[0], ledgers[1]);
+        prop_assert_eq!(faithful.elided_bytes(), 0);
+        prop_assert_eq!(nrz.zeroed_bytes(), 0);
+        prop_assert_eq!(nrz.elided_bytes(), faithful.zeroed_bytes());
     }
 }

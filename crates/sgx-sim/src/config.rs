@@ -198,6 +198,12 @@ pub struct SdkCostConfig {
     pub secure_malloc: u64,
     /// Fixed overhead of allocating on the untrusted stack (ocall path).
     pub untrusted_stack_alloc: u64,
+    /// Per-buffer bookkeeping of the No-Redundant-Zeroing marshaller:
+    /// deciding (from the EDL direction) that a staging region will be
+    /// fully overwritten and may skip its `memset`. Charged *instead of*
+    /// the zeroing, so the NRZ and SDK-faithful variants carry distinct,
+    /// comparable costs.
+    pub nrz_track_per_buffer: u64,
 }
 
 impl Default for SimConfig {
@@ -274,6 +280,7 @@ impl Default for SimConfig {
                 memset_per_byte: 1,
                 secure_malloc: 250,
                 untrusted_stack_alloc: 60,
+                nrz_track_per_buffer: 15,
             },
             noise: NoiseConfig {
                 jitter: 80,
