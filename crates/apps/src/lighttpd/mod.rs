@@ -145,15 +145,21 @@ impl Lighttpd {
         env.compute(60 + raw_request.len() as u64 / 8);
 
         // The Table 2 long tail: fd shuffling, epoll maintenance, accepts.
-        for name in self.mix.tick() {
-            match name {
+        // Issued as one batch: the hot modes carry the whole tail in a
+        // single bundled ring submission instead of one slot per call.
+        let tail: Vec<(&'static str, Option<BufArg>)> = self
+            .mix
+            .tick()
+            .into_iter()
+            .map(|name| match name {
                 // Additional reads draining the socket (1 KB chunks).
-                "read" => env.api_call(name, &[BufArg::new(self.rx_buf, 1024)])?,
+                "read" => (name, Some(BufArg::new(self.rx_buf, 1024))),
                 // inet_ntop fills a textual-address buffer.
-                "inet_ntop" => env.api_call(name, &[BufArg::new(self.tx_buf, 46)])?,
-                _ => env.api_call(name, &[])?,
-            }
-        }
+                "inet_ntop" => (name, Some(BufArg::new(self.tx_buf, 46))),
+                _ => (name, None),
+            })
+            .collect();
+        env.api_call_batch(&tail)?;
 
         let req = match http::parse_request(raw_request) {
             Ok(req) if req.method == "GET" || req.method == "HEAD" => req,

@@ -280,10 +280,15 @@ impl OpenVpn {
     }
 
     fn issue_mix(&mut self, env: &mut AppEnv) -> Result<()> {
-        for name in self.mix.tick() {
-            env.api_call(name, &[])?;
-        }
-        Ok(())
+        // The whole per-packet auxiliary mix (polls, timers, pid checks)
+        // rides one bundled ring submission in the hot modes.
+        let tail: Vec<(&'static str, Option<BufArg>)> = self
+            .mix
+            .tick()
+            .into_iter()
+            .map(|name| (name, None))
+            .collect();
+        env.api_call_batch(&tail)
     }
 
     /// Packet events processed.

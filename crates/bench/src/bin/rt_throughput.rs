@@ -1,8 +1,8 @@
 //! `rt_throughput` — machine-readable throughput matrix for the pooled
 //! HotCalls runtime.
 //!
-//! Sweeps requesters × responders (1/2/4/8 × 1/2/4) over the MPMC ring
-//! pool under two workloads:
+//! Sweeps requesters × responders (1/2/4/8 × 1/2/4, ceiling configurable)
+//! over the MPMC ring pool under two workloads:
 //!
 //! * `cpu` — the handler is a trivial increment; measures pure data-plane
 //!   overhead. On a shared-core host extra responders cannot add CPU, so
@@ -12,12 +12,25 @@
 //!   a second responder overlaps the waits and multiplies throughput —
 //!   the case batched multi-responder draining exists for.
 //!
+//! Each workload also gets an **adaptive** row per requester count: the
+//! governor (`ResponderPolicy::elastic(1, max)`) parks surplus responders
+//! instead of letting them churn, and its park/wake decision counts land
+//! in the JSON, so the oversubscription regression stays visible — and
+//! fixed — in the artifact.
+//!
 //! Also times the single-slot mailbox round trip, lock-free vs the
 //! preserved mutex-slot baseline, so the old-vs-new delta lands in the
 //! same artifact.
 //!
+//! Usage:
+//!
+//! ```text
+//! rt_throughput [OUT.json] [--workload cpu|io|all] [--max-responders N]
+//!               [--measure-ms N]
+//! ```
+//!
 //! Output: human-readable table on stdout plus `BENCH_rt.json` in the
-//! current directory (pass a path argument to override).
+//! current directory (positional argument overrides the path).
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,14 +38,58 @@ use std::time::{Duration, Instant};
 
 use bench::rt_baseline::MutexMailbox;
 use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, HotCallServer, RingServer};
-use hotcalls::HotCallConfig;
+use hotcalls::{HotCallConfig, ResponderPolicy};
 
 const RING_CAPACITY: usize = 64;
-const MEASURE: Duration = Duration::from_millis(250);
 const IO_HANDLER_SLEEP: Duration = Duration::from_micros(200);
 const MAILBOX_CALLS: u64 = 50_000;
 const ARENA_CALLS: u64 = 50_000;
 const ARENA_PAYLOADS: [usize; 4] = [16, 64, 256, 4096];
+
+struct Args {
+    out_path: String,
+    workloads: Vec<&'static str>,
+    max_responders: usize,
+    measure: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_path: "BENCH_rt.json".into(),
+        workloads: vec!["cpu", "io"],
+        max_responders: 4,
+        measure: Duration::from_millis(250),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--workload" => {
+                args.workloads = match value("--workload").as_str() {
+                    "cpu" => vec!["cpu"],
+                    "io" => vec!["io"],
+                    "all" => vec!["cpu", "io"],
+                    other => panic!("unknown workload `{other}` (cpu|io|all)"),
+                }
+            }
+            "--max-responders" => {
+                args.max_responders = value("--max-responders")
+                    .parse()
+                    .expect("--max-responders takes a positive integer");
+                assert!(args.max_responders >= 1, "--max-responders must be >= 1");
+            }
+            "--measure-ms" => {
+                let ms: u64 = value("--measure-ms")
+                    .parse()
+                    .expect("--measure-ms takes milliseconds");
+                args.measure = Duration::from_millis(ms.max(1));
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
+            path => args.out_path = path.to_string(),
+        }
+    }
+    args
+}
 
 fn spin_config() -> HotCallConfig {
     HotCallConfig {
@@ -89,9 +146,12 @@ struct Cell {
     workload: &'static str,
     requesters: usize,
     responders: usize,
+    adaptive: bool,
     calls: u64,
     secs: f64,
     calls_per_sec: f64,
+    parks: u64,
+    wakes: u64,
 }
 
 struct ArenaCell {
@@ -136,7 +196,12 @@ fn arena_cell(payload: usize) -> ArenaCell {
 
 /// Runs one matrix cell: R requester threads hammer the pool until the
 /// deadline, total completed calls over wall time is the throughput.
-fn pool_cell(workload: &'static str, requesters: usize, responders: usize) -> Cell {
+fn pool_cell(
+    workload: &'static str,
+    requesters: usize,
+    policy: ResponderPolicy,
+    measure: Duration,
+) -> Cell {
     let mut table: CallTable<u64, u64> = CallTable::new();
     let id = match workload {
         "cpu" => table.register(|x| x + 1),
@@ -146,7 +211,7 @@ fn pool_cell(workload: &'static str, requesters: usize, responders: usize) -> Ce
         }),
         _ => unreachable!("unknown workload"),
     };
-    let server = RingServer::spawn_pool(table, RING_CAPACITY, responders, pool_config())
+    let server = RingServer::spawn_adaptive(table, RING_CAPACITY, policy, pool_config())
         .expect("pool shape is valid");
 
     let stop = AtomicBool::new(false);
@@ -168,29 +233,36 @@ fn pool_cell(workload: &'static str, requesters: usize, responders: usize) -> Ce
                 done
             }));
         }
-        std::thread::sleep(MEASURE);
+        std::thread::sleep(measure);
         stop.store(true, Ordering::Relaxed);
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     });
     let secs = start.elapsed().as_secs_f64();
+    let governor = server.governor_stats();
     server.shutdown();
     Cell {
         workload,
         requesters,
-        responders,
+        responders: policy.max,
+        adaptive: policy.is_adaptive(),
         calls,
         secs,
         calls_per_sec: calls as f64 / secs,
+        parks: governor.parks,
+        wakes: governor.wakes,
     }
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_rt.json".into());
+    let args = parse_args();
 
     println!("rt_throughput: pooled HotCalls runtime matrix");
     println!("host threads available: {}", host_threads());
+    println!(
+        "measure window: {} ms, responder ceiling: {}",
+        args.measure.as_millis(),
+        args.max_responders
+    );
     println!();
 
     let baseline_ns = mailbox_baseline_ns();
@@ -200,20 +272,49 @@ fn main() {
     println!("  lock-free (live)    : {lockfree_ns:10.1} ns/call");
     println!();
 
+    let static_shapes: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&n| n <= args.max_responders)
+        .collect();
     let mut cells = Vec::new();
-    for workload in ["cpu", "io"] {
+    for workload in args.workloads.iter().copied() {
         println!("workload `{workload}` (calls/sec):");
-        println!(
-            "  {:>10} | {:>12} {:>12} {:>12}",
-            "", "1 resp", "2 resp", "4 resp"
+        let mut header = format!("  {:>10} |", "");
+        for n in &static_shapes {
+            let _ = write!(header, " {:>12}", format!("{n} resp"));
+        }
+        let _ = write!(
+            header,
+            " {:>16}",
+            format!("adapt 1..{}", args.max_responders)
         );
+        println!("{header}");
         for requesters in [1usize, 2, 4, 8] {
             let mut row = format!("  {requesters:>6} req |");
-            for responders in [1usize, 2, 4] {
-                let cell = pool_cell(workload, requesters, responders);
+            for &responders in &static_shapes {
+                let cell = pool_cell(
+                    workload,
+                    requesters,
+                    ResponderPolicy::fixed(responders),
+                    args.measure,
+                );
                 let _ = write!(row, " {:>12.0}", cell.calls_per_sec);
                 cells.push(cell);
             }
+            // The adaptive row: same ceiling as the widest static shape,
+            // but the governor decides how many responders actually run.
+            let cell = pool_cell(
+                workload,
+                requesters,
+                ResponderPolicy::elastic(1, args.max_responders),
+                args.measure,
+            );
+            let _ = write!(
+                row,
+                " {:>10.0} (p{} w{})",
+                cell.calls_per_sec, cell.parks, cell.wakes
+            );
+            cells.push(cell);
             println!("{row}");
         }
         println!();
@@ -239,9 +340,9 @@ fn main() {
     }
     println!();
 
-    let json = render_json(baseline_ns, lockfree_ns, &cells, &arena);
-    std::fs::write(&out_path, &json).expect("write BENCH_rt.json");
-    println!("wrote {out_path}");
+    let json = render_json(&args, baseline_ns, lockfree_ns, &cells, &arena);
+    std::fs::write(&args.out_path, &json).expect("write BENCH_rt.json");
+    println!("wrote {}", args.out_path);
 }
 
 fn host_threads() -> usize {
@@ -252,16 +353,24 @@ fn host_threads() -> usize {
 
 /// Hand-rolled JSON: every value is a number or a plain ASCII keyword, so
 /// no escaping (or serde) is needed.
-fn render_json(baseline_ns: f64, lockfree_ns: f64, cells: &[Cell], arena: &[ArenaCell]) -> String {
+fn render_json(
+    args: &Args,
+    baseline_ns: f64,
+    lockfree_ns: f64,
+    cells: &[Cell],
+    arena: &[ArenaCell],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"host_threads\": {},", host_threads());
     let _ = writeln!(
         s,
-        "  \"measure_ms\": {}, \"io_handler_us\": {}, \"ring_capacity\": {},",
-        MEASURE.as_millis(),
+        "  \"measure_ms\": {}, \"io_handler_us\": {}, \"ring_capacity\": {}, \
+         \"max_responders\": {},",
+        args.measure.as_millis(),
         IO_HANDLER_SLEEP.as_micros(),
-        RING_CAPACITY
+        RING_CAPACITY,
+        args.max_responders
     );
     s.push_str("  \"mailbox_roundtrip_ns\": {\n");
     let _ = writeln!(s, "    \"mutex_slot_baseline\": {baseline_ns:.1},");
@@ -273,8 +382,18 @@ fn render_json(baseline_ns: f64, lockfree_ns: f64, cells: &[Cell], arena: &[Aren
         let _ = writeln!(
             s,
             "    {{\"workload\": \"{}\", \"requesters\": {}, \"responders\": {}, \
-             \"calls\": {}, \"secs\": {:.4}, \"calls_per_sec\": {:.1}}}{}",
-            c.workload, c.requesters, c.responders, c.calls, c.secs, c.calls_per_sec, comma
+             \"adaptive\": {}, \"calls\": {}, \"secs\": {:.4}, \"calls_per_sec\": {:.1}, \
+             \"governor_parks\": {}, \"governor_wakes\": {}}}{}",
+            c.workload,
+            c.requesters,
+            c.responders,
+            c.adaptive,
+            c.calls,
+            c.secs,
+            c.calls_per_sec,
+            c.parks,
+            c.wakes,
+            comma
         );
     }
     s.push_str("  ],\n");

@@ -60,6 +60,92 @@ impl HotCallConfig {
     }
 }
 
+/// Sizing policy for an adaptive responder pool (the configless-worker
+/// idea applied to the paper's "On Call" threads): instead of a fixed
+/// `n_responders`, the pool holds `max` threads of which between `min` and
+/// `max` are *active* at any moment. Requesters raise the active target
+/// when the ring backs up; the top active responder demotes itself and
+/// parks after a long useful-work drought. Parked responders cost nothing
+/// — per-call wakeups never reach them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponderPolicy {
+    /// Responders that are never parked (at least 1).
+    pub min: usize,
+    /// Total responder threads spawned (the scale-up ceiling).
+    pub max: usize,
+    /// Queued-submission count above which a requester raises the active
+    /// target (at least 1). The paper's responder has no queue; this is
+    /// the ring generalization: backlog deeper than this means the active
+    /// responders are not keeping up.
+    pub target_occupancy: usize,
+    /// Consecutive polls without useful work after which the top active
+    /// responder demotes itself and parks. Counted across idle-doze
+    /// wakeups, so a responder that is woken per-call but never wins work
+    /// (the oversubscription churn) still accumulates toward parking.
+    pub park_after_idle_polls: u64,
+}
+
+impl Default for ResponderPolicy {
+    fn default() -> Self {
+        ResponderPolicy {
+            min: 1,
+            max: 2,
+            target_occupancy: 2,
+            park_after_idle_polls: 2_048,
+        }
+    }
+}
+
+impl ResponderPolicy {
+    /// A static pool of exactly `n` always-active responders (the governor
+    /// is disabled; this reproduces the old `spawn_pool` behaviour).
+    pub fn fixed(n: usize) -> Self {
+        ResponderPolicy {
+            min: n,
+            max: n,
+            ..Self::default()
+        }
+    }
+
+    /// An elastic pool between `min` and `max` active responders.
+    pub fn elastic(min: usize, max: usize) -> Self {
+        ResponderPolicy {
+            min,
+            max,
+            ..Self::default()
+        }
+    }
+
+    /// Does this policy ever park a responder?
+    pub fn is_adaptive(&self) -> bool {
+        self.max > self.min
+    }
+
+    /// The effective backlog threshold (zero-proofed).
+    pub(crate) fn target_occupancy_clamped(&self) -> usize {
+        self.target_occupancy.max(1)
+    }
+}
+
+/// A snapshot of an adaptive pool's governor: how many responders are
+/// active vs parked right now, and the decision counters accumulated so
+/// far.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GovernorStats {
+    /// Responders currently in the active set (the target).
+    pub active: usize,
+    /// Responders currently parked.
+    pub parked: usize,
+    /// Park decisions taken (a responder left the active set).
+    pub parks: u64,
+    /// Wake decisions taken (the active target was raised on backlog).
+    pub wakes: u64,
+    /// Policy floor.
+    pub min: usize,
+    /// Policy ceiling.
+    pub max: usize,
+}
+
 /// Counters describing a HotCalls endpoint's behaviour.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HotCallStats {
@@ -107,6 +193,17 @@ mod tests {
             ..HotCallConfig::default()
         };
         assert_eq!(c.drain_batch_clamped(), 1);
+    }
+
+    #[test]
+    fn responder_policy_shapes() {
+        assert!(!ResponderPolicy::fixed(4).is_adaptive());
+        assert!(ResponderPolicy::elastic(1, 4).is_adaptive());
+        let p = ResponderPolicy {
+            target_occupancy: 0,
+            ..ResponderPolicy::default()
+        };
+        assert_eq!(p.target_occupancy_clamped(), 1);
     }
 
     #[test]

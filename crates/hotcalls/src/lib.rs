@@ -20,8 +20,13 @@
 //!   machine, cache-line-padded hot words), and [`rt::RingServer`] scales
 //!   it out: a multi-slot submission ring served by a pool of responders
 //!   ([`rt::RingServer::spawn_pool`]) that drain submitted slots in
-//!   batches. This is usable as a general low-latency inter-thread call
-//!   primitive.
+//!   batches. The ring is *pipelined*: [`rt::RingRequester::submit`] /
+//!   [`rt::RingRequester::wait_any`] keep many calls in flight per
+//!   requester, [`rt::Bundle`] packs N small calls into one submission,
+//!   and [`rt::RingServer::spawn_adaptive`] replaces the static pool size
+//!   with a [`ResponderPolicy`] governor that parks idle responders and
+//!   wakes them on backlog. This is usable as a general low-latency
+//!   inter-thread call primitive.
 //!
 //! ## Threaded quick start
 //!
@@ -45,5 +50,5 @@ mod error;
 pub mod rt;
 pub mod sim;
 
-pub use config::{HotCallConfig, HotCallStats};
+pub use config::{GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
 pub use error::{HotCallError, Result};

@@ -15,11 +15,11 @@
 //! whatever the previous call left there — the NRZ discipline: write your
 //! response, report its length, and nobody pays for zeroing in between.
 
-use crate::config::{HotCallConfig, HotCallStats};
+use crate::config::{GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
 use crate::error::Result;
 
 use super::arena::{ArenaStats, HotBuf, SlabArena};
-use super::ring::{RingRequester, RingServer};
+use super::ring::{Bundle, RingRequester, RingServer, Ticket};
 use super::CallTable;
 
 /// A call table whose handlers transform byte payloads in place.
@@ -101,6 +101,25 @@ impl ByteRing {
         })
     }
 
+    /// Spawns an adaptive pool governed by `policy` (see
+    /// [`RingServer::spawn_adaptive`]): between `policy.min` and
+    /// `policy.max` responders active, surplus parked when idle, woken on
+    /// backlog.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingServer::spawn_adaptive`].
+    pub fn spawn_adaptive(
+        table: ByteCallTable,
+        capacity: usize,
+        policy: ResponderPolicy,
+        config: HotCallConfig,
+    ) -> Result<Self> {
+        Ok(ByteRing {
+            server: RingServer::spawn_adaptive(table.inner, capacity, policy, config)?,
+        })
+    }
+
     /// A caller handle with its own private arena (no cross-thread
     /// coordination on the buffer path).
     pub fn caller(&self) -> ByteCaller {
@@ -110,9 +129,19 @@ impl ByteRing {
         }
     }
 
+    /// Number of responder threads in the pool (active and parked).
+    pub fn responders(&self) -> usize {
+        self.server.responders()
+    }
+
     /// Transport statistics, aggregated over the responder pool.
     pub fn stats(&self) -> HotCallStats {
         self.server.stats()
+    }
+
+    /// The governor's current shape and decision counters.
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.server.governor_stats()
     }
 
     /// Stops the responders and joins them.
@@ -161,6 +190,90 @@ impl ByteCaller {
         Ok(r)
     }
 
+    /// Submits a call without waiting: the pipelined byte path. The
+    /// request is staged into an arena buffer (inline for small payloads)
+    /// and travels through the ring while the caller keeps working; redeem
+    /// with [`ByteCaller::wait_with`] or [`ByteCaller::wait_any_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::submit`]. On error the staged buffer is lost to
+    /// the slot (freed on shutdown), not recycled.
+    pub fn submit(&mut self, id: u32, data: &[u8], out_capacity: usize) -> Result<Ticket> {
+        let buf = self.arena.acquire(data, out_capacity);
+        self.requester.submit(id, buf)
+    }
+
+    /// Waits for a submitted call, hands the response bytes to `read`,
+    /// and recycles the buffer into the arena.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::wait`].
+    pub fn wait_with<R>(&mut self, ticket: Ticket, read: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let resp = self.requester.wait(ticket)?;
+        let r = read(resp.as_slice());
+        self.arena.recycle(resp);
+        Ok(r)
+    }
+
+    /// Waits until *any* of `tickets` completes (removing it from the
+    /// set), hands its response bytes to `read`, and recycles the buffer.
+    /// Returns the completed submission's sequence number (see
+    /// [`Ticket::seq`]) alongside `read`'s result.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::wait_any`].
+    pub fn wait_any_with<R>(
+        &mut self,
+        tickets: &mut Vec<Ticket>,
+        read: impl FnOnce(u64, &[u8]) -> R,
+    ) -> Result<(u64, R)> {
+        let (seq, resp) = self.requester.wait_any(tickets)?;
+        let r = read(seq, resp.as_slice());
+        self.arena.recycle(resp);
+        Ok((seq, r))
+    }
+
+    /// Submits `bundle` as one ring slot and hands each response to
+    /// `read` (called with the bundle position and the response bytes) in
+    /// submission order, recycling every buffer into the arena. Per-call
+    /// failures surface as `Err` entries in the returned vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::call_bundle`].
+    pub fn call_bundle_with<R>(
+        &mut self,
+        bundle: ByteBundle,
+        mut read: impl FnMut(usize, &[u8]) -> R,
+    ) -> Result<Vec<Result<R>>> {
+        let results = self.requester.call_bundle(bundle.inner)?;
+        let mut out = Vec::with_capacity(results.len());
+        for (i, res) in results.into_iter().enumerate() {
+            out.push(match res {
+                Ok(buf) => {
+                    let r = read(i, buf.as_slice());
+                    self.arena.recycle(buf);
+                    Ok(r)
+                }
+                Err(e) => Err(e),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Submits `bundle` as one ring slot and returns each call's response
+    /// length (the buffers are recycled without being read).
+    ///
+    /// # Errors
+    ///
+    /// As [`ByteCaller::call_bundle_with`].
+    pub fn call_bundle(&mut self, bundle: ByteBundle) -> Result<Vec<Result<usize>>> {
+        self.call_bundle_with(bundle, |_, resp| resp.len())
+    }
+
     /// Counters of this caller's private arena.
     pub fn arena_stats(&self) -> ArenaStats {
         self.arena.stats()
@@ -169,6 +282,84 @@ impl ByteCaller {
     /// Transport statistics, aggregated over the responder pool.
     pub fn stats(&self) -> HotCallStats {
         self.requester.stats()
+    }
+
+    /// The governor's current shape and decision counters.
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.requester.governor_stats()
+    }
+}
+
+/// A bundle of byte calls staged in a caller's arena: N small calls, one
+/// ring submission, one responder dispatch, at most one wakeup.
+///
+/// Build with [`ByteBundle::push`] (which stages each request through the
+/// owning caller's arena — inline for cache-line-sized payloads), then
+/// issue with [`ByteCaller::call_bundle`] /
+/// [`ByteCaller::call_bundle_with`].
+///
+/// # Examples
+///
+/// ```
+/// use hotcalls::rt::{ByteBundle, ByteCallTable, ByteRing};
+/// use hotcalls::HotCallConfig;
+///
+/// let mut table = ByteCallTable::new();
+/// let upper = table.register(|n, buf| {
+///     buf[..n].make_ascii_uppercase();
+///     n
+/// });
+/// let ring = ByteRing::spawn_pool(table, 8, 1, HotCallConfig::patient()).unwrap();
+/// let mut caller = ring.caller();
+/// let mut bundle = ByteBundle::new();
+/// bundle
+///     .push(&mut caller, upper, b"hot", 0)
+///     .push(&mut caller, upper, b"calls", 0);
+/// let lens = caller.call_bundle(bundle).unwrap();
+/// let lens: Vec<usize> = lens.into_iter().map(|r| r.unwrap()).collect();
+/// assert_eq!(lens, [3, 5]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ByteBundle {
+    inner: Bundle<HotBuf>,
+}
+
+impl ByteBundle {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        ByteBundle::default()
+    }
+
+    /// An empty bundle with room for `n` calls.
+    pub fn with_capacity(n: usize) -> Self {
+        ByteBundle {
+            inner: Bundle::with_capacity(n),
+        }
+    }
+
+    /// Stages one call: `data` is copied into a buffer from `caller`'s
+    /// arena (inline when it fits a cache line) with room for a response
+    /// of up to `out_capacity` bytes.
+    pub fn push(
+        &mut self,
+        caller: &mut ByteCaller,
+        id: u32,
+        data: &[u8],
+        out_capacity: usize,
+    ) -> &mut Self {
+        let buf = caller.arena.acquire(data, out_capacity);
+        self.inner.push(id, buf);
+        self
+    }
+
+    /// Calls staged so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Nothing staged yet?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
     }
 }
 
@@ -242,6 +433,86 @@ mod tests {
         // 8-byte request, 1500-byte response: the capacity hint routed it
         // to a slab big enough for the reply.
         assert_eq!(caller.arena_stats().allocs, 1);
+    }
+
+    #[test]
+    fn pipelined_byte_calls_recycle_buffers() {
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 16, 2, HotCallConfig::patient()).unwrap();
+        let mut caller = ring.caller();
+        let payload = vec![9u8; 700];
+        for _ in 0..20 {
+            let mut tickets: Vec<Ticket> = (0..8)
+                .map(|_| caller.submit(rev, &payload, 0).unwrap())
+                .collect();
+            while !tickets.is_empty() {
+                let (_, n) = caller
+                    .wait_any_with(&mut tickets, |_, resp| resp.len())
+                    .unwrap();
+                assert_eq!(n, 700);
+            }
+        }
+        // 8 buffers in flight at once: at most 8 cold allocs ever, the
+        // rest recycled.
+        let s = caller.arena_stats();
+        assert!(s.allocs <= 8, "pipelined arena leaked allocs: {s:?}");
+        assert_eq!(ring.stats().calls, 160);
+    }
+
+    #[test]
+    fn byte_bundle_roundtrips_inline_payloads() {
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 4, 1, HotCallConfig::patient()).unwrap();
+        let mut caller = ring.caller();
+        let mut bundle = ByteBundle::with_capacity(3);
+        bundle
+            .push(&mut caller, rev, b"ab", 0)
+            .push(&mut caller, rev, b"xyz", 0)
+            .push(&mut caller, rev, b"hotcalls", 0);
+        assert_eq!(bundle.len(), 3);
+        let mut seen = Vec::new();
+        let results = caller
+            .call_bundle_with(bundle, |i, resp| {
+                seen.push((i, resp.to_vec()));
+                resp.len()
+            })
+            .unwrap();
+        assert!(results.into_iter().all(|r| r.is_ok()));
+        assert_eq!(
+            seen,
+            [
+                (0, b"ba".to_vec()),
+                (1, b"zyx".to_vec()),
+                (2, b"sllactoh".to_vec())
+            ]
+        );
+        // All three payloads fit a cache line: the bundle stays heap-free
+        // on the buffer side.
+        assert_eq!(caller.arena_stats().inline_hits, 3);
+        assert_eq!(ring.stats().calls, 3);
+    }
+
+    #[test]
+    fn adaptive_byte_ring_serves_and_reports_governor() {
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_adaptive(
+            t,
+            8,
+            ResponderPolicy::elastic(1, 3),
+            HotCallConfig::patient(),
+        )
+        .unwrap();
+        assert_eq!(ring.responders(), 3);
+        let mut caller = ring.caller();
+        for _ in 0..100 {
+            caller
+                .call_with(rev, b"abcd", 0, |resp| assert_eq!(resp, b"dcba"))
+                .unwrap();
+        }
+        let g = ring.governor_stats();
+        assert_eq!((g.min, g.max), (1, 3));
+        assert!(g.active >= 1 && g.active <= 3, "{g:?}");
+        assert_eq!(ring.stats().calls, 100);
     }
 
     #[test]

@@ -25,9 +25,9 @@ mod ring;
 mod slot;
 
 pub use arena::{ArenaStats, HotBuf, SlabArena, INLINE_CAPACITY};
-pub use bytes::{ByteCallTable, ByteCaller, ByteRing};
+pub use bytes::{ByteBundle, ByteCallTable, ByteCaller, ByteRing};
 pub use calltable::CallTable;
-pub use ring::{RingRequester, RingServer, Ticket};
+pub use ring::{Bundle, BundleTicket, RingRequester, RingServer, Ticket};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -234,6 +234,15 @@ fn responder_loop<Req, Resp>(
     }
 }
 
+/// The mailbox's in-flight call: redeem with [`Requester::wait`] or
+/// [`Requester::try_wait`]. Non-clonable: holding it is the proof of
+/// submission ownership the redeem path relies on.
+#[derive(Debug)]
+#[must_use = "a submitted call must be waited on, or the mailbox stays occupied"]
+pub struct MailTicket {
+    _sealed: (),
+}
+
 /// A handle for issuing HotCalls.
 #[derive(Debug)]
 pub struct Requester<Req, Resp> {
@@ -260,8 +269,69 @@ impl<Req, Resp> Requester<Req, Resp> {
     /// paper prescribes); [`HotCallError::ResponderGone`] if it shut down;
     /// [`HotCallError::UnknownCallId`] for unregistered ids.
     pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
+        let t = self.submit(id, req)?;
+        self.wait(t)
+    }
+
+    /// Publishes a call into the mailbox without waiting, returning a
+    /// [`MailTicket`] to redeem the response later. The mailbox holds one
+    /// call, so pipelining depth is 1 — but the requester is free to do
+    /// useful work (or issue calls on *other* channels) while the
+    /// responder executes. For deep pipelines use
+    /// [`RingRequester::submit`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Requester::call`]'s claim phase.
+    pub fn submit(&self, id: u32, req: Req) -> Result<MailTicket> {
         self.claim_mailbox()?;
-        self.exchange(id, req)
+        Ok(self.exchange(id, req))
+    }
+
+    /// Waits for the in-flight call and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderGone`] if the server shut down first, or
+    /// the handler's own error.
+    pub fn wait(&self, ticket: MailTicket) -> Result<Resp> {
+        let MailTicket { _sealed: () } = ticket;
+        // Spin for completion with escalating backoff.
+        let mut backoff = Backoff::new();
+        let mut grace: u32 = 0;
+        loop {
+            match self.shared.slot.state() {
+                DONE => break,
+                _ => {
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        // The responder's final sweep fails SUBMITTED
+                        // calls; if ours raced past the sweep, give up
+                        // after a bounded grace and strand the slot
+                        // (Drop frees the payload with the server).
+                        grace += 1;
+                        if grace > SHUTDOWN_GRACE_POLLS {
+                            return Err(HotCallError::ResponderGone);
+                        }
+                    }
+                    backoff.snooze();
+                }
+            }
+        }
+        // SAFETY: holding the (non-clonable) ticket proves this caller
+        // submitted the in-flight call; DONE observed with Acquire grants
+        // exclusive access to take the response.
+        unsafe { self.shared.slot.redeem() }
+    }
+
+    /// Redeems the response if the call already completed, or hands the
+    /// ticket back untouched.
+    pub fn try_wait(&self, ticket: MailTicket) -> core::result::Result<Result<Resp>, MailTicket> {
+        if self.shared.slot.state() != DONE {
+            return Err(ticket);
+        }
+        // SAFETY: as in `wait` — the ticket proves submission ownership
+        // and DONE was observed with Acquire.
+        Ok(unsafe { self.shared.slot.redeem() })
     }
 
     /// Claims the mailbox with bounded retries ("Preventing starvation").
@@ -287,42 +357,18 @@ impl<Req, Resp> Requester<Req, Resp> {
         })
     }
 
-    /// Publishes a request into the already-claimed mailbox and spins for
-    /// the response.
-    fn exchange(&self, id: u32, req: Req) -> Result<Resp> {
-        // SAFETY: `claim_mailbox` won the EMPTY→CLAIMED CAS, which
-        // grants this thread exclusive write access to the request cell.
+    /// Publishes a request into the already-claimed mailbox and returns
+    /// the in-flight ticket.
+    fn exchange(&self, id: u32, req: Req) -> MailTicket {
+        // SAFETY: the caller won `claim_mailbox`'s EMPTY→CLAIMED CAS,
+        // which grants this thread exclusive write access to the request
+        // cell.
         unsafe { self.shared.slot.publish(id, req) };
-
         // Wake a sleeping responder (ordered after the SUBMITTED store).
         if self.shared.doze.wake() {
             self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
         }
-
-        // Spin for completion with escalating backoff.
-        let mut backoff = Backoff::new();
-        let mut grace: u32 = 0;
-        loop {
-            match self.shared.slot.state() {
-                DONE => break,
-                _ => {
-                    if self.shared.shutdown.load(Ordering::Acquire) {
-                        // The responder's final sweep fails SUBMITTED
-                        // calls; if ours raced past the sweep, give up
-                        // after a bounded grace and strand the slot
-                        // (Drop frees the payload with the server).
-                        grace += 1;
-                        if grace > SHUTDOWN_GRACE_POLLS {
-                            return Err(HotCallError::ResponderGone);
-                        }
-                    }
-                    backoff.snooze();
-                }
-            }
-        }
-        // SAFETY: this thread submitted the call and observed DONE with
-        // Acquire, so it has exclusive access to take the response.
-        unsafe { self.shared.slot.redeem() }
+        MailTicket { _sealed: () }
     }
 
     /// Issues a call, running `fallback` locally if the fast path times
@@ -336,7 +382,10 @@ impl<Req, Resp> Requester<Req, Resp> {
         F: FnOnce(Req) -> Resp,
     {
         match self.claim_mailbox() {
-            Ok(()) => self.exchange(id, req),
+            Ok(()) => {
+                let t = self.exchange(id, req);
+                self.wait(t)
+            }
             Err(HotCallError::ResponderTimeout { .. }) => Ok(fallback(req)),
             Err(e) => Err(e),
         }
@@ -368,6 +417,43 @@ mod tests {
         assert_eq!(r.call(inc, 41).unwrap(), 42);
         assert_eq!(r.call(dbl, 21).unwrap(), 42);
         assert_eq!(server.stats().calls, 2);
+    }
+
+    #[test]
+    fn submit_wait_split_roundtrips() {
+        let (t, inc, _) = arith_table();
+        let server = HotCallServer::spawn(t, HotCallConfig::default());
+        let r = server.requester();
+        let ticket = r.submit(inc, 41).unwrap();
+        // The requester is free to do local work here while the responder
+        // executes; the ticket redeems the response later.
+        assert_eq!(r.wait(ticket).unwrap(), 42);
+        assert_eq!(server.stats().calls, 1);
+    }
+
+    #[test]
+    fn try_wait_returns_ticket_until_done() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let slow = t.register(|x| {
+            std::thread::sleep(Duration::from_millis(30));
+            x + 1
+        });
+        let server = HotCallServer::spawn(t, HotCallConfig::default());
+        let r = server.requester();
+        let mut ticket = r.submit(slow, 1).unwrap();
+        let mut polls = 0u32;
+        let resp = loop {
+            match r.try_wait(ticket) {
+                Ok(resp) => break resp.unwrap(),
+                Err(t) => {
+                    ticket = t;
+                    polls += 1;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(resp, 2);
+        assert!(polls > 0, "a 30ms handler cannot complete instantly");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The ring's responder pool: batched drain with one tail CAS per batch.
+//! The ring's responder pool: batched drain with one tail CAS per batch,
+//! governed by a [`crate::config::ResponderPolicy`].
 //!
 //! Every responder runs [`responder_loop`]: scan up to `drain_batch`
 //! contiguous `SUBMITTED` slots starting at `tail`, claim the whole run
@@ -9,17 +10,45 @@
 //! until it is serviced *and* redeemed, which itself requires `tail` to
 //! advance. Batching amortizes both the CAS and the wake/schedule cost of
 //! the drain, which is where switchless designs win under IO-heavy load.
+//!
+//! With an adaptive policy the loop grows two extra branches:
+//!
+//! * **Park** — a responder whose index is at or above the governor's
+//!   active target sleeps on the *park* doze, which per-call wakeups never
+//!   touch. This is what fixes the oversubscription regression: a parked
+//!   responder costs nothing, whereas an idle-dozing one is woken on every
+//!   submission, loses the tail race, spins a full idle streak, and
+//!   re-dozes — stealing the requester's core the whole time.
+//! * **Demote** — `polls_since_work` tracks this responder's useful-work
+//!   ratio: every empty poll adds one, every slot won subtracts a bounded
+//!   credit ([`WIN_CREDIT_POLLS`]). Unlike the doze `idle_streak`, it is
+//!   NOT reset by waking from the doze, and deliberately NOT zeroed by a
+//!   win either: in a saturated one-requester stream every churning
+//!   responder wins scraps every few calls, and a plain drought counter
+//!   never ripens — which is exactly how the 1×4 oversubscription
+//!   regression survived idleness detection. Once the deficit passes
+//!   `policy.park_after_idle_polls`, the top active responder lowers the
+//!   target by one and parks itself on the next iteration. Lower indices
+//!   inherit "top" status with their counters already ripe, so an
+//!   overprovisioned pool cascades down to its demand point quickly (the
+//!   occupancy- and age-triggered raises pull it back up).
 
 use std::sync::Arc;
 
 use crate::config::HotCallConfig;
 use crate::error::HotCallError;
 
-use super::ring::RingShared;
+use super::ring::{ReqEnvelope, RespEnvelope, RingShared};
 use super::slot::{Backoff, LocalStats, SUBMITTED};
 use super::CallTable;
 
 use std::sync::atomic::Ordering;
+
+/// Poll credit earned per slot won: a responder that wins at least one
+/// slot per this many polls is earning its keep; one that mostly loses
+/// the tail race ripens toward demotion even though it never goes fully
+/// dry.
+const WIN_CREDIT_POLLS: u64 = 64;
 
 pub(super) fn responder_loop<Req, Resp>(
     shared: Arc<RingShared<Req, Resp>>,
@@ -31,10 +60,43 @@ pub(super) fn responder_loop<Req, Resp>(
     // A batch longer than the ring would scan the same slot twice.
     let batch = config.drain_batch_clamped().min(cap);
     let cell = &shared.responders[index];
+    let gov = &shared.governor;
     let mut local = LocalStats::default();
     let mut backoff = Backoff::new();
     let mut idle_streak: u64 = 0;
+    // Useful-work deficit: +1 per empty poll, -WIN_CREDIT_POLLS per slot
+    // won. Never reset by doze wakeups or wins — see the module docs.
+    let mut polls_since_work: u64 = 0;
+    let mut parked = false;
     loop {
+        if gov.adaptive() && index >= gov.active_target.load(Ordering::Acquire) {
+            if !parked {
+                parked = true;
+                gov.parks.fetch_add(1, Ordering::Relaxed);
+                gov.parked_now.fetch_add(1, Ordering::Relaxed);
+                local.flush(cell);
+            }
+            gov.park_doze.sleep_unless(|| {
+                shared.shutdown.load(Ordering::Acquire)
+                    || index < gov.active_target.load(Ordering::Acquire)
+            });
+            if shared.shutdown.load(Ordering::Acquire) {
+                // Parked responders exit directly; the active set performs
+                // the drain-then-exit sweep below.
+                gov.parked_now.fetch_sub(1, Ordering::Relaxed);
+                local.flush(cell);
+                return;
+            }
+            if index >= gov.active_target.load(Ordering::Acquire) {
+                // Raise woke everyone; we were not the one admitted.
+                continue;
+            }
+            parked = false;
+            gov.parked_now.fetch_sub(1, Ordering::Relaxed);
+            idle_streak = 0;
+            polls_since_work = 0;
+            backoff.reset();
+        }
         let tail = shared.tail.load(Ordering::Acquire);
         // Scan a contiguous run of submitted slots (bounded by `batch`).
         let mut run = 0usize;
@@ -51,9 +113,18 @@ pub(super) fn responder_loop<Req, Resp>(
                 return;
             }
             idle_streak += 1;
+            polls_since_work += 1;
             local.idle_polls += 1;
             if local.idle_polls % 1024 == 0 {
                 local.flush(cell);
+            }
+            // Useful-work drought: the top active responder bows out. The
+            // park branch above catches the lowered target next iteration.
+            if gov.adaptive()
+                && polls_since_work >= gov.policy.park_after_idle_polls
+                && gov.try_demote(index)
+            {
+                continue;
             }
             if let Some(limit) = config.idle_polls_before_sleep {
                 if idle_streak >= limit {
@@ -63,6 +134,11 @@ pub(super) fn responder_loop<Req, Resp>(
                             || shared.slots[shared.tail.load(Ordering::Acquire) % cap].state()
                                 == SUBMITTED
                     });
+                    // `idle_streak` restarts (we just slept; spin a full
+                    // streak before sleeping again) but `polls_since_work`
+                    // deliberately does not: a responder that keeps being
+                    // woken without ever winning work must still ripen
+                    // toward demotion.
                     idle_streak = 0;
                     backoff.reset();
                     continue;
@@ -86,6 +162,7 @@ pub(super) fn responder_loop<Req, Resp>(
             continue;
         }
         idle_streak = 0;
+        polls_since_work = polls_since_work.saturating_sub(run as u64 * WIN_CREDIT_POLLS);
         backoff.reset();
         for i in 0..run {
             let slot = &shared.slots[tail.wrapping_add(i) % cap];
@@ -96,11 +173,31 @@ pub(super) fn responder_loop<Req, Resp>(
             // and no requester can recycle these slots before they are
             // serviced here and then redeemed. SUBMITTED was observed with
             // Acquire, so the payload is visible.
-            let (id, req) = unsafe { slot.take_request() };
-            let result = table
-                .dispatch(id, req)
-                .ok_or(HotCallError::UnknownCallId(id));
-            local.calls += 1;
+            let (id, env) = unsafe { slot.take_request() };
+            let result = match env {
+                ReqEnvelope::One(req) => {
+                    local.calls += 1;
+                    table
+                        .dispatch(id, req)
+                        .ok_or(HotCallError::UnknownCallId(id))
+                        .map(RespEnvelope::One)
+                }
+                ReqEnvelope::Bundle(calls) => {
+                    // One slot, one dispatch, N calls: each counts toward
+                    // `stats().calls`, and a bad id fails only its own
+                    // entry.
+                    let mut results = Vec::with_capacity(calls.len());
+                    for (call_id, req) in calls {
+                        local.calls += 1;
+                        results.push(
+                            table
+                                .dispatch(call_id, req)
+                                .ok_or(HotCallError::UnknownCallId(call_id)),
+                        );
+                    }
+                    Ok(RespEnvelope::Bundle(results))
+                }
+            };
             local.busy_polls += 1;
             // Flush before DONE so `stats().calls` is exact the moment the
             // waiting requester's Acquire sees the completion.

@@ -1,5 +1,5 @@
-//! A queued HotCalls variant: a multi-slot submission ring with a
-//! responder pool.
+//! A queued HotCalls variant: a multi-slot submission ring with an
+//! adaptive responder pool, pipelined completions, and call bundling.
 //!
 //! The paper's single mailbox serializes requesters; §4.2 observes that
 //! responder utilization "can potentially be improved by sharing the
@@ -11,6 +11,26 @@
 //! way the plain channel does, and payloads move through lock-free
 //! `UnsafeCell`s guarded by the slot state machine (see [`super::slot`]).
 //!
+//! Three mechanisms pipeline the plane beyond the paper's synchronous
+//! protocol:
+//!
+//! * **Async completions** — [`RingRequester::submit`] returns a
+//!   [`Ticket`] immediately; [`RingRequester::wait`],
+//!   [`RingRequester::try_wait`] and [`RingRequester::wait_any`] reap
+//!   completions in any order, so one requester keeps many slots in
+//!   flight and a blocked handler no longer serializes the ring.
+//! * **Call bundles** — a [`Bundle`] packs N small calls into *one* ring
+//!   submission serviced by *one* responder dispatch: one slot claim, one
+//!   head CAS, at most one doze wakeup for the whole bundle.
+//! * **Adaptive governor** — [`RingServer::spawn_adaptive`] replaces the
+//!   static pool size with a [`ResponderPolicy`]`{min, max,
+//!   target_occupancy}`: requesters raise the active-responder target
+//!   when the ring backs up (or their in-flight calls age), and the top
+//!   active responder demotes itself and *parks* after a useful-work
+//!   drought. Parked responders sleep on a doze that per-call wakeups
+//!   never touch, so surplus pollers stop burning the cores the
+//!   requesters need.
+//!
 //! Responders claim work in batches: each scans up to
 //! [`HotCallConfig::drain_batch`] contiguous submitted slots from `tail`
 //! and takes ownership of the whole run with one CAS on `tail` (see
@@ -21,7 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::config::{HotCallConfig, HotCallStats};
+use crate::config::{GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
 use crate::error::{HotCallError, Result};
 
 use super::pool;
@@ -32,10 +52,125 @@ use super::CallTable;
 /// slot that will never complete (its payload is freed by the slot Drop).
 const SHUTDOWN_GRACE_POLLS: u32 = 100_000;
 
+/// Poll interval at which a waiter treats its in-flight call as "aging"
+/// and nudges the governor to raise the active-responder target.
+const AGE_POLLS_PER_RAISE: u32 = 4_096;
+
+/// What one ring slot carries callee-bound: a single call's request (the
+/// call id rides in the slot's id word) or a bundle of `(id, request)`
+/// pairs submitted as one unit.
+pub(super) enum ReqEnvelope<Req> {
+    One(Req),
+    Bundle(Vec<(u32, Req)>),
+}
+
+/// What comes back: the lone response, or one result per bundled call in
+/// submission order. Per-call failures (unknown id) stay inside the
+/// bundle; a slot-level `Err` means the transport itself failed.
+pub(super) enum RespEnvelope<Resp> {
+    One(Resp),
+    Bundle(Vec<Result<Resp>>),
+}
+
+pub(super) type RingSlot<Req, Resp> = CallSlot<ReqEnvelope<Req>, RespEnvelope<Resp>>;
+
+/// The adaptive pool's control block. For static pools (`min == max`) the
+/// governor is inert: no requester or responder ever branches into it.
+pub(super) struct GovernorState {
+    pub(super) policy: ResponderPolicy,
+    /// Responders with index below this are active; the rest park. Only
+    /// moves inside `[min, max]`.
+    pub(super) active_target: CachePadded<AtomicUsize>,
+    /// Where parked responders sleep. Separate from the work doze on
+    /// purpose: per-call wakeups must never reach a parked responder —
+    /// that churn is exactly the oversubscription regression the governor
+    /// exists to fix.
+    pub(super) park_doze: Doze,
+    /// Responders currently parked (gauge).
+    pub(super) parked_now: AtomicUsize,
+    /// Park decisions taken (a responder left the active set).
+    pub(super) parks: AtomicU64,
+    /// Wake decisions taken (the target was raised on backlog).
+    pub(super) wakes: AtomicU64,
+}
+
+impl GovernorState {
+    fn new(policy: ResponderPolicy) -> Self {
+        // Start wide: all `max` responders active, and let idleness park
+        // the surplus. Cold-start backlog never waits on a governor
+        // decision this way; quiet periods converge to `min` within one
+        // park threshold per surplus responder.
+        GovernorState {
+            policy,
+            active_target: CachePadded::new(AtomicUsize::new(policy.max)),
+            park_doze: Doze::new(),
+            parked_now: AtomicUsize::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// Is there anything to govern?
+    #[inline]
+    pub(super) fn adaptive(&self) -> bool {
+        self.policy.is_adaptive()
+    }
+
+    /// Raises the active target by one (up to `max`) and wakes the parked
+    /// responders so the newly admitted one starts draining. Called by
+    /// requesters when they observe backlog or in-flight age.
+    pub(super) fn try_raise(&self) -> bool {
+        let t = self.active_target.load(Ordering::Relaxed);
+        if t >= self.policy.max {
+            return false;
+        }
+        if self
+            .active_target
+            .compare_exchange(t, t + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        self.wakes.fetch_add(1, Ordering::Relaxed);
+        // Wake *all* parked responders: each re-checks its index against
+        // the new target and the surplus re-parks. notify_one could hand
+        // the wake to a responder that stays parked, stranding the one
+        // the raise admitted.
+        self.park_doze.wake_all();
+        true
+    }
+
+    /// Lowers the active target by one. Only the *top* active responder
+    /// (`index == target - 1`) may demote, so the active set stays the
+    /// contiguous prefix `0..target` and parking is deterministic.
+    pub(super) fn try_demote(&self, index: usize) -> bool {
+        if index < self.policy.min {
+            return false;
+        }
+        let t = self.active_target.load(Ordering::Relaxed);
+        if t <= self.policy.min || index != t - 1 {
+            return false;
+        }
+        self.active_target
+            .compare_exchange(t, t - 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+impl core::fmt::Debug for GovernorState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GovernorState")
+            .field("policy", &self.policy)
+            .field("active", &self.active_target.load(Ordering::Relaxed))
+            .field("parked", &self.parked_now.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 pub(super) struct RingShared<Req, Resp> {
     /// Each slot is 64-byte aligned with its state word on its own line,
     /// so neighbouring slots never false-share.
-    pub(super) slots: Box<[CallSlot<Req, Resp>]>,
+    pub(super) slots: Box<[RingSlot<Req, Resp>]>,
     /// Next slot index a requester claims. Padded: requesters hammer this
     /// line; responders must not.
     pub(super) head: CachePadded<AtomicUsize>,
@@ -43,6 +178,7 @@ pub(super) struct RingShared<Req, Resp> {
     pub(super) tail: CachePadded<AtomicUsize>,
     pub(super) shutdown: AtomicBool,
     pub(super) doze: Doze,
+    pub(super) governor: GovernorState,
     /// One padded statistics cell per responder; each responder writes
     /// only its own (plain stores, no shared RMW on the hot path).
     pub(super) responders: Box<[CachePadded<StatCell>]>,
@@ -61,6 +197,33 @@ impl<Req, Resp> RingShared<Req, Resp> {
     pub(super) fn occupancy(head: usize, tail: usize) -> usize {
         head.wrapping_sub(tail)
     }
+
+    fn snapshot(&self) -> HotCallStats {
+        let mut s = HotCallStats {
+            calls: 0,
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            idle_polls: 0,
+            busy_polls: 0,
+        };
+        for cell in self.responders.iter() {
+            s.calls += cell.calls.load(Ordering::Relaxed);
+            s.idle_polls += cell.idle_polls.load(Ordering::Relaxed);
+            s.busy_polls += cell.busy_polls.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    fn governor_snapshot(&self) -> GovernorStats {
+        GovernorStats {
+            active: self.governor.active_target.load(Ordering::Relaxed),
+            parked: self.governor.parked_now.load(Ordering::Relaxed),
+            parks: self.governor.parks.load(Ordering::Relaxed),
+            wakes: self.governor.wakes.load(Ordering::Relaxed),
+            min: self.governor.policy.min,
+            max: self.governor.policy.max,
+        }
+    }
 }
 
 impl<Req, Resp> core::fmt::Debug for RingShared<Req, Resp> {
@@ -70,12 +233,14 @@ impl<Req, Resp> core::fmt::Debug for RingShared<Req, Resp> {
             .field("responders", &self.responders.len())
             .field("head", &self.head.load(Ordering::Relaxed))
             .field("tail", &self.tail.load(Ordering::Relaxed))
+            .field("governor", &self.governor)
             .finish()
     }
 }
 
 /// A running ring server: a pool of responder threads draining a
-/// multi-slot submission ring in batches.
+/// multi-slot submission ring in batches, optionally governed by a
+/// [`ResponderPolicy`].
 ///
 /// # Examples
 ///
@@ -112,10 +277,10 @@ where
         Self::spawn_pool(table, capacity, 1, config).expect("capacity and pool size validated")
     }
 
-    /// Spawns a pool of `n_responders` threads draining one shared ring
-    /// of `capacity` slots. Each responder claims up to
-    /// [`HotCallConfig::drain_batch`] contiguous submissions per tail
-    /// advance.
+    /// Spawns a static pool of `n_responders` always-active threads
+    /// draining one shared ring of `capacity` slots. Each responder
+    /// claims up to [`HotCallConfig::drain_batch`] contiguous submissions
+    /// per tail advance.
     ///
     /// # Errors
     ///
@@ -127,22 +292,54 @@ where
         n_responders: usize,
         config: HotCallConfig,
     ) -> Result<Self> {
+        Self::spawn_adaptive(
+            table,
+            capacity,
+            ResponderPolicy::fixed(n_responders),
+            config,
+        )
+    }
+
+    /// Spawns an adaptive pool: `policy.max` responder threads of which
+    /// between `policy.min` and `policy.max` are active at any moment.
+    /// Requesters raise the active target when ring occupancy exceeds
+    /// `policy.target_occupancy` (or their in-flight calls age without
+    /// completing); the top active responder demotes itself and parks
+    /// after `policy.park_after_idle_polls` polls without useful work.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] if `capacity` or `policy.min` is
+    /// zero, or `policy.max < policy.min`.
+    pub fn spawn_adaptive(
+        table: CallTable<Req, Resp>,
+        capacity: usize,
+        policy: ResponderPolicy,
+        config: HotCallConfig,
+    ) -> Result<Self> {
         if capacity == 0 {
             return Err(HotCallError::InvalidConfig(
                 "ring capacity must be positive",
             ));
         }
-        if n_responders == 0 {
+        if policy.min == 0 {
             return Err(HotCallError::InvalidConfig(
-                "responder pool must have at least one thread",
+                "responder pool must keep at least one active thread",
             ));
         }
+        if policy.max < policy.min {
+            return Err(HotCallError::InvalidConfig(
+                "responder policy max must be at least min",
+            ));
+        }
+        let n_responders = policy.max;
         let shared = Arc::new(RingShared {
-            slots: (0..capacity).map(|_| CallSlot::new()).collect(),
+            slots: (0..capacity).map(|_| RingSlot::new()).collect(),
             head: CachePadded::new(AtomicUsize::new(0)),
             tail: CachePadded::new(AtomicUsize::new(0)),
             shutdown: AtomicBool::new(false),
             doze: Doze::new(),
+            governor: GovernorState::new(policy),
             responders: (0..n_responders)
                 .map(|_| CachePadded::new(StatCell::default()))
                 .collect(),
@@ -175,26 +372,20 @@ where
         }
     }
 
-    /// Number of responder threads in the pool.
+    /// Number of responder threads in the pool (active and parked).
     pub fn responders(&self) -> usize {
         self.shared.responders.len()
     }
 
     /// Statistics so far, aggregated over the responder pool.
     pub fn stats(&self) -> HotCallStats {
-        let mut s = HotCallStats {
-            calls: 0,
-            fallbacks: self.shared.fallbacks.load(Ordering::Relaxed),
-            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
-            idle_polls: 0,
-            busy_polls: 0,
-        };
-        for cell in self.shared.responders.iter() {
-            s.calls += cell.calls.load(Ordering::Relaxed);
-            s.idle_polls += cell.idle_polls.load(Ordering::Relaxed);
-            s.busy_polls += cell.busy_polls.load(Ordering::Relaxed);
-        }
-        s
+        self.shared.snapshot()
+    }
+
+    /// The governor's current shape and decision counters. For static
+    /// pools `active == min == max` and the counters stay zero.
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.shared.governor_snapshot()
     }
 
     /// Stops the responders and joins them.
@@ -207,6 +398,7 @@ impl<Req, Resp> RingServer<Req, Resp> {
     fn shutdown_inner(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.doze.wake_all();
+        self.shared.governor.park_doze.wake_all();
         for j in self.joins.drain(..) {
             let _ = j.join();
         }
@@ -237,28 +429,126 @@ impl<Req, Resp> Clone for RingRequester<Req, Resp> {
     }
 }
 
-/// An in-flight call: redeem with [`RingRequester::wait`].
+/// An in-flight call: redeem with [`RingRequester::wait`],
+/// [`RingRequester::try_wait`] or [`RingRequester::wait_any`].
 #[derive(Debug)]
 #[must_use = "a ticket must be waited on, or its slot stays occupied"]
 pub struct Ticket {
     index: usize,
 }
 
+impl Ticket {
+    /// The submission sequence number (monotonic per ring): correlate a
+    /// completion from [`RingRequester::wait_any`] back to its
+    /// submission.
+    pub fn seq(&self) -> u64 {
+        self.index as u64
+    }
+}
+
+/// An in-flight bundle: redeem with [`RingRequester::wait_bundle`].
+#[derive(Debug)]
+#[must_use = "a bundle ticket must be waited on, or its slot stays occupied"]
+pub struct BundleTicket {
+    index: usize,
+    len: usize,
+}
+
+impl BundleTicket {
+    /// Number of calls packed in the bundle.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A bundle ticket never covers zero calls, but clippy likes the
+    /// pair.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Builder packing many small calls into one ring submission.
+///
+/// The whole bundle costs one slot claim, one head CAS and at most one
+/// responder wakeup, and is serviced by a single responder dispatch —
+/// amortizing the per-call ring traffic the way HotCall bundling does for
+/// IO-intensive enclave applications.
+///
+/// # Examples
+///
+/// ```
+/// use hotcalls::rt::{Bundle, CallTable, RingServer};
+/// use hotcalls::HotCallConfig;
+///
+/// let mut table: CallTable<u64, u64> = CallTable::new();
+/// let inc = table.register(|x| x + 1);
+/// let dbl = table.register(|x| x * 2);
+/// let server = RingServer::spawn(table, 8, HotCallConfig::patient());
+/// let r = server.requester();
+///
+/// let mut bundle = Bundle::new();
+/// bundle.push(inc, 1).push(dbl, 21).push(inc, 99);
+/// let results = r.call_bundle(bundle).unwrap();
+/// let values: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+/// assert_eq!(values, [2, 42, 100]);
+/// ```
+#[derive(Debug)]
+pub struct Bundle<Req> {
+    calls: Vec<(u32, Req)>,
+}
+
+impl<Req> Default for Bundle<Req> {
+    fn default() -> Self {
+        Bundle::new()
+    }
+}
+
+impl<Req> Bundle<Req> {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        Bundle { calls: Vec::new() }
+    }
+
+    /// An empty bundle with room for `n` calls.
+    pub fn with_capacity(n: usize) -> Self {
+        Bundle {
+            calls: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a call to the bundle.
+    pub fn push(&mut self, id: u32, req: Req) -> &mut Self {
+        self.calls.push((id, req));
+        self
+    }
+
+    /// Calls packed so far.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Nothing packed yet?
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+}
+
 impl<Req, Resp> RingRequester<Req, Resp> {
-    /// Claims a slot and submits a request without waiting. Returns a
-    /// [`Ticket`] to redeem the response.
-    ///
-    /// # Errors
-    ///
-    /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
-    /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
-    pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
+    /// Claims a slot and publishes `env` into it, returning the absolute
+    /// slot sequence. On failure the envelope is handed back so the
+    /// caller can recover the request payloads (the fallback path).
+    fn submit_envelope(
+        &self,
+        id: u32,
+        env: ReqEnvelope<Req>,
+    ) -> core::result::Result<usize, (HotCallError, ReqEnvelope<Req>)> {
         let cap = self.shared.slots.len();
+        let gov = &self.shared.governor;
         let mut backoff = Backoff::new();
         for _retry in 0..self.config.timeout_retries {
             for _ in 0..self.config.spins_per_retry {
                 if self.shared.shutdown.load(Ordering::Acquire) {
-                    return Err(HotCallError::ResponderGone);
+                    return Err((HotCallError::ResponderGone, env));
                 }
                 // Load `tail` before `head`: both only grow, so the head
                 // snapshot cannot lag the tail snapshot and the occupancy
@@ -267,8 +557,15 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 // snapshot in between, underflowing `head - tail`.)
                 let tail = self.shared.tail.load(Ordering::Acquire);
                 let head = self.shared.head.load(Ordering::Acquire);
+                let occupancy = RingShared::<Req, Resp>::occupancy(head, tail);
+                // Backlog deeper than the policy threshold (or a full
+                // ring) means the active responders are outpaced: admit
+                // another before spinning on.
+                if gov.adaptive() && occupancy > gov.policy.target_occupancy_clamped() {
+                    gov.try_raise();
+                }
                 // Full ring: wait for the responders to drain.
-                if RingShared::<Req, Resp>::occupancy(head, tail) >= cap {
+                if occupancy >= cap {
                     core::hint::spin_loop();
                     continue;
                 }
@@ -297,35 +594,80 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 slot.mark_claimed();
                 // SAFETY: the head CAS above granted exclusive claim
                 // ownership of this slot (see comment); publish once.
-                unsafe { slot.publish(id, req) };
+                unsafe { slot.publish(id, env) };
                 // Wake a sleeping responder (after the SUBMITTED store).
+                // One wake per submission — a bundle of N calls pays this
+                // at most once.
                 if self.shared.doze.wake() {
                     self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
                 }
-                return Ok(Ticket { index: head });
+                return Ok(head);
             }
             backoff.snooze();
         }
         self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
-        Err(HotCallError::ResponderTimeout {
-            retries: self.config.timeout_retries,
-        })
+        Err((
+            HotCallError::ResponderTimeout {
+                retries: self.config.timeout_retries,
+            },
+            env,
+        ))
     }
 
-    /// Waits for a submitted call to complete and returns its response.
+    /// Claims a slot and submits a request without waiting. Returns a
+    /// [`Ticket`] to redeem the response.
+    ///
+    /// An un-redeemed ticket keeps its ring slot occupied, so a
+    /// submission that laps the ring onto such a slot blocks until the
+    /// ticket is redeemed (and times out if it never is). Pipelined
+    /// callers should keep fewer than `capacity` calls in flight and
+    /// redeem a ticket whose sequence number is one full lap behind the
+    /// submission count before submitting past it.
     ///
     /// # Errors
     ///
-    /// [`HotCallError::ResponderGone`] if the server shut down first, or
-    /// the handler's own error.
-    pub fn wait(&self, ticket: Ticket) -> Result<Resp> {
+    /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
+    /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
+    pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
+        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+            Ok(index) => Ok(Ticket { index }),
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// Packs `bundle` into one ring submission: one slot claim, one
+    /// responder dispatch, at most one wakeup for all of its calls.
+    /// Returns a [`BundleTicket`] to redeem the per-call results.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] for an empty bundle, otherwise as
+    /// [`RingRequester::submit`].
+    pub fn submit_bundle(&self, bundle: Bundle<Req>) -> Result<BundleTicket> {
+        if bundle.is_empty() {
+            return Err(HotCallError::InvalidConfig(
+                "a bundle must pack at least one call",
+            ));
+        }
+        let len = bundle.len();
+        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls)) {
+            Ok(index) => Ok(BundleTicket { index, len }),
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// Spins until the slot behind `index` is DONE. Returns `Err` only on
+    /// shutdown-with-grace-expired.
+    fn wait_done(&self, index: usize) -> Result<()> {
         let cap = self.shared.slots.len();
-        let slot = &self.shared.slots[ticket.index % cap];
+        let slot = &self.shared.slots[index % cap];
+        let gov = &self.shared.governor;
         let mut backoff = Backoff::new();
         let mut grace: u32 = 0;
+        let mut age_polls: u32 = 0;
         loop {
             match slot.state() {
-                DONE => break,
+                DONE => return Ok(()),
                 _ => {
                     // The pool drains submitted work before exiting, but a
                     // submission that raced the shutdown flag (or sits
@@ -338,15 +680,138 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                             return Err(HotCallError::ResponderGone);
                         }
                     }
+                    // In-flight age: a call that spins this long without
+                    // completing is stuck behind busy responders — ask the
+                    // governor for another.
+                    age_polls += 1;
+                    if gov.adaptive() && age_polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
+                        gov.try_raise();
+                    }
                     backoff.snooze();
                 }
             }
         }
+    }
+
+    /// Waits for a submitted call to complete and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderGone`] if the server shut down first, or
+    /// the handler's own error.
+    pub fn wait(&self, ticket: Ticket) -> Result<Resp> {
+        self.wait_done(ticket.index)?;
+        let cap = self.shared.slots.len();
+        let slot = &self.shared.slots[ticket.index % cap];
         // SAFETY: this requester submitted the call at `ticket.index` and
         // observed DONE with Acquire; only the submitter redeems a slot,
         // and the previous lap's DONE was redeemed before this slot could
         // be claimed again, so this DONE is ours.
-        unsafe { slot.redeem() }
+        match unsafe { slot.redeem() } {
+            Ok(RespEnvelope::One(resp)) => Ok(resp),
+            Ok(RespEnvelope::Bundle(_)) => {
+                unreachable!("a Ticket is only minted for single-call submissions")
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Redeems the response if the call already completed, or hands the
+    /// ticket back untouched — the non-blocking reap primitive for
+    /// poll-style event loops.
+    pub fn try_wait(&self, ticket: Ticket) -> core::result::Result<Result<Resp>, Ticket> {
+        let cap = self.shared.slots.len();
+        let slot = &self.shared.slots[ticket.index % cap];
+        if slot.state() != DONE {
+            return Err(ticket);
+        }
+        // SAFETY: as in `wait` — DONE observed with Acquire by the
+        // submitting requester.
+        Ok(match unsafe { slot.redeem() } {
+            Ok(RespEnvelope::One(resp)) => Ok(resp),
+            Ok(RespEnvelope::Bundle(_)) => {
+                unreachable!("a Ticket is only minted for single-call submissions")
+            }
+            Err(e) => Err(e),
+        })
+    }
+
+    /// Waits until *any* of `tickets` completes, removes it from the set,
+    /// and returns its sequence number (see [`Ticket::seq`]) with the
+    /// response. Completion order is whatever the responder pool produces
+    /// — this is the batched-reap primitive that keeps a deep pipeline
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] on an empty set;
+    /// [`HotCallError::ResponderGone`] if the server shut down; a per-call
+    /// failure (e.g. unknown id) is returned as-is (the offending ticket
+    /// is consumed).
+    pub fn wait_any(&self, tickets: &mut Vec<Ticket>) -> Result<(u64, Resp)> {
+        if tickets.is_empty() {
+            return Err(HotCallError::InvalidConfig(
+                "wait_any needs at least one ticket",
+            ));
+        }
+        let cap = self.shared.slots.len();
+        let gov = &self.shared.governor;
+        let mut backoff = Backoff::new();
+        let mut grace: u32 = 0;
+        let mut age_polls: u32 = 0;
+        loop {
+            for i in 0..tickets.len() {
+                let slot = &self.shared.slots[tickets[i].index % cap];
+                if slot.state() != DONE {
+                    continue;
+                }
+                let ticket = tickets.swap_remove(i);
+                let seq = ticket.seq();
+                // SAFETY: as in `wait` — DONE observed with Acquire by the
+                // submitting requester, for a ticket this requester owns.
+                return match unsafe { slot.redeem() } {
+                    Ok(RespEnvelope::One(resp)) => Ok((seq, resp)),
+                    Ok(RespEnvelope::Bundle(_)) => {
+                        unreachable!("a Ticket is only minted for single-call submissions")
+                    }
+                    Err(e) => Err(e),
+                };
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                grace += 1;
+                if grace > SHUTDOWN_GRACE_POLLS {
+                    return Err(HotCallError::ResponderGone);
+                }
+            }
+            age_polls += 1;
+            if gov.adaptive() && age_polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
+                gov.try_raise();
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Waits for a bundle and returns one result per call, in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderGone`] if the server shut down before the
+    /// bundle was serviced. Per-call failures stay *inside* the returned
+    /// vector.
+    pub fn wait_bundle(&self, ticket: BundleTicket) -> Result<Vec<Result<Resp>>> {
+        self.wait_done(ticket.index)?;
+        let cap = self.shared.slots.len();
+        let slot = &self.shared.slots[ticket.index % cap];
+        // SAFETY: as in `wait` — DONE observed with Acquire by the
+        // submitting requester.
+        match unsafe { slot.redeem() } {
+            Ok(RespEnvelope::Bundle(results)) => Ok(results),
+            Ok(RespEnvelope::One(_)) => {
+                unreachable!("a BundleTicket is only minted for bundle submissions")
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Submit + wait in one step.
@@ -359,21 +824,44 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         self.wait(t)
     }
 
+    /// Submits a bundle and waits for all of its results.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::submit_bundle`] and
+    /// [`RingRequester::wait_bundle`].
+    pub fn call_bundle(&self, bundle: Bundle<Req>) -> Result<Vec<Result<Resp>>> {
+        let t = self.submit_bundle(bundle)?;
+        self.wait_bundle(t)
+    }
+
+    /// Issues a call, running `fallback` locally if the fast path times
+    /// out — the paper's SDK-call fallback, generalized to the ring.
+    ///
+    /// The request is moved into the ring only after the claim succeeds,
+    /// so the hot path never clones: on timeout the original request
+    /// comes back out of the envelope and goes to `fallback` as-is.
+    pub fn call_with_fallback<F>(&self, id: u32, req: Req, fallback: F) -> Result<Resp>
+    where
+        F: FnOnce(Req) -> Resp,
+    {
+        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+            Ok(index) => self.wait(Ticket { index }),
+            Err((HotCallError::ResponderTimeout { .. }, ReqEnvelope::One(req))) => {
+                Ok(fallback(req))
+            }
+            Err((e, _)) => Err(e),
+        }
+    }
+
     /// Statistics so far, aggregated over the responder pool.
     pub fn stats(&self) -> HotCallStats {
-        let mut s = HotCallStats {
-            calls: 0,
-            fallbacks: self.shared.fallbacks.load(Ordering::Relaxed),
-            wakeups: self.shared.wakeups.load(Ordering::Relaxed),
-            idle_polls: 0,
-            busy_polls: 0,
-        };
-        for cell in self.shared.responders.iter() {
-            s.calls += cell.calls.load(Ordering::Relaxed);
-            s.idle_polls += cell.idle_polls.load(Ordering::Relaxed);
-            s.busy_polls += cell.busy_polls.load(Ordering::Relaxed);
-        }
-        s
+        self.shared.snapshot()
+    }
+
+    /// The governor's current shape and decision counters.
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.shared.governor_snapshot()
     }
 }
 
@@ -409,6 +897,121 @@ mod tests {
         for (i, t) in tickets.into_iter().enumerate() {
             assert_eq!(r.wait(t).unwrap(), (i * i) as u64);
         }
+    }
+
+    #[test]
+    fn wait_any_reaps_out_of_order() {
+        let (t, sq) = table();
+        let server = RingServer::spawn_pool(t, 16, 2, generous()).unwrap();
+        let r = server.requester();
+        let mut tickets: Vec<Ticket> = (0..10u64).map(|i| r.submit(sq, i).unwrap()).collect();
+        let mut seen = std::collections::BTreeMap::new();
+        while !tickets.is_empty() {
+            let (seq, resp) = r.wait_any(&mut tickets).unwrap();
+            assert!(seen.insert(seq, resp).is_none(), "seq {seq} reaped twice");
+        }
+        // Sequence numbers are the ring indices 0..10 for a fresh server,
+        // and each response is the square of its submission payload.
+        let values: Vec<u64> = seen.into_values().collect();
+        let mut want: Vec<u64> = (0..10u64).map(|i| i * i).collect();
+        want.sort_unstable();
+        let mut got = values;
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn try_wait_returns_ticket_until_done() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let slow = t.register(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            x + 1
+        });
+        let server = RingServer::spawn(t, 4, generous());
+        let r = server.requester();
+        let mut ticket = r.submit(slow, 1).unwrap();
+        let mut polls = 0u32;
+        let resp = loop {
+            match r.try_wait(ticket) {
+                Ok(resp) => break resp.unwrap(),
+                Err(t) => {
+                    ticket = t;
+                    polls += 1;
+                    std::thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(resp, 2);
+        assert!(polls > 0, "a 30ms handler cannot complete instantly");
+    }
+
+    #[test]
+    fn bundle_roundtrip_preserves_order_and_ids() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let inc = t.register(|x| x + 1);
+        let dbl = t.register(|x| x * 2);
+        let server = RingServer::spawn(t, 4, generous());
+        let r = server.requester();
+        let mut bundle = Bundle::with_capacity(5);
+        bundle
+            .push(inc, 10)
+            .push(dbl, 10)
+            .push(inc, 0)
+            .push(dbl, 0)
+            .push(inc, 41);
+        assert_eq!(bundle.len(), 5);
+        let results = r.call_bundle(bundle).unwrap();
+        let values: Vec<u64> = results.into_iter().map(|x| x.unwrap()).collect();
+        assert_eq!(values, [11, 20, 1, 0, 42]);
+        // Each bundled call counts as a call; the bundle is one ring slot.
+        assert_eq!(server.stats().calls, 5);
+    }
+
+    #[test]
+    fn bundle_unknown_id_fails_only_that_call() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 4, generous());
+        let r = server.requester();
+        let mut bundle = Bundle::new();
+        bundle.push(sq, 3).push(999, 1).push(sq, 4);
+        let results = r.call_bundle(bundle).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(*results[0].as_ref().unwrap(), 9);
+        assert!(matches!(results[1], Err(HotCallError::UnknownCallId(999))));
+        assert_eq!(*results[2].as_ref().unwrap(), 16);
+    }
+
+    #[test]
+    fn empty_bundle_is_rejected() {
+        let (t, _) = table();
+        let server = RingServer::spawn(t, 4, generous());
+        let r = server.requester();
+        assert!(matches!(
+            r.submit_bundle(Bundle::new()),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn bundles_interleave_with_single_calls() {
+        let (t, sq) = table();
+        let server = RingServer::spawn_pool(t, 8, 2, generous()).unwrap();
+        let r = server.requester();
+        for round in 0..50u64 {
+            let single = r.submit(sq, round).unwrap();
+            let mut bundle = Bundle::new();
+            for i in 0..4u64 {
+                bundle.push(sq, round * 10 + i);
+            }
+            let bt = r.submit_bundle(bundle).unwrap();
+            let results = r.wait_bundle(bt).unwrap();
+            for (i, got) in results.into_iter().enumerate() {
+                let x = round * 10 + i as u64;
+                assert_eq!(got.unwrap(), x * x);
+            }
+            assert_eq!(r.wait(single).unwrap(), round * round);
+        }
+        assert_eq!(server.stats().calls, 250);
     }
 
     #[test]
@@ -455,6 +1058,34 @@ mod tests {
     }
 
     #[test]
+    fn ring_fallback_runs_locally_on_timeout() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let slow = t.register(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            x
+        });
+        // Capacity-1 ring: while the slow call is in flight the ring is
+        // full, so a second requester times out and falls back.
+        let server = RingServer::spawn(
+            t,
+            1,
+            HotCallConfig {
+                timeout_retries: 2,
+                spins_per_retry: 4,
+                ..HotCallConfig::default()
+            },
+        );
+        let r1 = server.requester();
+        let r2 = server.requester();
+        let blocker = std::thread::spawn(move || r1.call(slow, 7).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let v = r2.call_with_fallback(slow, 5, |x| x + 100).unwrap();
+        assert_eq!(v, 105);
+        assert!(r2.stats().fallbacks >= 1);
+        assert_eq!(blocker.join().unwrap(), 7);
+    }
+
+    #[test]
     fn shutdown_fails_inflight_and_future_calls() {
         let (t, sq) = table();
         let server = RingServer::spawn(t, 2, generous());
@@ -481,6 +1112,11 @@ mod tests {
         let (t, _) = table();
         assert!(matches!(
             RingServer::spawn_pool(t, 8, 0, generous()),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+        let (t, _) = table();
+        assert!(matches!(
+            RingServer::spawn_adaptive(t, 8, ResponderPolicy::elastic(2, 1), generous()),
             Err(HotCallError::InvalidConfig(_))
         ));
     }
@@ -554,6 +1190,36 @@ mod tests {
     }
 
     #[test]
+    fn bundle_submission_performs_at_most_one_wake() {
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            idle_polls_before_sleep: Some(100),
+            ..generous()
+        };
+        let server = RingServer::spawn_pool(t, 32, 2, config).unwrap();
+        let r = server.requester();
+        assert_eq!(r.call(sq, 2).unwrap(), 4);
+        // Let every responder doze so the next submission must wake.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.shared.doze.sleepers.load(Ordering::SeqCst) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "responders never slept"
+            );
+            std::thread::yield_now();
+        }
+        let before = server.stats().wakeups;
+        let mut bundle = Bundle::new();
+        for i in 0..16u64 {
+            bundle.push(sq, i);
+        }
+        let results = r.call_bundle(bundle).unwrap();
+        assert!(results.into_iter().all(|x| x.is_ok()));
+        let woke = server.stats().wakeups - before;
+        assert!(woke <= 1, "a 16-call bundle paid {woke} wakes");
+    }
+
+    #[test]
     fn occupancy_is_underflow_proof() {
         // The regression this fixes: a stale head snapshot paired with a
         // fresher tail snapshot made `head - tail` underflow. The helper
@@ -588,5 +1254,84 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.stats().calls, 1_200);
+    }
+
+    #[test]
+    fn static_pool_governor_is_inert() {
+        let (t, sq) = table();
+        let server = RingServer::spawn_pool(t, 8, 3, generous()).unwrap();
+        let r = server.requester();
+        for i in 0..500u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+        }
+        let g = server.governor_stats();
+        assert_eq!((g.active, g.parked), (3, 0));
+        assert_eq!((g.parks, g.wakes), (0, 0));
+        assert_eq!((g.min, g.max), (3, 3));
+    }
+
+    #[test]
+    fn governor_parks_surplus_responders_when_idle() {
+        let (t, sq) = table();
+        let policy = ResponderPolicy {
+            park_after_idle_polls: 64,
+            ..ResponderPolicy::elastic(1, 4)
+        };
+        let config = HotCallConfig {
+            idle_polls_before_sleep: Some(1_000_000),
+            ..generous()
+        };
+        let server = RingServer::spawn_adaptive(t, 16, policy, config).unwrap();
+        assert_eq!(server.responders(), 4);
+        let r = server.requester();
+        assert_eq!(r.call(sq, 3).unwrap(), 9);
+        // With no work, the three governable responders demote themselves
+        // top-down and park.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let g = server.governor_stats();
+            if g.active == 1 && g.parked == 3 {
+                assert!(g.parks >= 3, "{g:?}");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never parked: {g:?}");
+            std::thread::yield_now();
+        }
+        // The remaining responder still serves calls.
+        assert_eq!(r.call(sq, 5).unwrap(), 25);
+    }
+
+    #[test]
+    fn governor_wakes_parked_responders_on_backlog() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let slow = t.register(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            x + 1
+        });
+        let policy = ResponderPolicy {
+            park_after_idle_polls: 64,
+            target_occupancy: 1,
+            ..ResponderPolicy::elastic(1, 4)
+        };
+        let server = RingServer::spawn_adaptive(t, 32, policy, generous()).unwrap();
+        let r = server.requester();
+        // Let the pool park down to the minimum first.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.governor_stats().active > 1 {
+            assert!(std::time::Instant::now() < deadline, "never parked");
+            std::thread::yield_now();
+        }
+        // Pipeline a burst of blocking calls: occupancy builds behind the
+        // single active responder, requesters raise the target, parked
+        // responders wake and help.
+        let tickets: Vec<Ticket> = (0..24u64).map(|i| r.submit(slow, i).unwrap()).collect();
+        let mut tickets = tickets;
+        while !tickets.is_empty() {
+            let (_, resp) = r.wait_any(&mut tickets).unwrap();
+            assert!(resp >= 1);
+        }
+        let g = server.governor_stats();
+        assert!(g.wakes >= 1, "backlog never raised the target: {g:?}");
+        assert_eq!(server.stats().calls, 24);
     }
 }
