@@ -17,9 +17,7 @@
 //! measured size, or saves less than 20% at 4 KiB — the claims the
 //! artifact exists to witness.
 
-use std::fmt::Write as _;
-
-use bench::report::banner;
+use bench::report::{banner, Json};
 use hotcalls::sim::SimHotCalls;
 use hotcalls::HotCallConfig;
 use sgx_sdk::edl::parse_edl;
@@ -179,26 +177,21 @@ fn main() {
     println!("all NRZ claims hold: strictly cheaper everywhere, >=20% at 4 KiB");
 }
 
-/// Hand-rolled JSON: numbers and fixed ASCII keys only, no escaping
-/// needed.
+/// The artifact goes through the shared `BENCH_*.json` serializer, so it
+/// carries the same `schema_version` envelope as every other bench output.
 fn render_json(rows: &[Row]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n  \"nrz_ablation\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            s,
-            "    {{\"mode\": \"{}\", \"bytes\": {}, \"sdk\": {}, \"hotcalls\": {}, \
-             \"hotcalls_nrz\": {}, \"nrz_saving_pct\": {:.1}}}{}",
-            r.mode,
-            r.bytes,
-            r.sdk,
-            r.hot,
-            r.nrz,
-            r.saving_pct(),
-            comma
-        );
+    let mut j = Json::bench("ablation_nrz");
+    j.begin_array("nrz_ablation");
+    for r in rows {
+        j.begin_item();
+        j.field_str("mode", r.mode)
+            .field_u64("bytes", r.bytes)
+            .field_u64("sdk", r.sdk)
+            .field_u64("hotcalls", r.hot)
+            .field_u64("hotcalls_nrz", r.nrz)
+            .field_f64("nrz_saving_pct", r.saving_pct(), 1);
+        j.end_item();
     }
-    s.push_str("  ]\n}\n");
-    s
+    j.end_array();
+    j.finish()
 }

@@ -30,10 +30,9 @@
 //! (≥ 2× in smoke mode) or bundling does not cut per-call cost for every
 //! inline payload size.
 
-use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use bench::report::banner;
+use bench::report::{banner, Json};
 use hotcalls::rt::{Bundle, ByteBundle, ByteCallTable, ByteRing, CallTable, RingServer};
 use hotcalls::{HotCallConfig, ResponderPolicy};
 
@@ -299,8 +298,8 @@ fn main() {
     );
 }
 
-/// Hand-rolled JSON: numbers and fixed ASCII keys only, no escaping
-/// needed.
+/// The artifact goes through the shared `BENCH_*.json` serializer, so it
+/// carries the same `schema_version` envelope as every other bench output.
 fn render_json(
     args: &Args,
     sync_cps: f64,
@@ -309,41 +308,30 @@ fn render_json(
     rows: &[OverheadRow],
     measure: Duration,
 ) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"smoke\": {},", args.smoke);
-    let _ = writeln!(
-        s,
-        "  \"measure_ms\": {}, \"io_handler_us\": {}, \"responders\": {}, \
-         \"pipeline_depth\": {}, \"bundle_len\": {}, \"byte_bundle_len\": {},",
-        measure.as_millis(),
-        IO_HANDLER_SLEEP.as_micros(),
-        IO_RESPONDERS,
-        PIPELINE_DEPTH,
-        BUNDLE_LEN,
-        BYTE_BUNDLE_LEN
-    );
-    s.push_str("  \"io_pipeline\": {\n");
-    let _ = writeln!(s, "    \"sync_calls_per_sec\": {sync_cps:.1},");
-    let _ = writeln!(s, "    \"pipelined_calls_per_sec\": {pipe_cps:.1},");
-    let _ = writeln!(s, "    \"bundled_calls_per_sec\": {bund_cps:.1},");
-    let _ = writeln!(s, "    \"pipelined_speedup\": {:.2},", pipe_cps / sync_cps);
-    let _ = writeln!(s, "    \"bundled_speedup\": {:.2}", bund_cps / sync_cps);
-    s.push_str("  },\n");
-    s.push_str("  \"bundle_overhead\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            s,
-            "    {{\"payload_bytes\": {}, \"single_ns_per_call\": {:.1}, \
-             \"bundled_ns_per_call\": {:.1}, \"bundle_saving_pct\": {:.1}}}{}",
-            r.payload,
-            r.single_ns,
-            r.bundled_ns,
-            r.saving_pct(),
-            comma
-        );
+    let mut j = Json::bench("ablation_pipeline");
+    j.field_bool("smoke", args.smoke)
+        .field_u64("measure_ms", measure.as_millis() as u64)
+        .field_u64("io_handler_us", IO_HANDLER_SLEEP.as_micros() as u64)
+        .field_u64("responders", IO_RESPONDERS as u64)
+        .field_u64("pipeline_depth", PIPELINE_DEPTH as u64)
+        .field_u64("bundle_len", BUNDLE_LEN as u64)
+        .field_u64("byte_bundle_len", BYTE_BUNDLE_LEN as u64);
+    j.begin_object("io_pipeline");
+    j.field_f64("sync_calls_per_sec", sync_cps, 1)
+        .field_f64("pipelined_calls_per_sec", pipe_cps, 1)
+        .field_f64("bundled_calls_per_sec", bund_cps, 1)
+        .field_f64("pipelined_speedup", pipe_cps / sync_cps, 2)
+        .field_f64("bundled_speedup", bund_cps / sync_cps, 2);
+    j.end_object();
+    j.begin_array("bundle_overhead");
+    for r in rows {
+        j.begin_item();
+        j.field_u64("payload_bytes", r.payload as u64)
+            .field_f64("single_ns_per_call", r.single_ns, 1)
+            .field_f64("bundled_ns_per_call", r.bundled_ns, 1)
+            .field_f64("bundle_saving_pct", r.saving_pct(), 1);
+        j.end_item();
     }
-    s.push_str("  ]\n}\n");
-    s
+    j.end_array();
+    j.finish()
 }

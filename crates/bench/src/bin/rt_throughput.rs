@@ -18,15 +18,20 @@
 //! in the JSON, so the oversubscription regression stays visible — and
 //! fixed — in the artifact.
 //!
+//! A sharded section runs the same requester sweep against the
+//! multi-ring plane (`--shards`, default 2): each requester is pinned to
+//! a home shard by the router, responders steal across shards, and the
+//! per-shard steal counters land in the JSON.
+//!
 //! Also times the single-slot mailbox round trip, lock-free vs the
-//! preserved mutex-slot baseline, so the old-vs-new delta lands in the
-//! same artifact.
+//! preserved mutex-slot baseline, and takes the mutex baseline through
+//! the same requester counts so the scaling rows compare like-for-like.
 //!
 //! Usage:
 //!
 //! ```text
 //! rt_throughput [OUT.json] [--workload cpu|io|all] [--max-responders N]
-//!               [--measure-ms N]
+//!               [--shards N] [--measure-ms N]
 //! ```
 //!
 //! Output: human-readable table on stdout plus `BENCH_rt.json` in the
@@ -36,9 +41,10 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use bench::rt_baseline::MutexMailbox;
-use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, HotCallServer, RingServer};
-use hotcalls::{HotCallConfig, ResponderPolicy};
+use bench::report::Json;
+use bench::rt_baseline::{scaling_throughput, MutexMailbox};
+use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, HotCallServer, RingServer, ShardedServer};
+use hotcalls::{HotCallConfig, ResponderPolicy, ShardPolicy};
 
 const RING_CAPACITY: usize = 64;
 const IO_HANDLER_SLEEP: Duration = Duration::from_micros(200);
@@ -50,6 +56,7 @@ struct Args {
     out_path: String,
     workloads: Vec<&'static str>,
     max_responders: usize,
+    shards: usize,
     measure: Duration,
 }
 
@@ -58,6 +65,7 @@ fn parse_args() -> Args {
         out_path: "BENCH_rt.json".into(),
         workloads: vec!["cpu", "io"],
         max_responders: 4,
+        shards: 2,
         measure: Duration::from_millis(250),
     };
     let mut it = std::env::args().skip(1);
@@ -77,6 +85,12 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--max-responders takes a positive integer");
                 assert!(args.max_responders >= 1, "--max-responders must be >= 1");
+            }
+            "--shards" => {
+                args.shards = value("--shards")
+                    .parse()
+                    .expect("--shards takes a positive integer");
+                assert!(args.shards >= 1, "--shards must be >= 1");
             }
             "--measure-ms" => {
                 let ms: u64 = value("--measure-ms")
@@ -253,6 +267,103 @@ fn pool_cell(
     }
 }
 
+struct ShardCell {
+    workload: &'static str,
+    requesters: usize,
+    shards: usize,
+    calls: u64,
+    secs: f64,
+    calls_per_sec: f64,
+    steals: u64,
+    steal_hits: u64,
+    cross_shard_wakes: u64,
+}
+
+/// Runs one sharded-plane cell: R requester threads, each pinned to a
+/// router-chosen home shard, against `shards` independent rings with one
+/// work-stealing responder each.
+fn shard_cell(
+    workload: &'static str,
+    requesters: usize,
+    shards: usize,
+    measure: Duration,
+) -> ShardCell {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let id = match workload {
+        "cpu" => table.register(|x| x + 1),
+        "io" => table.register(|x| {
+            std::thread::sleep(IO_HANDLER_SLEEP);
+            x + 1
+        }),
+        _ => unreachable!("unknown workload"),
+    };
+    let server = ShardedServer::spawn(
+        table,
+        RING_CAPACITY,
+        ShardPolicy::fixed(shards),
+        pool_config(),
+    )
+    .expect("shard shape is valid");
+
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let calls: u64 = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(requesters);
+        for t in 0..requesters as u64 {
+            let r = server.requester();
+            let stop = &stop;
+            handles.push(s.spawn(move || {
+                let mut done = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = t * 1_000_000 + i;
+                    assert_eq!(r.call(id, x).unwrap(), x + 1);
+                    done += 1;
+                    i += 1;
+                }
+                done
+            }));
+        }
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let rs = server.ring_stats();
+    server.shutdown();
+    ShardCell {
+        workload,
+        requesters,
+        shards,
+        calls,
+        secs,
+        calls_per_sec: calls as f64 / secs,
+        steals: rs.steals(),
+        steal_hits: rs.steal_hits(),
+        cross_shard_wakes: rs.cross_shard_wakes(),
+    }
+}
+
+struct BaselineCell {
+    requesters: usize,
+    calls_per_sec: f64,
+}
+
+/// The mutex-slot baseline at each requester count — the like-for-like
+/// leg of the scaling rows (it used to be measured at one requester
+/// only).
+fn baseline_scaling(requesters: usize, measure: Duration) -> BaselineCell {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let inc = table.register(|x| x + 1);
+    let mb = MutexMailbox::spawn(table, spin_config());
+    let calls_per_sec = scaling_throughput(&mb, inc, requesters, |i| i, measure);
+    mb.shutdown();
+    BaselineCell {
+        requesters,
+        calls_per_sec,
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -270,6 +381,15 @@ fn main() {
     println!("single mailbox round trip ({MAILBOX_CALLS} calls):");
     println!("  mutex-slot baseline : {baseline_ns:10.1} ns/call");
     println!("  lock-free (live)    : {lockfree_ns:10.1} ns/call");
+    println!();
+
+    println!("mutex-slot baseline scaling (calls/sec):");
+    let mut baseline_cells = Vec::new();
+    for requesters in [1usize, 2, 4] {
+        let cell = baseline_scaling(requesters, args.measure);
+        println!("  {requesters:>6} req | {:>12.0}", cell.calls_per_sec);
+        baseline_cells.push(cell);
+    }
     println!();
 
     let static_shapes: Vec<usize> = [1usize, 2, 4]
@@ -320,6 +440,23 @@ fn main() {
         println!();
     }
 
+    let mut shard_cells = Vec::new();
+    for workload in args.workloads.iter().copied() {
+        println!(
+            "workload `{workload}`, sharded plane ({} shards, calls/sec):",
+            args.shards
+        );
+        for requesters in [1usize, 2, 4, 8] {
+            let cell = shard_cell(workload, requesters, args.shards, args.measure);
+            println!(
+                "  {requesters:>6} req | {:>12.0} (steals {} hits {} xwakes {})",
+                cell.calls_per_sec, cell.steals, cell.steal_hits, cell.cross_shard_wakes
+            );
+            shard_cells.push(cell);
+        }
+        println!();
+    }
+
     println!("byte-payload arena ({ARENA_CALLS} calls per size):");
     println!(
         "  {:>8} | {:>10} {:>12} {:>12} {:>10}",
@@ -340,7 +477,15 @@ fn main() {
     }
     println!();
 
-    let json = render_json(&args, baseline_ns, lockfree_ns, &cells, &arena);
+    let json = render_json(
+        &args,
+        baseline_ns,
+        lockfree_ns,
+        &baseline_cells,
+        &cells,
+        &shard_cells,
+        &arena,
+    );
     std::fs::write(&args.out_path, &json).expect("write BENCH_rt.json");
     println!("wrote {}", args.out_path);
 }
@@ -351,62 +496,80 @@ fn host_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Hand-rolled JSON: every value is a number or a plain ASCII keyword, so
-/// no escaping (or serde) is needed.
+/// The artifact goes through the shared `BENCH_*.json` serializer
+/// ([`Json`]), so it carries the same `schema_version` envelope as every
+/// other bench output.
 fn render_json(
     args: &Args,
     baseline_ns: f64,
     lockfree_ns: f64,
+    baseline_cells: &[BaselineCell],
     cells: &[Cell],
+    shard_cells: &[ShardCell],
     arena: &[ArenaCell],
 ) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"host_threads\": {},", host_threads());
-    let _ = writeln!(
-        s,
-        "  \"measure_ms\": {}, \"io_handler_us\": {}, \"ring_capacity\": {}, \
-         \"max_responders\": {},",
-        args.measure.as_millis(),
-        IO_HANDLER_SLEEP.as_micros(),
-        RING_CAPACITY,
-        args.max_responders
-    );
-    s.push_str("  \"mailbox_roundtrip_ns\": {\n");
-    let _ = writeln!(s, "    \"mutex_slot_baseline\": {baseline_ns:.1},");
-    let _ = writeln!(s, "    \"lock_free\": {lockfree_ns:.1}");
-    s.push_str("  },\n");
-    s.push_str("  \"ring_pool_throughput\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let comma = if i + 1 == cells.len() { "" } else { "," };
-        let _ = writeln!(
-            s,
-            "    {{\"workload\": \"{}\", \"requesters\": {}, \"responders\": {}, \
-             \"adaptive\": {}, \"calls\": {}, \"secs\": {:.4}, \"calls_per_sec\": {:.1}, \
-             \"governor_parks\": {}, \"governor_wakes\": {}}}{}",
-            c.workload,
-            c.requesters,
-            c.responders,
-            c.adaptive,
-            c.calls,
-            c.secs,
+    let mut j = Json::bench("rt_throughput");
+    j.field_u64("host_threads", host_threads() as u64)
+        .field_u64("measure_ms", args.measure.as_millis() as u64)
+        .field_u64("io_handler_us", IO_HANDLER_SLEEP.as_micros() as u64)
+        .field_u64("ring_capacity", RING_CAPACITY as u64)
+        .field_u64("max_responders", args.max_responders as u64)
+        .field_u64("shards", args.shards as u64);
+    j.begin_object("mailbox_roundtrip_ns");
+    j.field_f64("mutex_slot_baseline", baseline_ns, 1)
+        .field_f64("lock_free", lockfree_ns, 1);
+    j.end_object();
+    j.begin_array("mutex_baseline_scaling");
+    for c in baseline_cells {
+        j.begin_item();
+        j.field_u64("requesters", c.requesters as u64).field_f64(
+            "calls_per_sec",
             c.calls_per_sec,
-            c.parks,
-            c.wakes,
-            comma
+            1,
         );
+        j.end_item();
     }
-    s.push_str("  ],\n");
-    s.push_str("  \"arena\": [\n");
-    for (i, c) in arena.iter().enumerate() {
-        let comma = if i + 1 == arena.len() { "" } else { "," };
-        let _ = writeln!(
-            s,
-            "    {{\"payload_bytes\": {}, \"ns_per_call\": {:.1}, \"inline_hit_rate\": {:.4}, \
-             \"recycle_rate\": {:.4}, \"allocs_per_op\": {:.5}}}{}",
-            c.payload, c.ns_per_call, c.inline_hit_rate, c.recycle_rate, c.allocs_per_op, comma
-        );
+    j.end_array();
+    j.begin_array("ring_pool_throughput");
+    for c in cells {
+        j.begin_item();
+        j.field_str("workload", c.workload)
+            .field_u64("requesters", c.requesters as u64)
+            .field_u64("responders", c.responders as u64)
+            .field_bool("adaptive", c.adaptive)
+            .field_u64("calls", c.calls)
+            .field_f64("secs", c.secs, 4)
+            .field_f64("calls_per_sec", c.calls_per_sec, 1)
+            .field_u64("governor_parks", c.parks)
+            .field_u64("governor_wakes", c.wakes);
+        j.end_item();
     }
-    s.push_str("  ]\n}\n");
-    s
+    j.end_array();
+    j.begin_array("sharded_throughput");
+    for c in shard_cells {
+        j.begin_item();
+        j.field_str("workload", c.workload)
+            .field_u64("requesters", c.requesters as u64)
+            .field_u64("shards", c.shards as u64)
+            .field_u64("calls", c.calls)
+            .field_f64("secs", c.secs, 4)
+            .field_f64("calls_per_sec", c.calls_per_sec, 1)
+            .field_u64("steals", c.steals)
+            .field_u64("steal_hits", c.steal_hits)
+            .field_u64("cross_shard_wakes", c.cross_shard_wakes);
+        j.end_item();
+    }
+    j.end_array();
+    j.begin_array("arena");
+    for c in arena {
+        j.begin_item();
+        j.field_u64("payload_bytes", c.payload as u64)
+            .field_f64("ns_per_call", c.ns_per_call, 1)
+            .field_f64("inline_hit_rate", c.inline_hit_rate, 4)
+            .field_f64("recycle_rate", c.recycle_rate, 4)
+            .field_f64("allocs_per_op", c.allocs_per_op, 5);
+        j.end_item();
+    }
+    j.end_array();
+    j.finish()
 }

@@ -166,6 +166,50 @@ where
     }
 }
 
+/// Drives `requesters` concurrent threads of back-to-back calls against
+/// `mailbox` for `measure`, returning the aggregate completed-call rate in
+/// calls/second.
+///
+/// This is the baseline's like-for-like leg of the requester-scaling rows:
+/// the old data plane took the measurement at one requester only, silently
+/// comparing a contended pool against an uncontended mailbox. Calls that
+/// fall back on timeout (the mailbox holds one call; under contention the
+/// claim CAS can starve past the retry budget) are excluded from the
+/// completed count, exactly as the pool legs exclude fallbacks.
+pub fn scaling_throughput<Req, Resp>(
+    mailbox: &MutexMailbox<Req, Resp>,
+    id: u32,
+    requesters: usize,
+    make_req: impl Fn(u64) -> Req + Sync,
+    measure: std::time::Duration,
+) -> f64
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    use std::sync::atomic::AtomicBool;
+    let stop = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..requesters {
+            s.spawn(|| {
+                let mut i = 0u64;
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if mailbox.call(id, make_req(i)).is_ok() {
+                        done += 1;
+                    }
+                    i += 1;
+                }
+                completed.fetch_add(done, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+    });
+    completed.load(Ordering::Relaxed) as f64 / measure.as_secs_f64()
+}
+
 impl<Req, Resp> MutexMailbox<Req, Resp> {
     fn shutdown_inner(&mut self) {
         self.shared.state.store(SHUTDOWN, Ordering::Release);
@@ -253,6 +297,17 @@ mod tests {
             assert_eq!(mb.call(inc, i).unwrap(), i + 1);
         }
         assert_eq!(mb.stats().calls, 100);
+        mb.shutdown();
+    }
+
+    #[test]
+    fn scaling_throughput_counts_concurrent_completions() {
+        let mut table: CallTable<u64, u64> = CallTable::new();
+        let inc = table.register(|x| x + 1);
+        let mb = MutexMailbox::spawn(table, HotCallConfig::patient());
+        let rate = scaling_throughput(&mb, inc, 2, |i| i, std::time::Duration::from_millis(50));
+        assert!(rate > 0.0, "two requesters must complete calls: {rate}");
+        assert!(mb.stats().calls > 0);
         mb.shutdown();
     }
 }

@@ -127,6 +127,135 @@ impl ResponderPolicy {
     }
 }
 
+/// Sizing policy for a sharded data plane: N independent rings, each with
+/// its own responder, requesters pinned to a home shard by the router.
+/// Like [`ResponderPolicy`] but the unit of elasticity is a whole shard —
+/// parking a shard stops the router from assigning new requesters to it
+/// and leaves its residual submissions to the stealing responders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPolicy {
+    /// Number of shards (= responder threads). `0` means "auto": resolve
+    /// to the host's available parallelism at spawn time.
+    pub shards: usize,
+    /// Shards that are never parked (at least 1).
+    pub min_active: usize,
+    /// Per-shard queued-submission count above which a requester raises
+    /// the active-shard target (at least 1).
+    pub target_occupancy: usize,
+    /// Consecutive polls without useful work after which the top active
+    /// shard's responder demotes itself and parks the shard.
+    pub park_after_idle_polls: u64,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy {
+            shards: 0,
+            min_active: 1,
+            target_occupancy: 2,
+            park_after_idle_polls: 2_048,
+        }
+    }
+}
+
+impl ShardPolicy {
+    /// A static plane of exactly `n` always-active shards (the governor is
+    /// disabled).
+    pub fn fixed(n: usize) -> Self {
+        ShardPolicy {
+            shards: n,
+            min_active: n,
+            ..Self::default()
+        }
+    }
+
+    /// An elastic plane of `shards` shards, between `min_active` and
+    /// `shards` of them active.
+    pub fn elastic(min_active: usize, shards: usize) -> Self {
+        ShardPolicy {
+            shards,
+            min_active,
+            ..Self::default()
+        }
+    }
+
+    /// An elastic plane sized to the host: one shard per hardware thread,
+    /// parking down to one when idle.
+    pub fn auto() -> Self {
+        ShardPolicy::default()
+    }
+
+    /// The shard count this policy resolves to (auto = available
+    /// parallelism, never zero).
+    pub fn resolved_shards(&self) -> usize {
+        if self.shards != 0 {
+            return self.shards;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Does this policy ever park a shard?
+    pub fn is_adaptive(&self) -> bool {
+        self.resolved_shards() > self.min_active
+    }
+}
+
+/// Per-shard counters of a sharded data plane, published through
+/// [`RingStats`]. Each shard has exactly one home responder; `steals` and
+/// `steal_hits` describe that responder's probing of *sibling* shards.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (= its home responder's index).
+    pub shard: usize,
+    /// Calls serviced by this shard's home responder (home or stolen).
+    pub serviced: u64,
+    /// Drain attempts the home responder made on its own shard.
+    pub home_polls: u64,
+    /// Sibling-shard probes the home responder made after finding its own
+    /// shard empty.
+    pub steals: u64,
+    /// Sibling probes that actually claimed work.
+    pub steal_hits: u64,
+    /// Wakeups this shard's submissions redirected to a sibling responder
+    /// (because the home responder was parked or already saturated).
+    pub cross_shard_wakes: u64,
+    /// Is this shard currently parked (router not assigning to it)?
+    pub parked: bool,
+    /// Submissions currently between claim and service on this shard.
+    pub occupancy: usize,
+}
+
+/// A full statistics snapshot of a sharded data plane: pool-wide totals,
+/// the shard governor's shape, and one [`ShardStats`] row per shard.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingStats {
+    /// Pool-wide transport totals (sum over every responder).
+    pub totals: HotCallStats,
+    /// The shard governor's current shape and decision counters.
+    pub governor: GovernorStats,
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl RingStats {
+    /// Total sibling-shard probes across the plane.
+    pub fn steals(&self) -> u64 {
+        self.shards.iter().map(|s| s.steals).sum()
+    }
+
+    /// Total sibling probes that claimed work.
+    pub fn steal_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.steal_hits).sum()
+    }
+
+    /// Total submissions whose wakeup crossed to a sibling responder.
+    pub fn cross_shard_wakes(&self) -> u64 {
+        self.shards.iter().map(|s| s.cross_shard_wakes).sum()
+    }
+}
+
 /// A snapshot of an adaptive pool's governor: how many responders are
 /// active vs parked right now, and the decision counters accumulated so
 /// far.
@@ -204,6 +333,40 @@ mod tests {
             ..ResponderPolicy::default()
         };
         assert_eq!(p.target_occupancy_clamped(), 1);
+    }
+
+    #[test]
+    fn shard_policy_shapes() {
+        assert!(!ShardPolicy::fixed(4).is_adaptive());
+        assert!(ShardPolicy::elastic(1, 4).is_adaptive());
+        assert_eq!(ShardPolicy::fixed(4).resolved_shards(), 4);
+        // Auto resolves to the host's parallelism, never zero.
+        assert!(ShardPolicy::auto().resolved_shards() >= 1);
+    }
+
+    #[test]
+    fn ring_stats_aggregates_over_shards() {
+        let stats = RingStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    steals: 3,
+                    steal_hits: 1,
+                    cross_shard_wakes: 2,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    steals: 4,
+                    steal_hits: 2,
+                    ..ShardStats::default()
+                },
+            ],
+            ..RingStats::default()
+        };
+        assert_eq!(stats.steals(), 7);
+        assert_eq!(stats.steal_hits(), 3);
+        assert_eq!(stats.cross_shard_wakes(), 2);
     }
 
     #[test]

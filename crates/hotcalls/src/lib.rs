@@ -50,5 +50,7 @@ mod error;
 pub mod rt;
 pub mod sim;
 
-pub use config::{GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
+pub use config::{
+    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
+};
 pub use error::{HotCallError, Result};

@@ -15,11 +15,14 @@
 //! whatever the previous call left there — the NRZ discipline: write your
 //! response, report its length, and nobody pays for zeroing in between.
 
-use crate::config::{GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
+use crate::config::{
+    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
+};
 use crate::error::Result;
 
 use super::arena::{ArenaStats, HotBuf, SlabArena};
 use super::ring::{Bundle, RingRequester, RingServer, Ticket};
+use super::shard::{ShardedRequester, ShardedServer};
 use super::CallTable;
 
 /// A call table whose handlers transform byte payloads in place.
@@ -81,7 +84,15 @@ impl ByteCallTable {
 /// ```
 #[derive(Debug)]
 pub struct ByteRing {
-    server: RingServer<HotBuf, HotBuf>,
+    plane: BytePlane,
+}
+
+/// The transport behind a [`ByteRing`]: one shared ring, or the sharded
+/// multi-ring plane.
+#[derive(Debug)]
+enum BytePlane {
+    Single(RingServer<HotBuf, HotBuf>),
+    Sharded(ShardedServer<HotBuf, HotBuf>),
 }
 
 impl ByteRing {
@@ -97,7 +108,12 @@ impl ByteRing {
         config: HotCallConfig,
     ) -> Result<Self> {
         Ok(ByteRing {
-            server: RingServer::spawn_pool(table.inner, capacity, n_responders, config)?,
+            plane: BytePlane::Single(RingServer::spawn_pool(
+                table.inner,
+                capacity,
+                n_responders,
+                config,
+            )?),
         })
     }
 
@@ -116,45 +132,219 @@ impl ByteRing {
         config: HotCallConfig,
     ) -> Result<Self> {
         Ok(ByteRing {
-            server: RingServer::spawn_adaptive(table.inner, capacity, policy, config)?,
+            plane: BytePlane::Single(RingServer::spawn_adaptive(
+                table.inner,
+                capacity,
+                policy,
+                config,
+            )?),
+        })
+    }
+
+    /// Spawns the sharded plane (see [`ShardedServer::spawn`]):
+    /// `policy.resolved_shards()` independent rings of
+    /// `capacity_per_shard` slots each, one work-stealing responder per
+    /// shard, callers pinned to home shards by the router.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedServer::spawn`].
+    pub fn spawn_sharded(
+        table: ByteCallTable,
+        capacity_per_shard: usize,
+        policy: ShardPolicy,
+        config: HotCallConfig,
+    ) -> Result<Self> {
+        Ok(ByteRing {
+            plane: BytePlane::Sharded(ShardedServer::spawn(
+                table.inner,
+                capacity_per_shard,
+                policy,
+                config,
+            )?),
         })
     }
 
     /// A caller handle with its own private arena (no cross-thread
-    /// coordination on the buffer path).
+    /// coordination on the buffer path). On a sharded plane the caller is
+    /// pinned to a router-chosen home shard.
     pub fn caller(&self) -> ByteCaller {
+        let requester = match &self.plane {
+            BytePlane::Single(server) => ByteRequester::Single(server.requester()),
+            BytePlane::Sharded(server) => ByteRequester::Sharded(server.requester()),
+        };
         ByteCaller {
-            requester: self.server.requester(),
+            requester,
             arena: SlabArena::new(),
         }
     }
 
+    /// A caller pinned to an explicit home shard — the affinity override
+    /// for workloads that partition connections themselves. On a
+    /// single-ring plane only shard 0 exists.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HotCallError::InvalidConfig`] if `shard` is out of range.
+    pub fn caller_on(&self, shard: usize) -> Result<ByteCaller> {
+        let requester = match &self.plane {
+            BytePlane::Single(server) => {
+                if shard != 0 {
+                    return Err(crate::error::HotCallError::InvalidConfig(
+                        "shard affinity index out of range",
+                    ));
+                }
+                ByteRequester::Single(server.requester())
+            }
+            BytePlane::Sharded(server) => ByteRequester::Sharded(server.requester_on(shard)?),
+        };
+        Ok(ByteCaller {
+            requester,
+            arena: SlabArena::new(),
+        })
+    }
+
     /// Number of responder threads in the pool (active and parked).
     pub fn responders(&self) -> usize {
-        self.server.responders()
+        match &self.plane {
+            BytePlane::Single(server) => server.responders(),
+            BytePlane::Sharded(server) => server.shards(),
+        }
+    }
+
+    /// Number of ring shards (1 for the single-ring plane).
+    pub fn shards(&self) -> usize {
+        match &self.plane {
+            BytePlane::Single(_) => 1,
+            BytePlane::Sharded(server) => server.shards(),
+        }
     }
 
     /// Transport statistics, aggregated over the responder pool.
     pub fn stats(&self) -> HotCallStats {
-        self.server.stats()
+        match &self.plane {
+            BytePlane::Single(server) => server.stats(),
+            BytePlane::Sharded(server) => server.stats(),
+        }
     }
 
     /// The governor's current shape and decision counters.
     pub fn governor_stats(&self) -> GovernorStats {
-        self.server.governor_stats()
+        match &self.plane {
+            BytePlane::Single(server) => server.governor_stats(),
+            BytePlane::Sharded(server) => server.governor_stats(),
+        }
+    }
+
+    /// The full per-shard snapshot. A single-ring plane reports itself as
+    /// one degenerate shard (no probes, no steals).
+    pub fn ring_stats(&self) -> RingStats {
+        match &self.plane {
+            BytePlane::Single(server) => single_ring_stats(server.stats(), server.governor_stats()),
+            BytePlane::Sharded(server) => server.ring_stats(),
+        }
     }
 
     /// Stops the responders and joins them.
     pub fn shutdown(self) {
-        self.server.shutdown();
+        match self.plane {
+            BytePlane::Single(server) => server.shutdown(),
+            BytePlane::Sharded(server) => server.shutdown(),
+        }
+    }
+}
+
+/// The single-ring plane viewed through the sharded stats schema: one
+/// shard, every poll a home poll, nothing stolen.
+fn single_ring_stats(totals: HotCallStats, governor: GovernorStats) -> RingStats {
+    let shard = ShardStats {
+        shard: 0,
+        serviced: totals.calls,
+        home_polls: totals.busy_polls + totals.idle_polls,
+        steals: 0,
+        steal_hits: 0,
+        cross_shard_wakes: 0,
+        parked: false,
+        occupancy: 0,
+    };
+    RingStats {
+        totals,
+        governor,
+        shards: vec![shard],
     }
 }
 
 /// A byte-call handle owning the arena its payloads cycle through.
 #[derive(Debug)]
 pub struct ByteCaller {
-    requester: RingRequester<HotBuf, HotBuf>,
+    requester: ByteRequester,
     arena: SlabArena,
+}
+
+/// The requester half matching [`BytePlane`]: shared-ring or pinned to a
+/// home shard of the sharded plane.
+#[derive(Debug)]
+enum ByteRequester {
+    Single(RingRequester<HotBuf, HotBuf>),
+    Sharded(ShardedRequester<HotBuf, HotBuf>),
+}
+
+impl ByteRequester {
+    fn call(&self, id: u32, buf: HotBuf) -> Result<HotBuf> {
+        match self {
+            ByteRequester::Single(r) => r.call(id, buf),
+            ByteRequester::Sharded(r) => r.call(id, buf),
+        }
+    }
+
+    fn submit(&self, id: u32, buf: HotBuf) -> Result<Ticket> {
+        match self {
+            ByteRequester::Single(r) => r.submit(id, buf),
+            ByteRequester::Sharded(r) => r.submit(id, buf),
+        }
+    }
+
+    fn wait(&self, ticket: Ticket) -> Result<HotBuf> {
+        match self {
+            ByteRequester::Single(r) => r.wait(ticket),
+            ByteRequester::Sharded(r) => r.wait(ticket),
+        }
+    }
+
+    fn wait_any(&self, tickets: &mut Vec<Ticket>) -> Result<(u64, HotBuf)> {
+        match self {
+            ByteRequester::Single(r) => r.wait_any(tickets),
+            ByteRequester::Sharded(r) => r.wait_any(tickets),
+        }
+    }
+
+    fn call_bundle(&self, bundle: Bundle<HotBuf>) -> Result<Vec<Result<HotBuf>>> {
+        match self {
+            ByteRequester::Single(r) => r.call_bundle(bundle),
+            ByteRequester::Sharded(r) => r.call_bundle(bundle),
+        }
+    }
+
+    fn stats(&self) -> HotCallStats {
+        match self {
+            ByteRequester::Single(r) => r.stats(),
+            ByteRequester::Sharded(r) => r.stats(),
+        }
+    }
+
+    fn governor_stats(&self) -> GovernorStats {
+        match self {
+            ByteRequester::Single(r) => r.governor_stats(),
+            ByteRequester::Sharded(r) => r.governor_stats(),
+        }
+    }
+
+    fn home(&self) -> usize {
+        match self {
+            ByteRequester::Single(_) => 0,
+            ByteRequester::Sharded(r) => r.home(),
+        }
+    }
 }
 
 impl ByteCaller {
@@ -287,6 +477,12 @@ impl ByteCaller {
     /// The governor's current shape and decision counters.
     pub fn governor_stats(&self) -> GovernorStats {
         self.requester.governor_stats()
+    }
+
+    /// The home shard this caller's submissions land on (always 0 on a
+    /// single-ring plane).
+    pub fn home_shard(&self) -> usize {
+        self.requester.home()
     }
 }
 
@@ -513,6 +709,64 @@ mod tests {
         assert_eq!((g.min, g.max), (1, 3));
         assert!(g.active >= 1 && g.active <= 3, "{g:?}");
         assert_eq!(ring.stats().calls, 100);
+    }
+
+    #[test]
+    fn sharded_byte_ring_roundtrips_and_reports_shards() {
+        let (t, rev, _) = echo_table();
+        let ring =
+            ByteRing::spawn_sharded(t, 8, ShardPolicy::fixed(2), HotCallConfig::patient()).unwrap();
+        assert_eq!(ring.shards(), 2);
+        assert_eq!(ring.responders(), 2);
+        let mut a = ring.caller();
+        let mut b = ring.caller();
+        assert_ne!(a.home_shard(), b.home_shard(), "router must spread homes");
+        for _ in 0..50 {
+            a.call_with(rev, b"abc", 0, |resp| assert_eq!(resp, b"cba"))
+                .unwrap();
+            b.call_with(rev, b"wxyz", 0, |resp| assert_eq!(resp, b"zyxw"))
+                .unwrap();
+        }
+        assert_eq!(ring.stats().calls, 100);
+        let rs = ring.ring_stats();
+        assert_eq!(rs.shards.len(), 2);
+        assert_eq!(rs.shards.iter().map(|s| s.serviced).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn sharded_byte_bundle_and_affinity_override() {
+        let (t, rev, _) = echo_table();
+        let ring =
+            ByteRing::spawn_sharded(t, 8, ShardPolicy::fixed(2), HotCallConfig::patient()).unwrap();
+        let mut caller = ring.caller_on(1).unwrap();
+        assert_eq!(caller.home_shard(), 1);
+        assert!(ring.caller_on(2).is_err());
+        let mut bundle = ByteBundle::with_capacity(2);
+        bundle
+            .push(&mut caller, rev, b"hot", 0)
+            .push(&mut caller, rev, b"calls", 0);
+        let lens: Vec<usize> = caller
+            .call_bundle(bundle)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(lens, [3, 5]);
+        assert_eq!(ring.stats().calls, 2);
+    }
+
+    #[test]
+    fn single_ring_reports_one_degenerate_shard() {
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 4, 1, HotCallConfig::patient()).unwrap();
+        assert_eq!(ring.shards(), 1);
+        let mut caller = ring.caller();
+        caller.call(rev, b"ab", 0).unwrap();
+        assert!(ring.caller_on(1).is_err());
+        let rs = ring.ring_stats();
+        assert_eq!(rs.shards.len(), 1);
+        assert_eq!(rs.shards[0].serviced, 1);
+        assert_eq!(rs.steals(), 0);
     }
 
     #[test]

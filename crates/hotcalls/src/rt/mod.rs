@@ -22,12 +22,14 @@ mod bytes;
 mod calltable;
 mod pool;
 mod ring;
+mod shard;
 mod slot;
 
 pub use arena::{ArenaStats, HotBuf, SlabArena, INLINE_CAPACITY};
 pub use bytes::{ByteBundle, ByteCallTable, ByteCaller, ByteRing};
 pub use calltable::CallTable;
 pub use ring::{Bundle, BundleTicket, RingRequester, RingServer, Ticket};
+pub use shard::{ShardedRequester, ShardedServer};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

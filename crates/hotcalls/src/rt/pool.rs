@@ -38,8 +38,8 @@ use std::sync::Arc;
 use crate::config::HotCallConfig;
 use crate::error::HotCallError;
 
-use super::ring::{ReqEnvelope, RespEnvelope, RingShared};
-use super::slot::{Backoff, LocalStats, SUBMITTED};
+use super::ring::{ReqEnvelope, RespEnvelope, RingShared, RingSlot};
+use super::slot::{Backoff, LocalStats, StatCell, SUBMITTED};
 use super::CallTable;
 
 use std::sync::atomic::Ordering;
@@ -48,7 +48,58 @@ use std::sync::atomic::Ordering;
 /// slot per this many polls is earning its keep; one that mostly loses
 /// the tail race ripens toward demotion even though it never goes fully
 /// dry.
-const WIN_CREDIT_POLLS: u64 = 64;
+pub(super) const WIN_CREDIT_POLLS: u64 = 64;
+
+/// Services one claimed slot: take the request envelope, dispatch it (a
+/// bundle dispatches every packed call), publish the response. Shared by
+/// the single-ring pool and the sharded plane's stealing responders.
+///
+/// Stats are flushed to `cell` *before* the `DONE` hand-off so
+/// `stats().calls` is exact the moment the waiting requester's Acquire
+/// sees the completion.
+///
+/// # Safety
+///
+/// The caller must own servicing of `slot`: it observed `SUBMITTED` with
+/// `Acquire` and won the tail CAS (or equivalent exclusive claim) covering
+/// this slot, and calls this at most once per claim.
+pub(super) unsafe fn service_slot<Req, Resp>(
+    slot: &RingSlot<Req, Resp>,
+    table: &CallTable<Req, Resp>,
+    local: &mut LocalStats,
+    cell: &StatCell,
+) {
+    // SAFETY: forwarded from the caller's contract — exclusive service
+    // ownership of this slot, SUBMITTED observed with Acquire.
+    let (id, env) = unsafe { slot.take_request() };
+    let result = match env {
+        ReqEnvelope::One(req) => {
+            local.calls += 1;
+            table
+                .dispatch(id, req)
+                .ok_or(HotCallError::UnknownCallId(id))
+                .map(RespEnvelope::One)
+        }
+        ReqEnvelope::Bundle(calls) => {
+            // One slot, one dispatch, N calls: each counts toward
+            // `stats().calls`, and a bad id fails only its own entry.
+            let mut results = Vec::with_capacity(calls.len());
+            for (call_id, req) in calls {
+                local.calls += 1;
+                results.push(
+                    table
+                        .dispatch(call_id, req)
+                        .ok_or(HotCallError::UnknownCallId(call_id)),
+                );
+            }
+            Ok(RespEnvelope::Bundle(results))
+        }
+    };
+    local.busy_polls += 1;
+    local.flush(cell);
+    // SAFETY: this thread took the request for this slot above.
+    unsafe { slot.finish(result) };
+}
 
 pub(super) fn responder_loop<Req, Resp>(
     shared: Arc<RingShared<Req, Resp>>,
@@ -173,37 +224,7 @@ pub(super) fn responder_loop<Req, Resp>(
             // and no requester can recycle these slots before they are
             // serviced here and then redeemed. SUBMITTED was observed with
             // Acquire, so the payload is visible.
-            let (id, env) = unsafe { slot.take_request() };
-            let result = match env {
-                ReqEnvelope::One(req) => {
-                    local.calls += 1;
-                    table
-                        .dispatch(id, req)
-                        .ok_or(HotCallError::UnknownCallId(id))
-                        .map(RespEnvelope::One)
-                }
-                ReqEnvelope::Bundle(calls) => {
-                    // One slot, one dispatch, N calls: each counts toward
-                    // `stats().calls`, and a bad id fails only its own
-                    // entry.
-                    let mut results = Vec::with_capacity(calls.len());
-                    for (call_id, req) in calls {
-                        local.calls += 1;
-                        results.push(
-                            table
-                                .dispatch(call_id, req)
-                                .ok_or(HotCallError::UnknownCallId(call_id)),
-                        );
-                    }
-                    Ok(RespEnvelope::Bundle(results))
-                }
-            };
-            local.busy_polls += 1;
-            // Flush before DONE so `stats().calls` is exact the moment the
-            // waiting requester's Acquire sees the completion.
-            local.flush(cell);
-            // SAFETY: this thread took the request for this slot above.
-            unsafe { slot.finish(result) };
+            unsafe { service_slot(slot, &table, &mut local, cell) };
         }
     }
 }

@@ -95,7 +95,7 @@ pub(super) struct GovernorState {
 }
 
 impl GovernorState {
-    fn new(policy: ResponderPolicy) -> Self {
+    pub(super) fn new(policy: ResponderPolicy) -> Self {
         // Start wide: all `max` responders active, and let idleness park
         // the surplus. Cold-start backlog never waits on a governor
         // decision this way; quiet periods converge to `min` within one
@@ -434,7 +434,7 @@ impl<Req, Resp> Clone for RingRequester<Req, Resp> {
 #[derive(Debug)]
 #[must_use = "a ticket must be waited on, or its slot stays occupied"]
 pub struct Ticket {
-    index: usize,
+    pub(super) index: usize,
 }
 
 impl Ticket {
@@ -450,8 +450,8 @@ impl Ticket {
 #[derive(Debug)]
 #[must_use = "a bundle ticket must be waited on, or its slot stays occupied"]
 pub struct BundleTicket {
-    index: usize,
-    len: usize,
+    pub(super) index: usize,
+    pub(super) len: usize,
 }
 
 impl BundleTicket {
@@ -494,7 +494,7 @@ impl BundleTicket {
 /// ```
 #[derive(Debug)]
 pub struct Bundle<Req> {
-    calls: Vec<(u32, Req)>,
+    pub(super) calls: Vec<(u32, Req)>,
 }
 
 impl<Req> Default for Bundle<Req> {

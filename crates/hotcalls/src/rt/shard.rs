@@ -1,0 +1,1233 @@
+//! The sharded data plane: N independent submission rings, a router
+//! pinning each requester to a home shard, and work-stealing responders.
+//!
+//! The paper's Fig. 9 gives every call channel its own shared-memory
+//! mailbox; [`super::RingServer`] collapsed that into one ring so several
+//! requesters could share responders — at the cost of every requester
+//! CASing the *same* head word. At scale that shared CAS becomes the new
+//! 620-cycle-class bottleneck. [`ShardedServer`] splits the plane back
+//! out: each shard is a full ring (slots, head, tail, doze line — all
+//! cache-padded) with exactly one *home* responder, and the
+//! [`ShardRouter`] pins each requester to a home shard, so uncontended
+//! requesters never share a head CAS with anyone.
+//!
+//! **Work-stealing.** A responder drains its home shard first; only when
+//! the home shard is empty does it probe sibling shards, in an order
+//! rotated per pass so the probe load spreads instead of convoying on
+//! shard 0. A burst on one shard is therefore absorbed by responders that
+//! were already awake on quiet shards — no extra thread wakes for it.
+//! `steals` counts sibling probes, `steal_hits` the probes that claimed
+//! work.
+//!
+//! **Shard-aware governor.** The PR-3 [`GovernorState`] is reused with a
+//! shard as the unit of elasticity: responders with index at or above the
+//! active target park on the shared park doze, and the router stops
+//! assigning new requesters to their shards. Residual submissions on a
+//! parked shard are reaped by the stealing responders (every responder's
+//! probe set covers *all* shards, parked included), and a submission whose
+//! home responder is parked redirects its wakeup to an active sibling —
+//! counted as `cross_shard_wakes` on the home shard.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::config::{
+    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
+};
+use crate::error::{HotCallError, Result};
+
+use super::pool::{service_slot, WIN_CREDIT_POLLS};
+use super::ring::{
+    Bundle, BundleTicket, GovernorState, ReqEnvelope, RespEnvelope, RingShared, RingSlot, Ticket,
+};
+use super::slot::{Backoff, CachePadded, CallSlot, Doze, StatCell, DONE, EMPTY, SUBMITTED};
+use super::CallTable;
+
+/// Grace polls a waiter grants the shutdown sweep before giving up on a
+/// slot that will never complete (its payload is freed by the slot Drop).
+const SHUTDOWN_GRACE_POLLS: u32 = 100_000;
+
+/// Poll interval at which a waiter treats its in-flight call as "aging"
+/// and nudges the governor to raise the active-shard target.
+const AGE_POLLS_PER_RAISE: u32 = 4_096;
+
+/// One shard: a full ring with its own head, tail and doze line, owned by
+/// exactly one home responder (`shard index == responder index`).
+struct Shard<Req, Resp> {
+    /// Slots are 64-byte aligned; neighbouring slots never false-share.
+    slots: Box<[RingSlot<Req, Resp>]>,
+    /// Next slot a requester of *this shard* claims. Only this shard's
+    /// requesters touch it — the whole point of sharding.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the responders service (home responder or a stealer).
+    tail: CachePadded<AtomicUsize>,
+    /// This shard's own doze line: per-call wakeups on one shard never
+    /// disturb another shard's responder.
+    doze: Doze,
+    /// Submissions to this shard whose wakeup was redirected to a sibling
+    /// responder (home responder parked or saturated).
+    cross_shard_wakes: AtomicU64,
+}
+
+impl<Req, Resp> Shard<Req, Resp> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            slots: (0..capacity).map(|_| CallSlot::new()).collect(),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            doze: Doze::new(),
+            cross_shard_wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// Occupancy from a tail-before-head snapshot (wrap-proof; see
+    /// [`RingShared::occupancy`]).
+    fn occupancy_snapshot(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        RingShared::<Req, Resp>::occupancy(head, tail)
+    }
+
+    /// Is the slot at the ring front submitted (work a responder could
+    /// claim right now)?
+    fn front_submitted(&self) -> bool {
+        let tail = self.tail.load(Ordering::Acquire);
+        self.slots[tail % self.slots.len()].state() == SUBMITTED
+    }
+}
+
+/// Per-responder statistics cell: the shared transport counters plus the
+/// stealing counters. Only the owning responder writes any of it.
+#[derive(Default)]
+struct ShardStatCell {
+    base: StatCell,
+    home_polls: AtomicU64,
+    steals: AtomicU64,
+    steal_hits: AtomicU64,
+}
+
+/// The responder's private stealing counters, flushed alongside its
+/// [`super::slot::LocalStats`].
+#[derive(Default)]
+struct LocalShardStats {
+    home_polls: u64,
+    steals: u64,
+    steal_hits: u64,
+}
+
+impl LocalShardStats {
+    fn flush(&self, cell: &ShardStatCell) {
+        cell.home_polls.store(self.home_polls, Ordering::Relaxed);
+        cell.steals.store(self.steals, Ordering::Relaxed);
+        cell.steal_hits.store(self.steal_hits, Ordering::Relaxed);
+    }
+}
+
+/// Pins requesters to home shards: round-robin over the currently active
+/// shards, with an explicit affinity override ([`ShardedServer::requester_on`]).
+struct ShardRouter {
+    next: AtomicUsize,
+}
+
+impl ShardRouter {
+    /// Picks a home shard for a new requester. Only shards below the
+    /// governor's active target are eligible — the router never assigns
+    /// to a parked shard.
+    fn assign(&self, active: usize, shards: usize) -> usize {
+        let eligible = active.clamp(1, shards);
+        self.next.fetch_add(1, Ordering::Relaxed) % eligible
+    }
+}
+
+struct ShardedShared<Req, Resp> {
+    shards: Box<[Shard<Req, Resp>]>,
+    shutdown: AtomicBool,
+    /// The shard governor: `active_target` counts active *shards*; the
+    /// park doze hosts responders of parked shards.
+    governor: GovernorState,
+    router: ShardRouter,
+    /// Rotates the sibling a redirected wakeup lands on.
+    wake_cursor: AtomicUsize,
+    /// One padded cell per responder (= per shard); each responder writes
+    /// only its own.
+    responders: Box<[CachePadded<ShardStatCell>]>,
+    // Requester-side event counters; rare, so shared RMWs are fine.
+    fallbacks: AtomicU64,
+    wakeups: AtomicU64,
+}
+
+impl<Req, Resp> ShardedShared<Req, Resp> {
+    /// Is any shard's ring front claimable right now? The sleep predicate
+    /// of every responder: a stealer must not doze past work on a sibling
+    /// shard it could reap.
+    fn any_front_submitted(&self) -> bool {
+        self.shards.iter().any(Shard::front_submitted)
+    }
+
+    fn snapshot(&self) -> HotCallStats {
+        let mut s = HotCallStats {
+            calls: 0,
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            idle_polls: 0,
+            busy_polls: 0,
+        };
+        for cell in self.responders.iter() {
+            s.calls += cell.base.calls.load(Ordering::Relaxed);
+            s.idle_polls += cell.base.idle_polls.load(Ordering::Relaxed);
+            s.busy_polls += cell.base.busy_polls.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    fn governor_snapshot(&self) -> GovernorStats {
+        GovernorStats {
+            active: self.governor.active_target.load(Ordering::Relaxed),
+            parked: self.governor.parked_now.load(Ordering::Relaxed),
+            parks: self.governor.parks.load(Ordering::Relaxed),
+            wakes: self.governor.wakes.load(Ordering::Relaxed),
+            min: self.governor.policy.min,
+            max: self.governor.policy.max,
+        }
+    }
+
+    fn ring_snapshot(&self) -> RingStats {
+        let active = self.governor.active_target.load(Ordering::Relaxed);
+        let shards = self
+            .shards
+            .iter()
+            .zip(self.responders.iter())
+            .enumerate()
+            .map(|(i, (shard, cell))| ShardStats {
+                shard: i,
+                serviced: cell.base.calls.load(Ordering::Relaxed),
+                home_polls: cell.home_polls.load(Ordering::Relaxed),
+                steals: cell.steals.load(Ordering::Relaxed),
+                steal_hits: cell.steal_hits.load(Ordering::Relaxed),
+                cross_shard_wakes: shard.cross_shard_wakes.load(Ordering::Relaxed),
+                parked: i >= active,
+                occupancy: shard.occupancy_snapshot(),
+            })
+            .collect();
+        RingStats {
+            totals: self.snapshot(),
+            governor: self.governor_snapshot(),
+            shards,
+        }
+    }
+
+    /// Wakes a responder for a submission just published on `home`.
+    ///
+    /// Order of preference: the home responder's own doze (the common,
+    /// contention-free case); failing that — the home responder is awake,
+    /// busy, or parked — a sibling's doze, but only when the home shard
+    /// actually needs help (it is parked, or backlog is building behind
+    /// its busy responder). Redirected wakes are counted as
+    /// `cross_shard_wakes` on the home shard.
+    fn wake_for(&self, home: usize) {
+        if self.shards[home].doze.wake() {
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let n = self.shards.len();
+        if n == 1 {
+            return;
+        }
+        let active = self.governor.active_target.load(Ordering::Relaxed);
+        let parked_home = home >= active;
+        // Tail before head (see RingShared::occupancy).
+        let backlog = self.shards[home].occupancy_snapshot() > 1;
+        if !parked_home && !backlog {
+            return;
+        }
+        let start = self.wake_cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let sibling = (start + i) % n;
+            if sibling == home {
+                continue;
+            }
+            if self.shards[sibling].doze.wake() {
+                self.shards[home]
+                    .cross_shard_wakes
+                    .fetch_add(1, Ordering::Relaxed);
+                self.wakeups.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+impl<Req, Resp> core::fmt::Debug for ShardedShared<Req, Resp> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ShardedShared")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.shards[0].slots.len())
+            .field(
+                "active",
+                &self.governor.active_target.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+/// A running sharded data plane: N independent rings, one home responder
+/// per shard, requesters pinned by the router, responders stealing across
+/// shards, all governed by a [`ShardPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use hotcalls::rt::{CallTable, ShardedServer};
+/// use hotcalls::{HotCallConfig, ShardPolicy};
+///
+/// let mut table: CallTable<u64, u64> = CallTable::new();
+/// let inc = table.register(|x| x + 1);
+/// let server =
+///     ShardedServer::spawn(table, 8, ShardPolicy::fixed(2), HotCallConfig::patient()).unwrap();
+/// let r = server.requester();
+/// assert_eq!(r.call(inc, 41).unwrap(), 42);
+/// assert_eq!(server.shards(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedServer<Req, Resp> {
+    shared: Arc<ShardedShared<Req, Resp>>,
+    config: HotCallConfig,
+    joins: Vec<JoinHandle<()>>,
+}
+
+impl<Req, Resp> ShardedServer<Req, Resp>
+where
+    Req: Send + 'static,
+    Resp: Send + 'static,
+{
+    /// Spawns the plane: `policy.resolved_shards()` shards of
+    /// `capacity_per_shard` slots each, one responder thread per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] if `capacity_per_shard` or
+    /// `policy.min_active` is zero, or `min_active` exceeds the shard
+    /// count.
+    pub fn spawn(
+        table: CallTable<Req, Resp>,
+        capacity_per_shard: usize,
+        policy: ShardPolicy,
+        config: HotCallConfig,
+    ) -> Result<Self> {
+        if capacity_per_shard == 0 {
+            return Err(HotCallError::InvalidConfig(
+                "shard capacity must be positive",
+            ));
+        }
+        let n_shards = policy.resolved_shards();
+        if policy.min_active == 0 {
+            return Err(HotCallError::InvalidConfig(
+                "a sharded plane must keep at least one active shard",
+            ));
+        }
+        if policy.min_active > n_shards {
+            return Err(HotCallError::InvalidConfig(
+                "shard policy min_active must not exceed the shard count",
+            ));
+        }
+        // The PR-3 governor, reused with a shard as the unit: active
+        // responders are exactly the responders of active shards.
+        let governor = GovernorState::new(ResponderPolicy {
+            min: policy.min_active,
+            max: n_shards,
+            target_occupancy: policy.target_occupancy,
+            park_after_idle_polls: policy.park_after_idle_polls,
+        });
+        let shared = Arc::new(ShardedShared {
+            shards: (0..n_shards)
+                .map(|_| Shard::new(capacity_per_shard))
+                .collect(),
+            shutdown: AtomicBool::new(false),
+            governor,
+            router: ShardRouter {
+                next: AtomicUsize::new(0),
+            },
+            wake_cursor: AtomicUsize::new(0),
+            responders: (0..n_shards)
+                .map(|_| CachePadded::new(ShardStatCell::default()))
+                .collect(),
+            fallbacks: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+        });
+        let table = Arc::new(table);
+        let joins = (0..n_shards)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let table = Arc::clone(&table);
+                std::thread::Builder::new()
+                    .name(format!("hotcalls-shard-responder-{index}"))
+                    .spawn(move || shard_responder_loop(shared, table, index, config))
+                    .expect("spawn shard responder")
+            })
+            .collect();
+        Ok(ShardedServer {
+            shared,
+            config,
+            joins,
+        })
+    }
+
+    /// Creates a requester pinned to a router-chosen home shard
+    /// (round-robin over the currently active shards).
+    pub fn requester(&self) -> ShardedRequester<Req, Resp> {
+        let active = self.shared.governor.active_target.load(Ordering::Relaxed);
+        let home = self.shared.router.assign(active, self.shared.shards.len());
+        ShardedRequester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+            home,
+        }
+    }
+
+    /// Creates a requester pinned to an explicit home shard — the
+    /// affinity override for callers that partition work themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] if `shard` is out of range.
+    pub fn requester_on(&self, shard: usize) -> Result<ShardedRequester<Req, Resp>> {
+        if shard >= self.shared.shards.len() {
+            return Err(HotCallError::InvalidConfig(
+                "shard affinity index out of range",
+            ));
+        }
+        Ok(ShardedRequester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+            home: shard,
+        })
+    }
+
+    /// Number of shards (= responder threads) in the plane.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Pool-wide transport totals.
+    pub fn stats(&self) -> HotCallStats {
+        self.shared.snapshot()
+    }
+
+    /// The shard governor's current shape and decision counters.
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.shared.governor_snapshot()
+    }
+
+    /// The full per-shard snapshot: totals, governor, and one
+    /// [`ShardStats`] row per shard (steals, steal hits, home polls,
+    /// cross-shard wakes, occupancy).
+    pub fn ring_stats(&self) -> RingStats {
+        self.shared.ring_snapshot()
+    }
+
+    /// Stops the responders and joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl<Req, Resp> ShardedServer<Req, Resp> {
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for shard in self.shared.shards.iter() {
+            shard.doze.wake_all();
+        }
+        self.shared.governor.park_doze.wake_all();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl<Req, Resp> Drop for ShardedServer<Req, Resp> {
+    fn drop(&mut self) {
+        if !self.joins.is_empty() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// The sharded responder loop for responder `index` (home shard `index`):
+/// drain the home shard first; when it is empty, probe sibling shards in
+/// an order rotated per pass; park when the governor shrinks the active
+/// set below this shard.
+fn shard_responder_loop<Req, Resp>(
+    shared: Arc<ShardedShared<Req, Resp>>,
+    table: Arc<CallTable<Req, Resp>>,
+    index: usize,
+    config: HotCallConfig,
+) {
+    let n = shared.shards.len();
+    let cell = &shared.responders[index];
+    let gov = &shared.governor;
+    let mut local = super::slot::LocalStats::default();
+    let mut steal_stats = LocalShardStats::default();
+    let mut backoff = Backoff::new();
+    let mut idle_streak: u64 = 0;
+    // Useful-work deficit: +1 per empty full pass, -WIN_CREDIT_POLLS per
+    // slot won. Never reset by doze wakeups or wins (see super::pool).
+    let mut polls_since_work: u64 = 0;
+    let mut parked = false;
+    // Rotates the sibling probe order so stealers don't convoy on the
+    // same victim shard.
+    let mut rotation: usize = 0;
+    loop {
+        if gov.adaptive() && index >= gov.active_target.load(Ordering::Acquire) {
+            if !parked {
+                parked = true;
+                gov.parks.fetch_add(1, Ordering::Relaxed);
+                gov.parked_now.fetch_add(1, Ordering::Relaxed);
+                local.flush(&cell.base);
+                steal_stats.flush(cell);
+            }
+            gov.park_doze.sleep_unless(|| {
+                shared.shutdown.load(Ordering::Acquire)
+                    || index < gov.active_target.load(Ordering::Acquire)
+            });
+            if shared.shutdown.load(Ordering::Acquire) {
+                gov.parked_now.fetch_sub(1, Ordering::Relaxed);
+                local.flush(&cell.base);
+                steal_stats.flush(cell);
+                return;
+            }
+            if index >= gov.active_target.load(Ordering::Acquire) {
+                // A raise woke everyone; we were not the one admitted.
+                continue;
+            }
+            parked = false;
+            gov.parked_now.fetch_sub(1, Ordering::Relaxed);
+            idle_streak = 0;
+            polls_since_work = 0;
+            backoff.reset();
+        }
+        // Home shard first: a busy neighbour can never starve home calls,
+        // because stealing only happens when the home shard is empty.
+        steal_stats.home_polls += 1;
+        let mut won = drain_shard(&shared, &table, index, &mut local, cell, config);
+        if won == 0 {
+            // Home empty: probe the siblings, rotated per pass.
+            rotation = rotation.wrapping_add(1);
+            for i in 0..n.saturating_sub(1) {
+                let victim = (index + rotation + i) % n;
+                if victim == index {
+                    continue;
+                }
+                steal_stats.steals += 1;
+                let stolen = drain_shard(&shared, &table, victim, &mut local, cell, config);
+                if stolen > 0 {
+                    steal_stats.steal_hits += 1;
+                    won += stolen;
+                    break;
+                }
+            }
+        }
+        if won > 0 {
+            idle_streak = 0;
+            polls_since_work = polls_since_work.saturating_sub(won as u64 * WIN_CREDIT_POLLS);
+            backoff.reset();
+            // Keep the stealing counters as fresh as the base counters:
+            // `service_slot` flushed those before the DONE hand-off, so a
+            // reader who saw the completion must also see the probe that
+            // produced it.
+            steal_stats.flush(cell);
+            continue;
+        }
+        // A full pass (home + every sibling) found nothing.
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Drain-then-exit: the empty full pass doubles as the final
+            // sweep — residual work on any shard, parked or not, was
+            // reaped above before we got here.
+            local.flush(&cell.base);
+            steal_stats.flush(cell);
+            return;
+        }
+        idle_streak += 1;
+        polls_since_work += 1;
+        local.idle_polls += 1;
+        if local.idle_polls % 1024 == 0 {
+            local.flush(&cell.base);
+            steal_stats.flush(cell);
+        }
+        // Useful-work drought: the top active shard bows out. The park
+        // branch above catches the lowered target next iteration.
+        if gov.adaptive()
+            && polls_since_work >= gov.policy.park_after_idle_polls
+            && gov.try_demote(index)
+        {
+            continue;
+        }
+        if let Some(limit) = config.idle_polls_before_sleep {
+            if idle_streak >= limit {
+                local.flush(&cell.base);
+                steal_stats.flush(cell);
+                // Sleep on the *home* doze, but wake for work anywhere:
+                // the predicate covers every shard so a stealable
+                // submission published before we registered as a sleeper
+                // is never slept past.
+                shared.shards[index].doze.sleep_unless(|| {
+                    shared.shutdown.load(Ordering::Acquire) || shared.any_front_submitted()
+                });
+                idle_streak = 0;
+                backoff.reset();
+                continue;
+            }
+        }
+        backoff.snooze();
+    }
+}
+
+/// Claims and services one batched run from `shard`'s ring front. Returns
+/// the number of slots serviced (0 if the shard was empty or the tail CAS
+/// was lost).
+fn drain_shard<Req, Resp>(
+    shared: &ShardedShared<Req, Resp>,
+    table: &CallTable<Req, Resp>,
+    shard_idx: usize,
+    local: &mut super::slot::LocalStats,
+    cell: &ShardStatCell,
+    config: HotCallConfig,
+) -> usize {
+    let shard = &shared.shards[shard_idx];
+    let cap = shard.slots.len();
+    let batch = config.drain_batch_clamped().min(cap);
+    let tail = shard.tail.load(Ordering::Acquire);
+    let mut run = 0usize;
+    while run < batch && shard.slots[tail.wrapping_add(run) % cap].state() == SUBMITTED {
+        run += 1;
+    }
+    if run == 0 {
+        return 0;
+    }
+    if shard
+        .tail
+        .compare_exchange(
+            tail,
+            tail.wrapping_add(run),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        )
+        .is_err()
+    {
+        // Another responder (home or stealer) claimed the run.
+        core::hint::spin_loop();
+        return 0;
+    }
+    for i in 0..run {
+        let slot = &shard.slots[tail.wrapping_add(i) % cap];
+        // SAFETY: the tail CAS above transferred exclusive service
+        // ownership of slots [tail, tail+run) on this shard to this
+        // thread (tail is monotonic, so CAS success rules out any
+        // concurrent claim — home responder or stealer alike), and no
+        // requester can recycle these slots before they are serviced and
+        // redeemed. SUBMITTED was observed with Acquire.
+        unsafe { service_slot(slot, table, local, &cell.base) };
+    }
+    run
+}
+
+/// A requester pinned to one home shard of a [`ShardedServer`]. Every
+/// submission goes to the home shard's ring, so two requesters on
+/// different shards never contend on a head CAS; completions may still be
+/// produced by *any* responder (home or stealer).
+#[derive(Debug)]
+pub struct ShardedRequester<Req, Resp> {
+    shared: Arc<ShardedShared<Req, Resp>>,
+    config: HotCallConfig,
+    home: usize,
+}
+
+impl<Req, Resp> Clone for ShardedRequester<Req, Resp> {
+    fn clone(&self) -> Self {
+        ShardedRequester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+            home: self.home,
+        }
+    }
+}
+
+impl<Req, Resp> ShardedRequester<Req, Resp> {
+    /// The home shard this requester submits to.
+    pub fn home(&self) -> usize {
+        self.home
+    }
+
+    /// Claims a slot on the home shard and publishes `env` into it. On
+    /// failure the envelope is handed back so the caller can recover the
+    /// request payloads (the fallback path).
+    fn submit_envelope(
+        &self,
+        id: u32,
+        env: ReqEnvelope<Req>,
+    ) -> core::result::Result<usize, (HotCallError, ReqEnvelope<Req>)> {
+        let shard = &self.shared.shards[self.home];
+        let cap = shard.slots.len();
+        let gov = &self.shared.governor;
+        let mut backoff = Backoff::new();
+        for _retry in 0..self.config.timeout_retries {
+            for _ in 0..self.config.spins_per_retry {
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    return Err((HotCallError::ResponderGone, env));
+                }
+                // Tail before head, as everywhere (occupancy cannot
+                // underflow; see RingShared::occupancy).
+                let tail = shard.tail.load(Ordering::Acquire);
+                let head = shard.head.load(Ordering::Acquire);
+                let occupancy = RingShared::<Req, Resp>::occupancy(head, tail);
+                // Backlog deeper than the policy threshold means the
+                // active shards are outpaced: un-park another whole shard
+                // (its responder doubles as one more stealer).
+                if gov.adaptive() && occupancy > gov.policy.target_occupancy_clamped() {
+                    gov.try_raise();
+                }
+                if occupancy >= cap {
+                    core::hint::spin_loop();
+                    continue;
+                }
+                // The target slot may still hold an un-redeemed DONE
+                // response from the previous lap; never claim a non-empty
+                // slot.
+                if shard.slots[head % cap].state() != EMPTY {
+                    core::hint::spin_loop();
+                    continue;
+                }
+                if shard
+                    .head
+                    .compare_exchange(head, head + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                // Winning the head CAS makes the (empty) slot ours, as in
+                // the single-ring plane.
+                let slot = &shard.slots[head % cap];
+                slot.mark_claimed();
+                // SAFETY: the head CAS above granted exclusive claim
+                // ownership of this slot; publish once.
+                unsafe { slot.publish(id, env) };
+                self.shared.wake_for(self.home);
+                return Ok(head);
+            }
+            backoff.snooze();
+        }
+        self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+        Err((
+            HotCallError::ResponderTimeout {
+                retries: self.config.timeout_retries,
+            },
+            env,
+        ))
+    }
+
+    /// Claims a home-shard slot and submits without waiting. The returned
+    /// [`Ticket`] is redeemed against this same requester (the shard is
+    /// implicit in the pinning). The in-flight discipline of
+    /// [`super::RingRequester::submit`] applies per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
+    /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
+    pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
+        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+            Ok(index) => Ok(Ticket { index }),
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// Packs `bundle` into one home-shard submission (one claim, one
+    /// dispatch, at most one wakeup).
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] for an empty bundle, otherwise as
+    /// [`ShardedRequester::submit`].
+    pub fn submit_bundle(&self, bundle: Bundle<Req>) -> Result<BundleTicket> {
+        if bundle.is_empty() {
+            return Err(HotCallError::InvalidConfig(
+                "a bundle must pack at least one call",
+            ));
+        }
+        let len = bundle.len();
+        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls)) {
+            Ok(index) => Ok(BundleTicket { index, len }),
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// Spins until the home-shard slot behind `index` is DONE.
+    fn wait_done(&self, index: usize) -> Result<()> {
+        let shard = &self.shared.shards[self.home];
+        let cap = shard.slots.len();
+        let slot = &shard.slots[index % cap];
+        let gov = &self.shared.governor;
+        let mut backoff = Backoff::new();
+        let mut grace: u32 = 0;
+        let mut age_polls: u32 = 0;
+        loop {
+            if slot.state() == DONE {
+                return Ok(());
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                grace += 1;
+                if grace > SHUTDOWN_GRACE_POLLS {
+                    return Err(HotCallError::ResponderGone);
+                }
+            }
+            // In-flight age: stuck behind busy responders — ask the
+            // governor to un-park another shard's responder (one more
+            // stealer that can reach this shard).
+            age_polls += 1;
+            if gov.adaptive() && age_polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
+                gov.try_raise();
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Waits for a submitted call and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderGone`] if the server shut down first, or
+    /// the handler's own error.
+    pub fn wait(&self, ticket: Ticket) -> Result<Resp> {
+        self.wait_done(ticket.index)?;
+        let shard = &self.shared.shards[self.home];
+        let slot = &shard.slots[ticket.index % shard.slots.len()];
+        // SAFETY: this requester submitted the call at `ticket.index` on
+        // its home shard and observed DONE with Acquire; only the
+        // submitter redeems a slot.
+        match unsafe { slot.redeem() } {
+            Ok(RespEnvelope::One(resp)) => Ok(resp),
+            Ok(RespEnvelope::Bundle(_)) => {
+                unreachable!("a Ticket is only minted for single-call submissions")
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Redeems the response if the call already completed, or hands the
+    /// ticket back untouched.
+    pub fn try_wait(&self, ticket: Ticket) -> core::result::Result<Result<Resp>, Ticket> {
+        let shard = &self.shared.shards[self.home];
+        let slot = &shard.slots[ticket.index % shard.slots.len()];
+        if slot.state() != DONE {
+            return Err(ticket);
+        }
+        // SAFETY: as in `wait` — DONE observed with Acquire by the
+        // submitting requester.
+        Ok(match unsafe { slot.redeem() } {
+            Ok(RespEnvelope::One(resp)) => Ok(resp),
+            Ok(RespEnvelope::Bundle(_)) => {
+                unreachable!("a Ticket is only minted for single-call submissions")
+            }
+            Err(e) => Err(e),
+        })
+    }
+
+    /// Waits until *any* of `tickets` (all from this requester) completes,
+    /// removes it, and returns its sequence number with the response.
+    ///
+    /// # Errors
+    ///
+    /// As [`super::RingRequester::wait_any`].
+    pub fn wait_any(&self, tickets: &mut Vec<Ticket>) -> Result<(u64, Resp)> {
+        if tickets.is_empty() {
+            return Err(HotCallError::InvalidConfig(
+                "wait_any needs at least one ticket",
+            ));
+        }
+        let shard = &self.shared.shards[self.home];
+        let cap = shard.slots.len();
+        let gov = &self.shared.governor;
+        let mut backoff = Backoff::new();
+        let mut grace: u32 = 0;
+        let mut age_polls: u32 = 0;
+        loop {
+            for i in 0..tickets.len() {
+                let slot = &shard.slots[tickets[i].index % cap];
+                if slot.state() != DONE {
+                    continue;
+                }
+                let ticket = tickets.swap_remove(i);
+                let seq = ticket.seq();
+                // SAFETY: as in `wait`, for a ticket this requester owns.
+                return match unsafe { slot.redeem() } {
+                    Ok(RespEnvelope::One(resp)) => Ok((seq, resp)),
+                    Ok(RespEnvelope::Bundle(_)) => {
+                        unreachable!("a Ticket is only minted for single-call submissions")
+                    }
+                    Err(e) => Err(e),
+                };
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                grace += 1;
+                if grace > SHUTDOWN_GRACE_POLLS {
+                    return Err(HotCallError::ResponderGone);
+                }
+            }
+            age_polls += 1;
+            if gov.adaptive() && age_polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
+                gov.try_raise();
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Waits for a bundle and returns one result per call, in submission
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As [`super::RingRequester::wait_bundle`].
+    pub fn wait_bundle(&self, ticket: BundleTicket) -> Result<Vec<Result<Resp>>> {
+        self.wait_done(ticket.index)?;
+        let shard = &self.shared.shards[self.home];
+        let slot = &shard.slots[ticket.index % shard.slots.len()];
+        // SAFETY: as in `wait` — DONE observed with Acquire by the
+        // submitting requester.
+        match unsafe { slot.redeem() } {
+            Ok(RespEnvelope::Bundle(results)) => Ok(results),
+            Ok(RespEnvelope::One(_)) => {
+                unreachable!("a BundleTicket is only minted for bundle submissions")
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Submit + wait in one step.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRequester::submit`] and [`ShardedRequester::wait`].
+    pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
+        let t = self.submit(id, req)?;
+        self.wait(t)
+    }
+
+    /// Submits a bundle and waits for all of its results.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRequester::submit_bundle`] and
+    /// [`ShardedRequester::wait_bundle`].
+    pub fn call_bundle(&self, bundle: Bundle<Req>) -> Result<Vec<Result<Resp>>> {
+        let t = self.submit_bundle(bundle)?;
+        self.wait_bundle(t)
+    }
+
+    /// Issues a call, running `fallback` locally if the fast path times
+    /// out — the paper's SDK-call fallback on the sharded plane.
+    pub fn call_with_fallback<F>(&self, id: u32, req: Req, fallback: F) -> Result<Resp>
+    where
+        F: FnOnce(Req) -> Resp,
+    {
+        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+            Ok(index) => self.wait(Ticket { index }),
+            Err((HotCallError::ResponderTimeout { .. }, ReqEnvelope::One(req))) => {
+                Ok(fallback(req))
+            }
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// Pool-wide transport totals.
+    pub fn stats(&self) -> HotCallStats {
+        self.shared.snapshot()
+    }
+
+    /// The shard governor's current shape and decision counters.
+    pub fn governor_stats(&self) -> GovernorStats {
+        self.shared.governor_snapshot()
+    }
+
+    /// The full per-shard snapshot (see [`ShardedServer::ring_stats`]).
+    pub fn ring_stats(&self) -> RingStats {
+        self.shared.ring_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (CallTable<u64, u64>, u32) {
+        let mut t = CallTable::new();
+        let sq = t.register(|x| x * x);
+        (t, sq)
+    }
+
+    fn generous() -> HotCallConfig {
+        HotCallConfig::patient()
+    }
+
+    #[test]
+    fn sharded_call_roundtrip() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 4, ShardPolicy::fixed(2), generous()).unwrap();
+        let r = server.requester();
+        assert_eq!(r.call(sq, 7).unwrap(), 49);
+        assert_eq!(server.stats().calls, 1);
+        assert_eq!(server.shards(), 2);
+    }
+
+    #[test]
+    fn router_round_robins_over_active_shards() {
+        let (t, _) = table();
+        let server = ShardedServer::spawn(t, 4, ShardPolicy::fixed(3), generous()).unwrap();
+        let homes: Vec<usize> = (0..6).map(|_| server.requester().home()).collect();
+        assert_eq!(homes, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn affinity_override_pins_and_validates() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 4, ShardPolicy::fixed(2), generous()).unwrap();
+        let r1 = server.requester_on(1).unwrap();
+        assert_eq!(r1.home(), 1);
+        assert_eq!(r1.call(sq, 6).unwrap(), 36);
+        assert!(matches!(
+            server.requester_on(2),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+        // The call landed on shard 1's ring.
+        let rs = server.ring_stats();
+        assert_eq!(rs.shards.len(), 2);
+        let serviced: u64 = rs.shards.iter().map(|s| s.serviced).sum();
+        assert_eq!(serviced, 1);
+    }
+
+    #[test]
+    fn requesters_on_distinct_shards_never_share_a_ring() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 8, ShardPolicy::fixed(2), generous()).unwrap();
+        let mut handles = Vec::new();
+        for shard in 0..2usize {
+            let r = server.requester_on(shard).unwrap();
+            handles.push(std::thread::spawn(move || {
+                (0..500u64)
+                    .map(|i| r.call(sq, shard as u64 * 1_000 + i).unwrap())
+                    .sum::<u64>()
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let want: u64 = (0..2u64)
+            .flat_map(|s| (0..500u64).map(move |i| (s * 1_000 + i) * (s * 1_000 + i)))
+            .sum();
+        assert_eq!(total, want);
+        assert_eq!(server.stats().calls, 1_000);
+    }
+
+    #[test]
+    fn pipelined_sharded_submissions_reap_out_of_order() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 16, ShardPolicy::fixed(2), generous()).unwrap();
+        let r = server.requester();
+        let mut tickets: Vec<Ticket> = (0..10u64).map(|i| r.submit(sq, i).unwrap()).collect();
+        let mut got = Vec::new();
+        while !tickets.is_empty() {
+            let (_, resp) = r.wait_any(&mut tickets).unwrap();
+            got.push(resp);
+        }
+        got.sort_unstable();
+        let mut want: Vec<u64> = (0..10u64).map(|i| i * i).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sharded_bundle_roundtrips() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let inc = t.register(|x| x + 1);
+        let server = ShardedServer::spawn(t, 8, ShardPolicy::fixed(2), generous()).unwrap();
+        let r = server.requester();
+        let mut bundle = Bundle::with_capacity(3);
+        bundle.push(inc, 1).push(inc, 10).push(inc, 41);
+        let results = r.call_bundle(bundle).unwrap();
+        let values: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, [2, 11, 42]);
+        assert_eq!(server.stats().calls, 3);
+    }
+
+    #[test]
+    fn stealers_reap_a_skewed_shard() {
+        // Every submission lands on shard 0 while shard 1's responder has
+        // nothing of its own: the completions must still arrive, and the
+        // plane must record sibling probes.
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 16, ShardPolicy::fixed(2), generous()).unwrap();
+        let r = server.requester_on(0).unwrap();
+        for round in 0..50u64 {
+            let tickets: Vec<Ticket> = (0..8u64)
+                .map(|i| r.submit(sq, round * 10 + i).unwrap())
+                .collect();
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                let x = round * 10 + i as u64;
+                assert_eq!(r.wait(ticket).unwrap(), x * x);
+            }
+        }
+        assert_eq!(server.stats().calls, 400);
+        let rs = server.ring_stats();
+        // Shard 1's responder had an empty home shard the whole run: its
+        // probes of shard 0 are the steals.
+        assert!(rs.shards[1].steals > 0, "{rs:?}");
+        assert_eq!(rs.shards[0].shard, 0);
+        assert_eq!(
+            rs.shards.iter().map(|s| s.serviced).sum::<u64>(),
+            400,
+            "{rs:?}"
+        );
+    }
+
+    #[test]
+    fn parked_shard_residue_is_reaped_by_stealers() {
+        let (t, sq) = table();
+        let policy = ShardPolicy {
+            park_after_idle_polls: 64,
+            ..ShardPolicy::elastic(1, 3)
+        };
+        let config = HotCallConfig {
+            idle_polls_before_sleep: Some(1_000_000),
+            ..generous()
+        };
+        let server = ShardedServer::spawn(t, 8, policy, config).unwrap();
+        // Pin to the top shard, then let the governor park it down to one
+        // active shard.
+        let r = server.requester_on(2).unwrap();
+        assert_eq!(r.call(sq, 3).unwrap(), 9);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let g = server.governor_stats();
+            if g.active == 1 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never parked: {g:?}");
+            std::thread::yield_now();
+        }
+        // Shard 2 is parked; its home responder sleeps on the park doze.
+        // A call submitted there must still complete — reaped by an
+        // active stealer, woken through the cross-shard redirect.
+        for i in 0..50u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+        }
+        let rs = server.ring_stats();
+        assert!(rs.shards[2].parked, "{rs:?}");
+        assert!(
+            rs.steal_hits() > 0 || rs.shards[2].serviced > 0,
+            "residue never reaped: {rs:?}"
+        );
+    }
+
+    #[test]
+    fn governor_parks_surplus_shards_when_idle() {
+        let (t, sq) = table();
+        let policy = ShardPolicy {
+            park_after_idle_polls: 64,
+            ..ShardPolicy::elastic(1, 4)
+        };
+        let config = HotCallConfig {
+            idle_polls_before_sleep: Some(1_000_000),
+            ..generous()
+        };
+        let server = ShardedServer::spawn(t, 8, policy, config).unwrap();
+        let r = server.requester();
+        assert_eq!(r.call(sq, 5).unwrap(), 25);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let g = server.governor_stats();
+            if g.active == 1 && g.parked == 3 {
+                assert!(g.parks >= 3, "{g:?}");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never parked: {g:?}");
+            std::thread::yield_now();
+        }
+        // The router only assigns to the surviving active shard now.
+        assert_eq!(server.requester().home(), 0);
+        assert_eq!(r.call(sq, 6).unwrap(), 36);
+    }
+
+    #[test]
+    fn auto_policy_resolves_and_serves() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 4, ShardPolicy::auto(), generous()).unwrap();
+        assert!(server.shards() >= 1);
+        let r = server.requester();
+        for i in 0..100u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected() {
+        let (t, _) = table();
+        assert!(matches!(
+            ShardedServer::spawn(t, 0, ShardPolicy::fixed(2), generous()),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+        let (t, _) = table();
+        assert!(matches!(
+            ShardedServer::spawn(t, 8, ShardPolicy::elastic(0, 2), generous()),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+        let (t, _) = table();
+        assert!(matches!(
+            ShardedServer::spawn(t, 8, ShardPolicy::elastic(3, 2), generous()),
+            Err(HotCallError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_fails_future_calls_and_reports() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 4, ShardPolicy::fixed(2), generous()).unwrap();
+        let r = server.requester();
+        assert_eq!(r.call(sq, 3).unwrap(), 9);
+        server.shutdown();
+        assert!(matches!(r.submit(sq, 1), Err(HotCallError::ResponderGone)));
+    }
+
+    #[test]
+    fn sharded_wraps_many_times() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 2, ShardPolicy::fixed(2), generous()).unwrap();
+        let r = server.requester();
+        for i in 0..5_000u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+        }
+        assert_eq!(server.stats().calls, 5_000);
+    }
+
+    #[test]
+    fn fallback_runs_locally_on_timeout() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let slow = t.register(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            x
+        });
+        // Capacity-1 shard: while the slow call is in flight the shard is
+        // full, so a second call on the same shard times out and falls
+        // back.
+        let config = HotCallConfig {
+            timeout_retries: 2,
+            spins_per_retry: 4,
+            ..HotCallConfig::default()
+        };
+        let server = ShardedServer::spawn(t, 1, ShardPolicy::fixed(1), config).unwrap();
+        let r1 = server.requester_on(0).unwrap();
+        let r2 = server.requester_on(0).unwrap();
+        let blocker = std::thread::spawn(move || r1.call(slow, 7).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let v = r2.call_with_fallback(slow, 5, |x| x + 100).unwrap();
+        assert_eq!(v, 105);
+        assert!(r2.stats().fallbacks >= 1);
+        assert_eq!(blocker.join().unwrap(), 7);
+    }
+}

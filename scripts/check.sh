@@ -10,6 +10,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets --workspace -- -D warnings"
 cargo clippy --all-targets --workspace -- -D warnings
 
+# The sharded data plane and its benches get a dedicated pass: the
+# workspace run above already denies warnings, but this names the crates
+# a data-plane PR touches so a local `check.sh` failure points straight
+# at them (and it is nearly free — the artifacts are already cached).
+echo "==> cargo clippy -p hotcalls -p bench --all-targets -- -D warnings"
+cargo clippy -p hotcalls -p bench --all-targets -- -D warnings
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
