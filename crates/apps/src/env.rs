@@ -14,7 +14,10 @@ use std::collections::BTreeMap;
 
 use hotcalls::rt::{ArenaStats, ByteBundle, ByteCallTable, ByteCaller, ByteRing};
 use hotcalls::sim::SimHotCalls;
-use hotcalls::{GovernorStats, HotCallConfig, HotCallStats, RingStats, ShardPolicy};
+use hotcalls::telemetry::{ApiCensus, ApiCensusRow, PlaneProvider, PlaneTelemetry};
+use hotcalls::{
+    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
+};
 use sgx_sdk::edger8r::{edger8r, Proxies};
 use sgx_sdk::edl::{parse_edl, Direction};
 use sgx_sdk::{BufArg, EnclaveCtx, MarshalOptions};
@@ -82,8 +85,31 @@ fn os_responder(req_len: usize, buf: &mut [u8]) -> usize {
     want
 }
 
+/// Which data plane the real transport rides in the HotCalls modes — the
+/// "hot vs sharded" axis of the Table-2 census.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtTransport {
+    /// One adaptive submission ring shared by every connection — the
+    /// paper's plain HotCalls shape.
+    Single,
+    /// The sharded multi-ring plane with work-stealing responders
+    /// (the default; what `AppEnv::new` always used before the knob).
+    #[default]
+    Sharded,
+}
+
+impl RtTransport {
+    /// Census label for this transport ("hot" / "sharded").
+    pub fn label(&self) -> &'static str {
+        match self {
+            RtTransport::Single => "hot",
+            RtTransport::Sharded => "sharded",
+        }
+    }
+}
+
 impl RtPool {
-    fn new(apis: &[ApiDecl]) -> Result<Self> {
+    fn new(apis: &[ApiDecl], transport: RtTransport) -> Result<Self> {
         let mut table = ByteCallTable::new();
         let mut ids = BTreeMap::new();
         for api in apis {
@@ -94,17 +120,27 @@ impl RtPool {
             idle_polls_before_sleep: Some(RT_IDLE_POLLS_BEFORE_SLEEP),
             ..HotCallConfig::patient()
         };
-        // Sharded adaptive plane: RT_SHARDS independent rings with one
-        // work-stealing responder each, parked down to one active shard
-        // when the application's call rate is low — the oversubscription
-        // fix matters here because every benchmark builds several
-        // environments side by side.
-        let server = ByteRing::spawn_sharded(
-            table,
-            RT_RING_CAPACITY,
-            ShardPolicy::elastic(1, RT_SHARDS),
-            config,
-        )?;
+        let server = match transport {
+            // One adaptive ring: the governor may park down to a single
+            // responder, the classic HotCalls topology.
+            RtTransport::Single => ByteRing::spawn_adaptive(
+                table,
+                RT_RING_CAPACITY,
+                ResponderPolicy::elastic(1, RT_SHARDS),
+                config,
+            )?,
+            // Sharded adaptive plane: RT_SHARDS independent rings with one
+            // work-stealing responder each, parked down to one active shard
+            // when the application's call rate is low — the oversubscription
+            // fix matters here because every benchmark builds several
+            // environments side by side.
+            RtTransport::Sharded => ByteRing::spawn_sharded(
+                table,
+                RT_RING_CAPACITY,
+                ShardPolicy::elastic(1, RT_SHARDS),
+                config,
+            )?,
+        };
         let lanes = (0..server.shards())
             .map(|s| server.caller_on(s))
             .collect::<hotcalls::Result<Vec<_>>>()?;
@@ -280,6 +316,8 @@ pub struct AppEnv {
     hot: Option<SimHotCalls>,
     /// Real pooled transport (HotCalls modes only).
     rt: Option<RtPool>,
+    /// Which plane shape the transport uses (census "hot" vs "sharded").
+    transport: RtTransport,
     api_costs: BTreeMap<&'static str, u64>,
     api_counts: BTreeMap<&'static str, u64>,
     /// Untrusted bounce buffer used as the native syscall copy target.
@@ -300,6 +338,23 @@ impl AppEnv {
         mode: IfaceMode,
         apis: &[ApiDecl],
         heap_bytes: u64,
+    ) -> Result<Self> {
+        Self::with_transport(config, mode, apis, heap_bytes, RtTransport::default())
+    }
+
+    /// As [`AppEnv::new`], but choosing the real transport's plane shape
+    /// explicitly — the census needs the same application driven over the
+    /// single-ring ("hot") and sharded planes side by side.
+    ///
+    /// # Errors
+    ///
+    /// Fails if EDL generation/parsing or enclave construction fails.
+    pub fn with_transport(
+        config: SimConfig,
+        mode: IfaceMode,
+        apis: &[ApiDecl],
+        heap_bytes: u64,
+        transport: RtTransport,
     ) -> Result<Self> {
         let mut machine = Machine::new(config);
         let edl_src = generate_edl(apis);
@@ -325,7 +380,7 @@ impl AppEnv {
                         &ctx,
                         HotCallConfig::default(),
                     )?),
-                    Some(RtPool::new(apis)?),
+                    Some(RtPool::new(apis, transport)?),
                 )
             } else {
                 (None, None)
@@ -343,6 +398,7 @@ impl AppEnv {
             ctx,
             hot,
             rt,
+            transport,
             api_costs,
             api_counts: BTreeMap::new(),
             native_bounce,
@@ -659,6 +715,94 @@ impl AppEnv {
             _ => Cycles::ZERO,
         }
     }
+
+    /// The label this environment's census rows file under: `native`,
+    /// `sdk`, or — in the HotCalls modes — the transport's shape
+    /// (`hot` for the single ring, `sharded` for the multi-ring plane).
+    pub fn census_mode(&self) -> &'static str {
+        match self.mode {
+            IfaceMode::Native => "native",
+            IfaceMode::Sdk => "sdk",
+            IfaceMode::HotCalls | IfaceMode::HotCallsNrz => self.transport.label(),
+        }
+    }
+
+    /// The Table-2-style API census of everything this environment has
+    /// issued so far: per-API call counts and rates from the application's
+    /// own accounting, per-call cycle cost and interface share from the
+    /// SDK's edge-call ledger, and the paper's "Core Time" fraction.
+    /// Rows are sorted most-frequent first, as Table 2 prints them.
+    pub fn api_census(&self, app: &str) -> ApiCensus {
+        let elapsed = self.elapsed();
+        let elapsed_secs = self.elapsed_secs();
+        let interface_cycles = self.interface_cycles().get();
+        let per_name = self
+            .ctx
+            .as_ref()
+            .map(|ctx| ctx.stats().merged())
+            .unwrap_or_default();
+        let mut rows: Vec<ApiCensusRow> = self
+            .api_counts
+            .iter()
+            .map(|(&name, &calls)| {
+                // The count ledger keeps the paper's own misspelling of
+                // its ecall; the EDL (and thus the cycle ledger) uses the
+                // corrected name. One row, both ledgers.
+                let ledger_name = if name == "RunEnclaveFucntion" {
+                    "RunEnclaveFunction"
+                } else {
+                    name
+                };
+                let cycles = per_name.get(ledger_name).map_or(0, |s| s.cycles.get());
+                ApiCensusRow {
+                    name: name.to_string(),
+                    calls,
+                    calls_per_sec: if elapsed_secs > 0.0 {
+                        calls as f64 / elapsed_secs
+                    } else {
+                        0.0
+                    },
+                    cycles_per_call: if calls > 0 {
+                        cycles as f64 / calls as f64
+                    } else {
+                        0.0
+                    },
+                    share_of_interface: if interface_cycles > 0 {
+                        cycles as f64 / interface_cycles as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.calls.cmp(&a.calls).then_with(|| a.name.cmp(&b.name)));
+        ApiCensus {
+            app: app.to_string(),
+            mode: self.census_mode().to_string(),
+            elapsed_secs,
+            total_calls: self.total_calls(),
+            interface_cycles,
+            core_time_fraction: self
+                .ctx
+                .as_ref()
+                .map_or(0.0, |ctx| ctx.stats().core_time_fraction(elapsed)),
+            rows,
+        }
+    }
+
+    /// Full telemetry of the real transport's plane (HotCalls modes only):
+    /// per-lane queue/service histograms, reap latency, shard counters.
+    pub fn rt_telemetry(&self, name: &str) -> Option<PlaneTelemetry> {
+        self.rt.as_ref().map(|rt| rt.server.telemetry(name))
+    }
+
+    /// A provider for [`hotcalls::TelemetryRegistry::register_plane`]
+    /// backed by the transport's live shared state (HotCalls modes only).
+    pub fn rt_telemetry_provider(&self, name: impl Into<String>) -> Option<PlaneProvider> {
+        self.rt
+            .as_ref()
+            .map(|rt| rt.server.telemetry_provider(name))
+    }
 }
 
 #[cfg(test)]
@@ -833,6 +977,83 @@ mod tests {
             assert_eq!(e.api_counts()["getpid"], 1, "{mode:?}");
             assert_eq!(e.api_counts()["read"], 1, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn single_transport_is_one_ring_and_censuses_as_hot() {
+        let mut hot = AppEnv::with_transport(
+            SimConfig::builder().deterministic().build(),
+            IfaceMode::HotCalls,
+            &apis(),
+            1 << 20,
+            RtTransport::Single,
+        )
+        .unwrap();
+        hot.enter_main().unwrap();
+        for _ in 0..4 {
+            hot.api_call("getpid", &[]).unwrap();
+        }
+        assert_eq!(hot.census_mode(), "hot");
+        let rs = hot.rt_ring_stats().unwrap();
+        assert_eq!(rs.shards.len(), 1, "single plane is one degenerate shard");
+        assert_eq!(rs.totals.calls, 4);
+        // The default transport censuses as "sharded"; sdk/native keep
+        // their own labels regardless of transport.
+        assert_eq!(env(IfaceMode::HotCalls).census_mode(), "sharded");
+        assert_eq!(env(IfaceMode::Sdk).census_mode(), "sdk");
+        assert_eq!(env(IfaceMode::Native).census_mode(), "native");
+    }
+
+    #[test]
+    fn api_census_reports_counts_rates_and_shares() {
+        let mut sdk = env(IfaceMode::Sdk);
+        let data = sdk.alloc_data(1024).unwrap();
+        sdk.enter_main().unwrap();
+        for _ in 0..6 {
+            sdk.api_call("read", &[BufArg::new(data, 1024)]).unwrap();
+        }
+        sdk.api_call("getpid", &[]).unwrap();
+        let census = sdk.api_census("unit-test-app");
+        assert_eq!(census.app, "unit-test-app");
+        assert_eq!(census.mode, "sdk");
+        assert_eq!(census.total_calls, 7);
+        assert!(census.elapsed_secs > 0.0);
+        assert!(census.interface_cycles > 0);
+        assert!(census.core_time_fraction > 0.0);
+        // Rows are most-frequent first and their interface shares are a
+        // partition of the total (every call here went through the edge).
+        assert_eq!(census.rows[0].name, "read");
+        assert_eq!(census.rows[0].calls, 6);
+        assert!(
+            census.rows[0].cycles_per_call > 1_000.0,
+            "sdk ocalls cost thousands"
+        );
+        let share_sum: f64 = census.rows.iter().map(|r| r.share_of_interface).sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "shares sum to 1: {share_sum}"
+        );
+    }
+
+    #[test]
+    fn rt_telemetry_separates_queue_and_service() {
+        let mut hot = env(IfaceMode::HotCalls);
+        hot.enter_main().unwrap();
+        for _ in 0..8 {
+            hot.api_call("getpid", &[]).unwrap();
+        }
+        let t = hot.rt_telemetry("app-rt").expect("hot mode has a plane");
+        assert_eq!(t.kind, "byte-sharded");
+        assert_eq!(t.stats.totals.calls, 8);
+        if hotcalls::TELEMETRY_ENABLED {
+            // Every serviced call recorded one queue and one service
+            // sample; every redeemed call one reap sample.
+            assert_eq!(t.merged_queue().count(), 8);
+            assert_eq!(t.merged_service().count(), 8);
+            assert_eq!(t.reap.count(), 8);
+        }
+        assert!(env(IfaceMode::Native).rt_telemetry("x").is_none());
+        assert!(env(IfaceMode::Sdk).rt_telemetry_provider("x").is_none());
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub mod openvpn;
 pub mod porting;
 
 pub use api::OsApi;
-pub use env::{ApiMix, AppEnv, IfaceMode};
+pub use env::{ApiMix, AppEnv, IfaceMode, RtTransport};
 pub use error::{AppError, Result};

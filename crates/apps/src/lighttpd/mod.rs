@@ -19,6 +19,9 @@ use crate::env::{ApiMix, AppEnv};
 use crate::error::Result;
 use crate::porting::{pad_api_table, ApiDecl};
 
+/// The application's name as Table 2 and the census spell it.
+pub const NAME: &str = "lighttpd";
+
 /// The frequent API calls of Table 2's lighttpd row.
 pub fn frequent_apis() -> Vec<ApiDecl> {
     vec![

@@ -22,6 +22,9 @@ use crate::porting::{pad_api_table, ApiDecl};
 
 use protocol::{Opcode, Request, Response, Status};
 
+/// The application's name as Table 2 and the census spell it.
+pub const NAME: &str = "memcached";
+
 /// The frequent API calls of Table 2's memcached row.
 pub fn frequent_apis() -> Vec<ApiDecl> {
     vec![

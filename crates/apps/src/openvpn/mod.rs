@@ -27,6 +27,9 @@ pub const TAG_LEN: usize = 16;
 /// Per-packet header: 8-byte sequence number (also the nonce seed).
 pub const HEADER_LEN: usize = 8;
 
+/// The application's name as Table 2 and the census spell it.
+pub const NAME: &str = "openvpn";
+
 /// The frequent API calls of Table 2's openVPN row.
 pub fn frequent_apis() -> Vec<ApiDecl> {
     vec![

@@ -3,7 +3,8 @@
 use apps::lighttpd::{self, Lighttpd};
 use apps::memcached::{self, Memcached};
 use apps::openvpn::{self, OpenVpn};
-use apps::{AppEnv, IfaceMode};
+use apps::{AppEnv, IfaceMode, RtTransport};
+use hotcalls::telemetry::ApiCensus;
 use sgx_sim::SimConfig;
 use workloads::{http_load, iperf, memtier, ping, RunResult};
 
@@ -244,6 +245,112 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
     rows
 }
 
+/// The three interface configurations the census compares, as
+/// `(IfaceMode, RtTransport)` pairs: the plain SDK port, HotCalls over
+/// the single ring ("hot"), and HotCalls over the sharded plane.
+pub const CENSUS_MODES: [(IfaceMode, RtTransport); 3] = [
+    (IfaceMode::Sdk, RtTransport::Sharded), // transport unused in sdk mode
+    (IfaceMode::HotCalls, RtTransport::Single),
+    (IfaceMode::HotCalls, RtTransport::Sharded),
+];
+
+/// Drives memtier against memcached under one (mode, transport) pair and
+/// returns the environment's Table-2-style census.
+pub fn census_memcached(mode: IfaceMode, transport: RtTransport, requests: u64) -> ApiCensus {
+    let mut env = AppEnv::with_transport(
+        sim_config(301),
+        mode,
+        &memcached::api_table(),
+        64 << 20,
+        transport,
+    )
+    .expect("memcached env");
+    let mut server = Memcached::new(&mut env, 8_192, 2_048).expect("server");
+    memtier::run(
+        &mut env,
+        &mut server,
+        memtier::MemtierConfig {
+            requests,
+            keyspace: 1_024,
+            ..memtier::MemtierConfig::default()
+        },
+    )
+    .expect("memtier run");
+    env.api_census(memcached::NAME)
+}
+
+/// Drives http_load against lighttpd under one (mode, transport) pair.
+pub fn census_lighttpd(mode: IfaceMode, transport: RtTransport, fetches: u64) -> ApiCensus {
+    let mut env = AppEnv::with_transport(
+        sim_config(302),
+        mode,
+        &lighttpd::api_table(),
+        64 << 20,
+        transport,
+    )
+    .expect("lighttpd env");
+    env.enter_main().expect("enter");
+    let mut server = Lighttpd::new(&mut env).expect("server");
+    http_load::run(
+        &mut env,
+        &mut server,
+        http_load::HttpLoadConfig {
+            fetches,
+            pages: 32,
+            ..http_load::HttpLoadConfig::default()
+        },
+    )
+    .expect("http_load run");
+    env.api_census(lighttpd::NAME)
+}
+
+/// Drives iperf through the openVPN tunnel under one (mode, transport)
+/// pair.
+pub fn census_openvpn(mode: IfaceMode, transport: RtTransport, packets: u64) -> ApiCensus {
+    let secret = [0x5Au8; 32];
+    let mut env = AppEnv::with_transport(
+        sim_config(303),
+        mode,
+        &openvpn::api_table(),
+        16 << 20,
+        transport,
+    )
+    .expect("vpn env");
+    env.enter_main().expect("enter");
+    let mut endpoint = OpenVpn::new(&mut env, &secret).expect("endpoint");
+    let mut peer_env = AppEnv::new(
+        sim_config(304),
+        IfaceMode::Native,
+        &openvpn::api_table(),
+        1 << 20,
+    )
+    .expect("peer env");
+    let mut peer = OpenVpn::new(&mut peer_env, &secret).expect("peer");
+    iperf::run(
+        &mut env,
+        &mut endpoint,
+        &mut peer,
+        iperf::IperfConfig {
+            packets,
+            ..iperf::IperfConfig::default()
+        },
+    )
+    .expect("iperf run");
+    env.api_census(openvpn::NAME)
+}
+
+/// The full API census: all three applications under each of
+/// [`CENSUS_MODES`] — nine Table-2-style reports.
+pub fn api_census_all(scale: Scale) -> Vec<ApiCensus> {
+    let mut out = Vec::with_capacity(9);
+    for (mode, transport) in CENSUS_MODES {
+        out.push(census_memcached(mode, transport, scale.memcached_requests));
+        out.push(census_openvpn(mode, transport, scale.openvpn_packets));
+        out.push(census_lighttpd(mode, transport, scale.lighttpd_fetches));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,6 +376,41 @@ mod tests {
         assert!(
             (1.7..3.8).contains(&hot_gain),
             "paper: 2.4x HotCalls gain; got {hot_gain}"
+        );
+    }
+
+    #[test]
+    fn census_covers_three_modes_with_separable_interface_cost() {
+        let censuses: Vec<ApiCensus> = CENSUS_MODES
+            .iter()
+            .map(|&(mode, transport)| census_memcached(mode, transport, 400))
+            .collect();
+        assert_eq!(
+            censuses.iter().map(|c| c.mode.as_str()).collect::<Vec<_>>(),
+            ["sdk", "hot", "sharded"]
+        );
+        for c in &censuses {
+            assert_eq!(c.app, "memcached");
+            assert!(c.total_calls > 0, "{}: no calls", c.mode);
+            assert!(c.interface_cycles > 0, "{}: no interface cost", c.mode);
+            assert!(!c.rows.is_empty());
+            // Rows are sorted most-frequent first.
+            assert!(c.rows.windows(2).all(|w| w[0].calls >= w[1].calls));
+        }
+        // The same workload pays far more interface cycles per call under
+        // the SDK than over either HotCalls plane — Table 2's point.
+        let per_call = |c: &ApiCensus| c.interface_cycles as f64 / c.total_calls as f64;
+        assert!(
+            per_call(&censuses[0]) > 3.0 * per_call(&censuses[1]),
+            "sdk {} vs hot {}",
+            per_call(&censuses[0]),
+            per_call(&censuses[1])
+        );
+        assert!(
+            per_call(&censuses[0]) > 3.0 * per_call(&censuses[2]),
+            "sdk {} vs sharded {}",
+            per_call(&censuses[0]),
+            per_call(&censuses[2])
         );
     }
 

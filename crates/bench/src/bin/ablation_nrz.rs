@@ -11,18 +11,22 @@
 //!   the security-pointless `memset` of untrusted staging is elided and
 //!   only the per-buffer tracking cost is charged.
 //!
-//! Output: human-readable table on stdout plus `BENCH_nrz.json` in the
-//! current directory (pass a path argument to override). The process exits
-//! non-zero if NRZ is not strictly cheaper than plain HotCalls at every
-//! measured size, or saves less than 20% at 4 KiB — the claims the
-//! artifact exists to witness.
+//! Usage: `ablation_nrz [N] [OUT.json] [--trace-out T.json]
+//! [--prom-out M.prom]`. Output: human-readable table on stdout plus
+//! `BENCH_nrz.json` in the current directory. The JSON carries a
+//! `telemetry` section whose `sim_cycles` ledger accounts every measured
+//! (transport × mode × size) median. The process exits non-zero if NRZ
+//! is not strictly cheaper than plain HotCalls at every measured size,
+//! or saves less than 20% at 4 KiB — the claims the artifact exists to
+//! witness.
 
 use bench::report::{banner, Json};
+use bench::telemetry::{append_snapshot, enable_tracing_if, write_artifacts};
 use hotcalls::sim::SimHotCalls;
-use hotcalls::HotCallConfig;
+use hotcalls::{HotCallConfig, TelemetryRegistry};
 use sgx_sdk::edl::parse_edl;
 use sgx_sdk::{BufArg, EnclaveCtx, MarshalOptions};
-use sgx_sim::{EnclaveBuildOptions, Machine, SimConfig};
+use sgx_sim::{CycleLedger, Cycles, EnclaveBuildOptions, Machine, SimConfig};
 
 const SIZES: [u64; 4] = [256, 1024, 4096, 16384];
 
@@ -99,11 +103,44 @@ impl Row {
     }
 }
 
+struct Args {
+    n: usize,
+    out_path: String,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n: 400,
+        out_path: "BENCH_nrz.json".into(),
+        trace_out: None,
+        prom_out: None,
+    };
+    let mut positionals = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--prom-out" => args.prom_out = Some(value("--prom-out")),
+            flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
+            p => positionals.push(p.to_string()),
+        }
+    }
+    if let Some(p) = positionals.first() {
+        args.n = p.parse().expect("sample count");
+    }
+    if let Some(p) = positionals.get(1) {
+        args.out_path = p.clone();
+    }
+    args
+}
+
 fn main() {
-    let n = bench::arg_count(400);
-    let out_path = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "BENCH_nrz.json".into());
+    let args = parse_args();
+    let (n, out_path) = (args.n, args.out_path.clone());
+    enable_tracing_if(&args.trace_out);
 
     banner("Ablation: No-Redundant-Zeroing across transfer modes (median cycles)");
     let mut rows = Vec::new();
@@ -148,9 +185,24 @@ fn main() {
         println!();
     }
 
-    let json = render_json(&rows);
+    // The sim ledger: every measured median, accounted by
+    // transport/mode/size, rides the snapshot's `sim_cycles` section.
+    let mut ledger = CycleLedger::new();
+    for r in &rows {
+        ledger.credit(&format!("sdk/{}/{}", r.mode, r.bytes), Cycles::new(r.sdk));
+        ledger.credit(&format!("hot/{}/{}", r.mode, r.bytes), Cycles::new(r.hot));
+        ledger.credit(&format!("nrz/{}/{}", r.mode, r.bytes), Cycles::new(r.nrz));
+    }
+    let registry = TelemetryRegistry::new();
+    for (account, cycles) in ledger.entries() {
+        registry.add_sim_cycles(account, cycles.get());
+    }
+    let snap = registry.snapshot();
+
+    let json = render_json(&rows, &snap);
     std::fs::write(&out_path, &json).expect("write BENCH_nrz.json");
     println!("wrote {out_path}");
+    write_artifacts(&snap, &args.trace_out, &args.prom_out);
 
     // Self-check the claims this artifact exists to witness.
     let mut ok = true;
@@ -179,7 +231,7 @@ fn main() {
 
 /// The artifact goes through the shared `BENCH_*.json` serializer, so it
 /// carries the same `schema_version` envelope as every other bench output.
-fn render_json(rows: &[Row]) -> String {
+fn render_json(rows: &[Row], snap: &hotcalls::Snapshot) -> String {
     let mut j = Json::bench("ablation_nrz");
     j.begin_array("nrz_ablation");
     for r in rows {
@@ -193,5 +245,6 @@ fn render_json(rows: &[Row]) -> String {
         j.end_item();
     }
     j.end_array();
+    append_snapshot(&mut j, snap);
     j.finish()
 }

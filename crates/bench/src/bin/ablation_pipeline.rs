@@ -23,18 +23,22 @@
 //! submission: a bundle pays the slot claim, publish and doze wake once
 //! for all 32 calls.
 //!
-//! Usage: `ablation_pipeline [OUT.json] [--smoke]`. `--smoke` shrinks the
-//! measure windows and relaxes the self-check thresholds so CI can run the
-//! whole harness in a couple of seconds. Output: table on stdout plus
-//! `BENCH_pipeline.json`. Exits non-zero if pipelining is not ≥ 5× sync
+//! Usage: `ablation_pipeline [OUT.json] [--smoke] [--trace-out T.json]
+//! [--prom-out M.prom]`. `--smoke` shrinks the measure windows and
+//! relaxes the self-check thresholds so CI can run the whole harness in a
+//! couple of seconds. Output: table on stdout plus `BENCH_pipeline.json`,
+//! whose `telemetry` section snapshots every measured plane (sync,
+//! pipelined, bundled, and each byte ring) — the bundle-size trace events
+//! land in `--trace-out`. Exits non-zero if pipelining is not ≥ 5× sync
 //! (≥ 2× in smoke mode) or bundling does not cut per-call cost for every
 //! inline payload size.
 
 use std::time::{Duration, Instant};
 
 use bench::report::{banner, Json};
+use bench::telemetry::{append_snapshot, enable_tracing_if, write_artifacts};
 use hotcalls::rt::{Bundle, ByteBundle, ByteCallTable, ByteRing, CallTable, RingServer};
-use hotcalls::{HotCallConfig, ResponderPolicy};
+use hotcalls::{HotCallConfig, ResponderPolicy, Snapshot, TelemetryRegistry};
 
 const RING_CAPACITY: usize = 64;
 const IO_HANDLER_SLEEP: Duration = Duration::from_micros(200);
@@ -47,16 +51,24 @@ const INLINE_PAYLOADS: [usize; 4] = [8, 16, 32, 64];
 struct Args {
     out_path: String,
     smoke: bool,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         out_path: "BENCH_pipeline.json".into(),
         smoke: false,
+        trace_out: None,
+        prom_out: None,
     };
-    for arg in std::env::args().skip(1) {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--prom-out" => args.prom_out = Some(value("--prom-out")),
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => args.out_path = path.to_string(),
         }
@@ -95,8 +107,9 @@ fn io_server() -> RingServer<u64, u64> {
 }
 
 /// calls/sec of the synchronous baseline: one `call` at a time.
-fn io_sync(measure: Duration) -> f64 {
+fn io_sync(measure: Duration, registry: &TelemetryRegistry) -> f64 {
     let server = io_server();
+    registry.register_plane(server.telemetry_provider("io-sync"));
     let r = server.requester();
     let deadline = Instant::now() + measure;
     let start = Instant::now();
@@ -112,8 +125,9 @@ fn io_sync(measure: Duration) -> f64 {
 
 /// calls/sec with up to `PIPELINE_DEPTH` submissions in flight, reaped
 /// with `wait_any` in whatever order the pool completes them.
-fn io_pipelined(measure: Duration) -> f64 {
+fn io_pipelined(measure: Duration, registry: &TelemetryRegistry) -> f64 {
     let server = io_server();
+    registry.register_plane(server.telemetry_provider("io-pipelined"));
     let r = server.requester();
     let deadline = Instant::now() + measure;
     let start = Instant::now();
@@ -141,8 +155,9 @@ fn io_pipelined(measure: Duration) -> f64 {
 /// calls/sec with `BUNDLE_LEN`-call bundles. One responder services a
 /// whole bundle, so the sleeps inside it stay serial — this measures the
 /// bundle boundary, not a win.
-fn io_bundled(measure: Duration) -> f64 {
+fn io_bundled(measure: Duration, registry: &TelemetryRegistry) -> f64 {
     let server = io_server();
+    registry.register_plane(server.telemetry_provider("io-bundled"));
     let r = server.requester();
     let deadline = Instant::now() + measure;
     let start = Instant::now();
@@ -176,7 +191,7 @@ impl OverheadRow {
 
 /// Per-call ns at one payload size, single-call vs 32-call bundles, over
 /// a byte ring whose handler just measures the payload.
-fn bundle_overhead(payload: usize, calls: u64) -> OverheadRow {
+fn bundle_overhead(payload: usize, calls: u64, registry: &TelemetryRegistry) -> OverheadRow {
     let mut table = ByteCallTable::new();
     let id = table.register(|n, buf| {
         buf[..n].reverse();
@@ -211,6 +226,10 @@ fn bundle_overhead(payload: usize, calls: u64) -> OverheadRow {
         }
     }
     let bundled_ns = start.elapsed().as_nanos() as f64 / (bundles * BYTE_BUNDLE_LEN as u64) as f64;
+    // Providers read shared state behind an `Arc`, so the plane and the
+    // caller-side arena stay pollable after the ring shuts down.
+    registry.register_plane(ring.telemetry_provider(format!("bundle-{payload}B")));
+    registry.register_arena(format!("bundle-{payload}B"), move || caller.arena_stats());
     ring.shutdown();
     OverheadRow {
         payload,
@@ -221,6 +240,8 @@ fn bundle_overhead(payload: usize, calls: u64) -> OverheadRow {
 
 fn main() {
     let args = parse_args();
+    enable_tracing_if(&args.trace_out);
+    let registry = TelemetryRegistry::new();
     let (measure, overhead_calls, min_speedup, max_bundle_ratio) = if args.smoke {
         (Duration::from_millis(80), 20_000u64, 2.0, 1.10)
     } else {
@@ -236,9 +257,9 @@ fn main() {
         BUNDLE_LEN
     );
 
-    let sync_cps = io_sync(measure);
-    let pipe_cps = io_pipelined(measure);
-    let bund_cps = io_bundled(measure);
+    let sync_cps = io_sync(measure, &registry);
+    let pipe_cps = io_pipelined(measure, &registry);
+    let bund_cps = io_bundled(measure, &registry);
     let pipe_speedup = pipe_cps / sync_cps;
     let bund_speedup = bund_cps / sync_cps;
     println!("  sync      : {sync_cps:>10.0} calls/sec");
@@ -253,7 +274,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for payload in INLINE_PAYLOADS {
-        let row = bundle_overhead(payload, overhead_calls);
+        let row = bundle_overhead(payload, overhead_calls, &registry);
         println!(
             "  {:>8} {:>12.1} {:>14.1} {:>11.1}%",
             row.payload,
@@ -265,9 +286,11 @@ fn main() {
     }
     println!();
 
-    let json = render_json(&args, sync_cps, pipe_cps, bund_cps, &rows, measure);
+    let snap = registry.snapshot();
+    let json = render_json(&args, sync_cps, pipe_cps, bund_cps, &rows, measure, &snap);
     std::fs::write(&args.out_path, &json).expect("write BENCH_pipeline.json");
     println!("wrote {}", args.out_path);
+    write_artifacts(&snap, &args.trace_out, &args.prom_out);
 
     // Self-check the claims this artifact exists to witness.
     let mut ok = true;
@@ -300,6 +323,7 @@ fn main() {
 
 /// The artifact goes through the shared `BENCH_*.json` serializer, so it
 /// carries the same `schema_version` envelope as every other bench output.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     args: &Args,
     sync_cps: f64,
@@ -307,6 +331,7 @@ fn render_json(
     bund_cps: f64,
     rows: &[OverheadRow],
     measure: Duration,
+    snap: &Snapshot,
 ) -> String {
     let mut j = Json::bench("ablation_pipeline");
     j.field_bool("smoke", args.smoke)
@@ -333,5 +358,6 @@ fn render_json(
         j.end_item();
     }
     j.end_array();
+    append_snapshot(&mut j, snap);
     j.finish()
 }

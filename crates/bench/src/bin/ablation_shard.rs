@@ -32,8 +32,15 @@
 //! drought, so under sustained load the elastic plane must hold the best
 //! static shape.
 //!
-//! Usage: `ablation_shard [OUT.json] [--smoke]`. Output: tables on stdout
-//! plus `BENCH_shard.json`; exits non-zero if a claim fails.
+//! Usage: `ablation_shard [OUT.json] [--smoke] [--trace-out T.json]
+//! [--prom-out M.prom] [--baseline-json BASE.json]`. Output: tables on
+//! stdout plus `BENCH_shard.json`; exits non-zero if a claim fails. The
+//! JSON's `telemetry` section snapshots the check-point, skew and
+//! adaptive planes, and its top-level `check_point_calls_per_sec` field
+//! is the telemetry-overhead reference: pass a `BENCH_shard.json`
+//! produced by a `--features telemetry-off` build via `--baseline-json`
+//! and this run gates itself on keeping ≥ 97% of that baseline's
+//! throughput at the 4-requester / 4-shard check point.
 //!
 //! Threshold discipline (same as `tests/governor_regression.rs`): the
 //! gates assert *multiples, not percents*, and the smoke gates are looser
@@ -48,8 +55,11 @@ use std::time::{Duration, Instant};
 
 use bench::report::{banner, Json};
 use bench::rt_baseline::{scaling_throughput, MutexMailbox};
+use bench::telemetry::{append_snapshot, enable_tracing_if, extract_field_f64, write_artifacts};
 use hotcalls::rt::{CallTable, RingServer, ShardedServer};
-use hotcalls::{HotCallConfig, ResponderPolicy, RingStats, ShardPolicy};
+use hotcalls::{
+    HotCallConfig, ResponderPolicy, RingStats, ShardPolicy, Snapshot, TelemetryRegistry,
+};
 
 /// Slots per shard (and capacity of the single-ring comparison pools).
 const RING_CAPACITY: usize = 64;
@@ -60,20 +70,35 @@ const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// The requester/shard point the headline claims are checked at.
 const CHECK_REQUESTERS: usize = 4;
 const CHECK_SHARDS: usize = 4;
+/// The overhead gate: an instrumented run must keep at least this
+/// fraction of the telemetry-off baseline's check-point throughput
+/// (≤ 3% measured telemetry overhead).
+const MIN_BASELINE_RATIO: f64 = 0.97;
 
 struct Args {
     out_path: String,
     smoke: bool,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
+    baseline_json: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         out_path: "BENCH_shard.json".into(),
         smoke: false,
+        trace_out: None,
+        prom_out: None,
+        baseline_json: None,
     };
-    for arg in std::env::args().skip(1) {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match arg.as_str() {
             "--smoke" => args.smoke = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--prom-out" => args.prom_out = Some(value("--prom-out")),
+            "--baseline-json" => args.baseline_json = Some(value("--baseline-json")),
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => args.out_path = path.to_string(),
         }
@@ -116,14 +141,21 @@ fn io_sharded(policy: ShardPolicy) -> ShardedServer<u64, u64> {
 /// calls/sec through a sharded plane with `requesters` concurrent
 /// callers, each on its router-assigned home shard (or all pinned to
 /// shard 0 when `pin_to_zero`). Returns the rate and the final stats.
+/// When `register` names a registry, the plane reports into it (the
+/// provider reads `Arc`-shared state, so the snapshot at the end of the
+/// run still sees this plane's counters after shutdown).
 fn sharded_throughput(
     requesters: usize,
     policy: ShardPolicy,
     pin_to_zero: bool,
     measure: Duration,
+    register: Option<(&TelemetryRegistry, &str)>,
 ) -> (f64, RingStats) {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     let server = io_sharded(policy);
+    if let Some((registry, name)) = register {
+        registry.register_plane(server.telemetry_provider(name));
+    }
     let callers: Vec<_> = (0..requesters)
         .map(|_| {
             if pin_to_zero {
@@ -207,9 +239,17 @@ fn mutex_throughput(requesters: usize, measure: Duration) -> f64 {
 
 /// p99 call latency (µs) on a 4-shard plane under uniform or fully
 /// skewed routing.
-fn skew_p99_us(requesters: usize, pin_to_zero: bool, measure: Duration) -> (f64, RingStats) {
+fn skew_p99_us(
+    requesters: usize,
+    pin_to_zero: bool,
+    measure: Duration,
+    register: Option<(&TelemetryRegistry, &str)>,
+) -> (f64, RingStats) {
     use std::sync::atomic::{AtomicBool, Ordering};
     let server = io_sharded(ShardPolicy::fixed(CHECK_SHARDS));
+    if let Some((registry, name)) = register {
+        registry.register_plane(server.telemetry_provider(name));
+    }
     let callers: Vec<_> = (0..requesters)
         .map(|_| {
             if pin_to_zero {
@@ -263,6 +303,8 @@ struct GridCell {
 
 fn main() {
     let args = parse_args();
+    enable_tracing_if(&args.trace_out);
+    let registry = TelemetryRegistry::new();
     // Smoke gates are deliberately loose (CI runs on one noisy core);
     // full gates assert the headline multiples.
     let (measure, min_speedup, skew_ratio, skew_slack_us, min_adaptive_ratio) = if args.smoke {
@@ -294,8 +336,14 @@ fn main() {
         println!("  {req} req | mutex-slot {mutex_cps:>10.0}");
         mutex_rows.push((req, mutex_cps));
         for &shards in &SHARD_COUNTS {
+            // The check-requester row reports into the snapshot: the
+            // 1-shard plane (the single-ring reference) and the check
+            // point the overhead gate reads.
+            let plane_name = format!("grid-{req}req-{shards}shards");
+            let register = (req == CHECK_REQUESTERS && (shards == 1 || shards == CHECK_SHARDS))
+                .then_some((&registry, plane_name.as_str()));
             let (sharded_cps, stats) =
-                sharded_throughput(req, ShardPolicy::fixed(shards), false, measure);
+                sharded_throughput(req, ShardPolicy::fixed(shards), false, measure, register);
             let pool_cps = single_ring_throughput(req, shards, measure);
             println!(
                 "  {req} req | {shards} shards {sharded_cps:>10.0}  pool({shards} resp) \
@@ -318,8 +366,18 @@ fn main() {
     println!();
 
     // Section B: bursty skew vs uniform routing.
-    let (uniform_p99, _) = skew_p99_us(CHECK_REQUESTERS, false, measure);
-    let (skewed_p99, skew_stats) = skew_p99_us(CHECK_REQUESTERS, true, measure);
+    let (uniform_p99, _) = skew_p99_us(
+        CHECK_REQUESTERS,
+        false,
+        measure,
+        Some((&registry, "skew-uniform")),
+    );
+    let (skewed_p99, skew_stats) = skew_p99_us(
+        CHECK_REQUESTERS,
+        true,
+        measure,
+        Some((&registry, "skew-shard0")),
+    );
     println!("skew p99 ({CHECK_REQUESTERS} requesters, {CHECK_SHARDS} shards):");
     println!("  uniform routing : {uniform_p99:>8.0} us");
     println!(
@@ -335,6 +393,7 @@ fn main() {
         ShardPolicy::elastic(1, CHECK_SHARDS),
         false,
         measure,
+        Some((&registry, "adaptive")),
     );
     let (best_static_shards, best_static_cps) = grid
         .iter()
@@ -368,6 +427,7 @@ fn main() {
     let skew_ok = skewed_p99 <= uniform_p99 * skew_ratio + skew_slack_us;
     let adaptive_ok = adaptive_ratio >= min_adaptive_ratio;
 
+    let snap = registry.snapshot();
     let json = render_json(
         &args,
         measure,
@@ -380,9 +440,12 @@ fn main() {
         best_static_shards,
         best_static_cps,
         speedup,
+        check_cps,
+        &snap,
     );
     std::fs::write(&args.out_path, &json).expect("write BENCH_shard.json");
     println!("wrote {}", args.out_path);
+    write_artifacts(&snap, &args.trace_out, &args.prom_out);
 
     // Self-check the claims this artifact exists to witness.
     let mut ok = true;
@@ -408,6 +471,36 @@ fn main() {
         );
         ok = false;
     }
+    // The telemetry-overhead gate: against a baseline artifact from a
+    // `--features telemetry-off` build, the instrumented check point must
+    // keep >= MIN_BASELINE_RATIO of the baseline's throughput.
+    if let Some(path) = &args.baseline_json {
+        let text = std::fs::read_to_string(path).expect("read baseline json");
+        let baseline = extract_field_f64(&text, "check_point_calls_per_sec")
+            .expect("baseline json carries check_point_calls_per_sec");
+        let ratio = check_cps / baseline;
+        let overhead_pct = 100.0 * (1.0 - ratio);
+        println!(
+            "telemetry overhead at {CHECK_REQUESTERS} req / {CHECK_SHARDS} shards: \
+             instrumented {check_cps:.0} vs baseline {baseline:.0} calls/sec \
+             ({overhead_pct:.1}% overhead)"
+        );
+        if ratio < MIN_BASELINE_RATIO {
+            eprintln!(
+                "FAIL: instrumented check point holds only {:.1}% of the telemetry-off \
+                 baseline (need >= {:.0}%)",
+                100.0 * ratio,
+                100.0 * MIN_BASELINE_RATIO
+            );
+            ok = false;
+        } else {
+            println!(
+                "PASS: telemetry overhead within {:.0}% budget",
+                100.0 * (1.0 - MIN_BASELINE_RATIO)
+            );
+        }
+    }
+
     if !ok {
         std::process::exit(1);
     }
@@ -431,13 +524,19 @@ fn render_json(
     best_static_shards: usize,
     best_static_cps: f64,
     speedup: f64,
+    check_cps: f64,
+    snap: &Snapshot,
 ) -> String {
     let mut j = Json::bench("ablation_shard");
     j.field_bool("smoke", args.smoke)
         .field_u64("host_threads", host_threads() as u64)
         .field_u64("measure_ms", measure.as_millis() as u64)
         .field_u64("io_handler_us", IO_HANDLER_SLEEP.as_micros() as u64)
-        .field_u64("ring_capacity_per_shard", RING_CAPACITY as u64);
+        .field_u64("ring_capacity_per_shard", RING_CAPACITY as u64)
+        // The overhead-gate reference: sharded calls/sec at the
+        // CHECK_REQUESTERS × CHECK_SHARDS grid cell. `--baseline-json`
+        // reads this field out of a telemetry-off run's artifact.
+        .field_f64("check_point_calls_per_sec", check_cps, 1);
     j.begin_array("mutex_baseline");
     for &(req, cps) in mutex_rows {
         j.begin_item();
@@ -485,5 +584,6 @@ fn render_json(
     j.begin_object("checks");
     j.field_f64("speedup_vs_single_ring", speedup, 2);
     j.end_object();
+    append_snapshot(&mut j, snap);
     j.finish()
 }

@@ -1,0 +1,162 @@
+//! `api_census` — the Table-2-style API census of all three ported
+//! applications, per interface configuration.
+//!
+//! Table 2 of the paper answers "which API, how often, and how much core
+//! time does the interface burn" for the unoptimized SGX ports. This
+//! harness reproduces that census from the live per-name edge-call
+//! ledger — and extends it across the interface axis the paper argues
+//! for: the same workload is driven under the plain SDK port (`sdk`),
+//! HotCalls over a single adaptive ring (`hot`), and HotCalls over the
+//! sharded multi-ring plane (`sharded`). Every census row reports calls,
+//! calls/sec, cycles per call, and the call's share of total interface
+//! cycles; the census header carries the paper's "Core Time" fraction.
+//!
+//! Usage: `api_census [OUT.json] [--smoke] [--trace-out T.json]
+//! [--prom-out M.prom]`. Output: nine censuses (3 apps × 3 modes) on
+//! stdout plus `BENCH_census.json`; exits non-zero if the headline
+//! separation (SDK pays ≥ 2× the per-call interface cycles of either
+//! HotCalls plane) fails for any application.
+
+use bench::applications::{self, Scale, CENSUS_MODES};
+use bench::report::Json;
+use bench::telemetry::{append_snapshot, enable_tracing_if, write_artifacts};
+use hotcalls::telemetry::ApiCensus;
+use hotcalls::TelemetryRegistry;
+
+/// The SDK-vs-HotCalls per-call separation every app must show (the
+/// paper's Table 1 ratio is ~13×; the gate is deliberately loose because
+/// call bodies ride inside the per-name cycles too).
+const MIN_SDK_RATIO: f64 = 2.0;
+
+struct Args {
+    out_path: String,
+    smoke: bool,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out_path: "BENCH_census.json".into(),
+        smoke: false,
+        trace_out: None,
+        prom_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--prom-out" => args.prom_out = Some(value("--prom-out")),
+            flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
+            path => args.out_path = path.to_string(),
+        }
+    }
+    args
+}
+
+fn print_census(c: &ApiCensus) {
+    println!(
+        "{} [{}]: {} calls in {:.4}s, interface {} cycles, core time {:.3}",
+        c.app, c.mode, c.total_calls, c.elapsed_secs, c.interface_cycles, c.core_time_fraction
+    );
+    println!(
+        "  {:<22} {:>8} {:>12} {:>12} {:>8}",
+        "api", "calls", "calls/sec", "cyc/call", "share"
+    );
+    for row in c.rows.iter().take(8) {
+        println!(
+            "  {:<22} {:>8} {:>12.0} {:>12.0} {:>7.1}%",
+            row.name,
+            row.calls,
+            row.calls_per_sec,
+            row.cycles_per_call,
+            100.0 * row.share_of_interface
+        );
+    }
+    println!();
+}
+
+/// Mean interface cycles per edge call of one census.
+fn per_call(c: &ApiCensus) -> f64 {
+    if c.total_calls == 0 {
+        0.0
+    } else {
+        c.interface_cycles as f64 / c.total_calls as f64
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    enable_tracing_if(&args.trace_out);
+    let scale = if args.smoke {
+        Scale {
+            memcached_requests: 400,
+            lighttpd_fetches: 200,
+            openvpn_packets: 200,
+            ping_count: 0,
+        }
+    } else {
+        Scale::default()
+    };
+
+    println!(
+        "api_census: Table-2-style API census, {} modes",
+        CENSUS_MODES.len()
+    );
+    println!();
+    let censuses = applications::api_census_all(scale);
+    for c in &censuses {
+        print_census(c);
+    }
+
+    // Everything rides the shared registry so the artifact's telemetry
+    // section is the same shape every bench emits.
+    let registry = TelemetryRegistry::new();
+    for c in &censuses {
+        registry.add_census(c.clone());
+    }
+    let snap = registry.snapshot();
+
+    let mut j = Json::bench("api_census");
+    j.field_bool("smoke", args.smoke)
+        .field_u64("memcached_requests", scale.memcached_requests)
+        .field_u64("lighttpd_fetches", scale.lighttpd_fetches)
+        .field_u64("openvpn_packets", scale.openvpn_packets);
+    append_snapshot(&mut j, &snap);
+    let json = j.finish();
+    std::fs::write(&args.out_path, &json).expect("write BENCH_census.json");
+    println!("wrote {}", args.out_path);
+    write_artifacts(&snap, &args.trace_out, &args.prom_out);
+
+    // Self-check: per app, the SDK port pays the per-call interface
+    // premium Table 2 documents, and both HotCalls planes erase it.
+    let mut ok = true;
+    for app in ["memcached", "openvpn", "lighttpd"] {
+        let by_mode = |mode: &str| -> &ApiCensus {
+            censuses
+                .iter()
+                .find(|c| c.app == app && c.mode == mode)
+                .expect("census grid covers app x mode")
+        };
+        let sdk = per_call(by_mode("sdk"));
+        for mode in ["hot", "sharded"] {
+            let hot = per_call(by_mode(mode));
+            if sdk < MIN_SDK_RATIO * hot {
+                eprintln!(
+                    "FAIL: {app}: sdk pays {sdk:.0} cycles/call vs {hot:.0} over `{mode}` \
+                     (need >= {MIN_SDK_RATIO:.1}x separation)"
+                );
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "census claims hold: sdk >= {MIN_SDK_RATIO:.1}x per-call interface cycles of both \
+         HotCalls planes, all three applications"
+    );
+}

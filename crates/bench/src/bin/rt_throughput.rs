@@ -31,11 +31,16 @@
 //!
 //! ```text
 //! rt_throughput [OUT.json] [--workload cpu|io|all] [--max-responders N]
-//!               [--shards N] [--measure-ms N]
+//!               [--shards N] [--measure-ms N] [--trace-out T.json]
+//!               [--prom-out M.prom]
 //! ```
 //!
 //! Output: human-readable table on stdout plus `BENCH_rt.json` in the
-//! current directory (positional argument overrides the path).
+//! current directory (positional argument overrides the path). The JSON
+//! carries a `telemetry` section snapshotted from a live exemplar plane
+//! (queue/service/reap cycle percentiles per lane); `--trace-out` dumps
+//! the run's `chrome://tracing` events and `--prom-out` the Prometheus
+//! text exposition.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,8 +48,9 @@ use std::time::{Duration, Instant};
 
 use bench::report::Json;
 use bench::rt_baseline::{scaling_throughput, MutexMailbox};
+use bench::telemetry::{append_snapshot, enable_tracing_if, write_artifacts};
 use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, HotCallServer, RingServer, ShardedServer};
-use hotcalls::{HotCallConfig, ResponderPolicy, ShardPolicy};
+use hotcalls::{HotCallConfig, ResponderPolicy, ShardPolicy, Snapshot, TelemetryRegistry};
 
 const RING_CAPACITY: usize = 64;
 const IO_HANDLER_SLEEP: Duration = Duration::from_micros(200);
@@ -58,6 +64,8 @@ struct Args {
     max_responders: usize,
     shards: usize,
     measure: Duration,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -67,6 +75,8 @@ fn parse_args() -> Args {
         max_responders: 4,
         shards: 2,
         measure: Duration::from_millis(250),
+        trace_out: None,
+        prom_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -98,6 +108,8 @@ fn parse_args() -> Args {
                     .expect("--measure-ms takes milliseconds");
                 args.measure = Duration::from_millis(ms.max(1));
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--prom-out" => args.prom_out = Some(value("--prom-out")),
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => args.out_path = path.to_string(),
         }
@@ -364,8 +376,43 @@ fn baseline_scaling(requesters: usize, measure: Duration) -> BaselineCell {
     }
 }
 
+/// Calls driven through the exemplar plane whose live telemetry lands in
+/// the artifact's `telemetry` section.
+const EXEMPLAR_CALLS: u64 = 20_000;
+
+/// One live sharded byte plane, snapshotted *while its responders run*:
+/// the matrix cells above shut their servers down before their stats can
+/// be registered, so the artifact's stage histograms (queue/service/reap
+/// percentiles per lane) come from this dedicated run.
+fn telemetry_exemplar(shards: usize) -> Snapshot {
+    let mut table = ByteCallTable::new();
+    let id = table.register(|n, buf| {
+        buf[..n].reverse();
+        n
+    });
+    let ring = ByteRing::spawn_sharded(
+        table,
+        RING_CAPACITY,
+        ShardPolicy::fixed(shards),
+        pool_config(),
+    )
+    .expect("plane shape is valid");
+    let mut caller = ring.caller();
+    let data = [0x5Au8; 64];
+    for _ in 0..EXEMPLAR_CALLS {
+        caller.call(id, &data, data.len()).unwrap();
+    }
+    let registry = TelemetryRegistry::new();
+    registry.register_plane(ring.telemetry_provider("rt-exemplar"));
+    registry.register_arena("rt-exemplar", move || caller.arena_stats());
+    let snap = registry.snapshot();
+    ring.shutdown();
+    snap
+}
+
 fn main() {
     let args = parse_args();
+    enable_tracing_if(&args.trace_out);
 
     println!("rt_throughput: pooled HotCalls runtime matrix");
     println!("host threads available: {}", host_threads());
@@ -477,6 +524,7 @@ fn main() {
     }
     println!();
 
+    let snap = telemetry_exemplar(args.shards);
     let json = render_json(
         &args,
         baseline_ns,
@@ -485,9 +533,11 @@ fn main() {
         &cells,
         &shard_cells,
         &arena,
+        &snap,
     );
     std::fs::write(&args.out_path, &json).expect("write BENCH_rt.json");
     println!("wrote {}", args.out_path);
+    write_artifacts(&snap, &args.trace_out, &args.prom_out);
 }
 
 fn host_threads() -> usize {
@@ -499,6 +549,7 @@ fn host_threads() -> usize {
 /// The artifact goes through the shared `BENCH_*.json` serializer
 /// ([`Json`]), so it carries the same `schema_version` envelope as every
 /// other bench output.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     args: &Args,
     baseline_ns: f64,
@@ -507,6 +558,7 @@ fn render_json(
     cells: &[Cell],
     shard_cells: &[ShardCell],
     arena: &[ArenaCell],
+    snap: &Snapshot,
 ) -> String {
     let mut j = Json::bench("rt_throughput");
     j.field_u64("host_threads", host_threads() as u64)
@@ -571,5 +623,6 @@ fn render_json(
         j.end_item();
     }
     j.end_array();
+    append_snapshot(&mut j, snap);
     j.finish()
 }

@@ -31,6 +31,7 @@ pub mod micro;
 pub mod report;
 pub mod rt_baseline;
 pub mod stats;
+pub mod telemetry;
 
 /// Parses the optional first CLI argument as a sample-count override.
 pub fn arg_count(default: usize) -> usize {

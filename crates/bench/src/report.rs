@@ -80,7 +80,10 @@ pub fn normalized(series: &[f64]) -> Vec<f64> {
 /// Schema version stamped into every `BENCH_*.json` artifact. Bump when a
 /// field is renamed or its meaning changes; downstream trajectory tooling
 /// keys its parsers on this.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 added the `telemetry` section (stage histograms, censuses,
+/// tracer counters) that every bench artifact now carries.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The shared `BENCH_*.json` serializer: a tiny hand-rolled JSON writer
 /// (the workspace takes no serde dependency for the bench binaries) that
@@ -103,7 +106,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// j.end_item();
 /// j.end_array();
 /// let text = j.finish();
-/// assert!(text.starts_with("{\n  \"schema_version\": 1,\n  \"bench\": \"example\""));
+/// assert!(text.starts_with("{\n  \"schema_version\": 2,\n  \"bench\": \"example\""));
 /// assert!(text.ends_with("}\n"));
 /// ```
 #[derive(Debug)]
@@ -268,7 +271,7 @@ mod tests {
         let text = j.finish();
         assert_eq!(text.matches('{').count(), text.matches('}').count());
         assert_eq!(text.matches('[').count(), text.matches(']').count());
-        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"schema_version\": 2"));
         assert!(text.contains("\"bench\": \"t\""));
         assert!(text.contains("\"x\": 0.500"));
         assert!(!text.contains(",\n}"), "no trailing commas:\n{text}");

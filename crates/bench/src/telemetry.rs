@@ -1,0 +1,187 @@
+//! Shared telemetry plumbing for the bench binaries.
+//!
+//! Every bench that writes a `BENCH_*.json` artifact serializes a
+//! [`hotcalls::Snapshot`] through [`append_snapshot`], so the stage
+//! histograms, censuses, and tracer counters ride in the same envelope
+//! as the measurements they explain. The `--trace-out` / `--prom-out`
+//! flags are wired through [`enable_tracing_if`] / [`write_artifacts`]
+//! so any bench run can emit a `chrome://tracing` file or a Prometheus
+//! text exposition without code edits.
+
+use hotcalls::telemetry::{tracer, CycleHist, DEFAULT_TRACE_CAPACITY};
+use hotcalls::Snapshot;
+
+use crate::report::Json;
+
+/// Turns the process tracer on when a `--trace-out` path was given
+/// (capacity [`DEFAULT_TRACE_CAPACITY`], drop-oldest under overflow).
+/// Call before the measured work starts.
+pub fn enable_tracing_if(trace_out: &Option<String>) {
+    if trace_out.is_some() {
+        tracer().enable(DEFAULT_TRACE_CAPACITY);
+    }
+}
+
+/// Writes the optional side artifacts of one bench run: the drained
+/// tracer as `chrome://tracing` JSON to `trace_out`, and the snapshot's
+/// Prometheus text exposition to `prom_out`. Paths that were not given
+/// cost nothing.
+pub fn write_artifacts(snap: &Snapshot, trace_out: &Option<String>, prom_out: &Option<String>) {
+    if let Some(path) = trace_out {
+        let doc = tracer().export_chrome_json();
+        std::fs::write(path, doc).expect("write trace JSON");
+        println!("wrote {path}");
+    }
+    if let Some(path) = prom_out {
+        std::fs::write(path, snap.to_prometheus()).expect("write Prometheus text");
+        println!("wrote {path}");
+    }
+}
+
+fn hist_object(j: &mut Json, name: &str, h: &CycleHist) {
+    let s = h.summary();
+    j.begin_object(name);
+    j.field_u64("count", s.count)
+        .field_f64("mean", s.mean, 1)
+        .field_u64("p50", s.p50)
+        .field_u64("p90", s.p90)
+        .field_u64("p99", s.p99)
+        .field_u64("p999", s.p999)
+        .field_u64("max", s.max);
+    j.end_object();
+}
+
+/// Serializes a snapshot as the `telemetry` section of a bench artifact:
+/// per-plane counters, per-lane queue/service percentiles, reap latency,
+/// arenas, censuses, simulator ledger, and the tracer's drop counter.
+/// This is what `schema_version` 2 added to every `BENCH_*.json`.
+pub fn append_snapshot(j: &mut Json, snap: &Snapshot) {
+    j.begin_object("telemetry");
+    j.field_u64("telemetry_schema_version", snap.schema_version as u64)
+        .field_bool("enabled", snap.enabled)
+        .field_u64("tracer_dropped_events", snap.tracer_dropped);
+    j.begin_array("planes");
+    for p in &snap.planes {
+        j.begin_item();
+        j.field_str("name", &p.name)
+            .field_str("kind", p.kind)
+            .field_u64("calls", p.stats.totals.calls)
+            .field_u64("wakeups", p.stats.totals.wakeups)
+            .field_u64("governor_active", p.stats.governor.active as u64)
+            .field_u64("governor_parks", p.stats.governor.parks)
+            .field_u64("steals", p.stats.steals())
+            .field_u64("steal_hits", p.stats.steal_hits());
+        hist_object(j, "queue_cycles", &p.merged_queue());
+        hist_object(j, "service_cycles", &p.merged_service());
+        hist_object(j, "reap_cycles", &p.reap);
+        j.begin_array("lanes");
+        for lane in &p.lanes {
+            j.begin_item();
+            j.field_u64("lane", lane.lane as u64);
+            hist_object(j, "queue_cycles", &lane.queue);
+            hist_object(j, "service_cycles", &lane.service);
+            j.end_item();
+        }
+        j.end_array();
+        j.end_item();
+    }
+    j.end_array();
+    j.begin_array("arenas");
+    for a in &snap.arenas {
+        j.begin_item();
+        j.field_str("name", &a.name)
+            .field_u64("allocs", a.stats.allocs)
+            .field_u64("recycles", a.stats.recycles)
+            .field_u64("inline_hits", a.stats.inline_hits)
+            .field_u64("stale_recycles", a.stats.stale_recycles);
+        j.end_item();
+    }
+    j.end_array();
+    j.begin_array("censuses");
+    for c in &snap.censuses {
+        j.begin_item();
+        j.field_str("app", &c.app)
+            .field_str("mode", &c.mode)
+            .field_f64("elapsed_secs", c.elapsed_secs, 6)
+            .field_u64("total_calls", c.total_calls)
+            .field_u64("interface_cycles", c.interface_cycles)
+            .field_f64("core_time_fraction", c.core_time_fraction, 4);
+        j.begin_array("rows");
+        for row in &c.rows {
+            j.begin_item();
+            j.field_str("name", &row.name)
+                .field_u64("calls", row.calls)
+                .field_f64("calls_per_sec", row.calls_per_sec, 1)
+                .field_f64("cycles_per_call", row.cycles_per_call, 1)
+                .field_f64("share_of_interface", row.share_of_interface, 4);
+            j.end_item();
+        }
+        j.end_array();
+        j.end_item();
+    }
+    j.end_array();
+    j.begin_array("sim_cycles");
+    for e in &snap.sim {
+        j.begin_item();
+        j.field_str("account", &e.name)
+            .field_u64("cycles", e.cycles);
+        j.end_item();
+    }
+    j.end_array();
+    j.end_object();
+}
+
+/// Pulls the first `"key": <number>` field out of a `BENCH_*.json`
+/// document — the minimal extraction the telemetry-overhead gate needs
+/// to compare against a `telemetry-off` baseline artifact without a JSON
+/// parser in the workspace. Matches top-level and nested fields alike
+/// (first occurrence wins), so gate keys must be unique in the document.
+pub fn extract_field_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotcalls::TelemetryRegistry;
+
+    #[test]
+    fn extracts_numbers_from_hand_rolled_json() {
+        let doc = "{\n  \"schema_version\": 2,\n  \"check_point_calls_per_sec\": 1234567.8,\n  \"neg\": -2.5\n}\n";
+        assert_eq!(
+            extract_field_f64(doc, "check_point_calls_per_sec"),
+            Some(1_234_567.8)
+        );
+        assert_eq!(extract_field_f64(doc, "schema_version"), Some(2.0));
+        assert_eq!(extract_field_f64(doc, "neg"), Some(-2.5));
+        assert_eq!(extract_field_f64(doc, "missing"), None);
+    }
+
+    #[test]
+    fn snapshot_section_is_well_formed_json() {
+        let reg = TelemetryRegistry::new();
+        reg.add_sim_cycles("ecall-crossing", 8_000);
+        let snap = reg.snapshot();
+        let mut j = Json::bench("telemetry_test");
+        j.field_f64("check_point_calls_per_sec", 42.0, 1);
+        append_snapshot(&mut j, &snap);
+        let text = j.finish();
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        assert!(text.contains("\"telemetry\": {"));
+        assert!(text.contains("\"account\": \"ecall-crossing\""));
+        assert!(!text.contains(",\n}"), "no trailing commas:\n{text}");
+        assert!(!text.contains(",\n]"), "no trailing commas:\n{text}");
+        // The gate's extractor can read back what the builder wrote.
+        assert_eq!(
+            extract_field_f64(&text, "check_point_calls_per_sec"),
+            Some(42.0)
+        );
+    }
+}

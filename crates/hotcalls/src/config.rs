@@ -202,106 +202,13 @@ impl ShardPolicy {
     }
 }
 
-/// Per-shard counters of a sharded data plane, published through
-/// [`RingStats`]. Each shard has exactly one home responder; `steals` and
-/// `steal_hits` describe that responder's probing of *sibling* shards.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ShardStats {
-    /// Shard index (= its home responder's index).
-    pub shard: usize,
-    /// Calls serviced by this shard's home responder (home or stolen).
-    pub serviced: u64,
-    /// Drain attempts the home responder made on its own shard.
-    pub home_polls: u64,
-    /// Sibling-shard probes the home responder made after finding its own
-    /// shard empty.
-    pub steals: u64,
-    /// Sibling probes that actually claimed work.
-    pub steal_hits: u64,
-    /// Wakeups this shard's submissions redirected to a sibling responder
-    /// (because the home responder was parked or already saturated).
-    pub cross_shard_wakes: u64,
-    /// Is this shard currently parked (router not assigning to it)?
-    pub parked: bool,
-    /// Submissions currently between claim and service on this shard.
-    pub occupancy: usize,
-}
-
-/// A full statistics snapshot of a sharded data plane: pool-wide totals,
-/// the shard governor's shape, and one [`ShardStats`] row per shard.
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RingStats {
-    /// Pool-wide transport totals (sum over every responder).
-    pub totals: HotCallStats,
-    /// The shard governor's current shape and decision counters.
-    pub governor: GovernorStats,
-    /// Per-shard counters, indexed by shard.
-    pub shards: Vec<ShardStats>,
-}
-
-impl RingStats {
-    /// Total sibling-shard probes across the plane.
-    pub fn steals(&self) -> u64 {
-        self.shards.iter().map(|s| s.steals).sum()
-    }
-
-    /// Total sibling probes that claimed work.
-    pub fn steal_hits(&self) -> u64 {
-        self.shards.iter().map(|s| s.steal_hits).sum()
-    }
-
-    /// Total submissions whose wakeup crossed to a sibling responder.
-    pub fn cross_shard_wakes(&self) -> u64 {
-        self.shards.iter().map(|s| s.cross_shard_wakes).sum()
-    }
-}
-
-/// A snapshot of an adaptive pool's governor: how many responders are
-/// active vs parked right now, and the decision counters accumulated so
-/// far.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct GovernorStats {
-    /// Responders currently in the active set (the target).
-    pub active: usize,
-    /// Responders currently parked.
-    pub parked: usize,
-    /// Park decisions taken (a responder left the active set).
-    pub parks: u64,
-    /// Wake decisions taken (the active target was raised on backlog).
-    pub wakes: u64,
-    /// Policy floor.
-    pub min: usize,
-    /// Policy ceiling.
-    pub max: usize,
-}
-
-/// Counters describing a HotCalls endpoint's behaviour.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct HotCallStats {
-    /// Calls completed through the fast path.
-    pub calls: u64,
-    /// Calls that timed out and fell back to the SDK path.
-    pub fallbacks: u64,
-    /// Times the responder had to be woken from idle sleep.
-    pub wakeups: u64,
-    /// Responder poll iterations that found no work (threaded runtime).
-    pub idle_polls: u64,
-    /// Responder poll iterations that found a request.
-    pub busy_polls: u64,
-}
-
-impl HotCallStats {
-    /// Responder utilization: busy polls over all polls. The paper frames
-    /// this as time in `ExecuteCall` vs time spent polling.
-    pub fn utilization(&self) -> f64 {
-        let total = self.idle_polls + self.busy_polls;
-        if total == 0 {
-            0.0
-        } else {
-            self.busy_polls as f64 / total as f64
-        }
-    }
-}
+// The stats snapshot structs historically lived here as ad-hoc counter
+// bags; their canonical definitions moved into [`crate::telemetry`], the
+// unified snapshot layer. These re-exports are kept as thin shims so the
+// long-standing `hotcalls::{RingStats, ShardStats, …}` paths (and every
+// existing test) keep working unchanged. Prefer importing from
+// `hotcalls::telemetry` in new code.
+pub use crate::telemetry::{GovernorStats, HotCallStats, RingStats, ShardStats};
 
 #[cfg(test)]
 mod tests {

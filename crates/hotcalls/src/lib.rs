@@ -49,8 +49,10 @@ mod config;
 mod error;
 pub mod rt;
 pub mod sim;
+pub mod telemetry;
 
 pub use config::{
     GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
 };
 pub use error::{HotCallError, Result};
+pub use telemetry::{Snapshot, TelemetryRegistry, TELEMETRY_ENABLED};

@@ -24,6 +24,13 @@
 //! travel *by value* through the ring and come back with the response, so
 //! no lock or atomic is needed on the alloc/recycle path.
 
+use crate::telemetry::trace;
+
+// The counter schema lives in the telemetry module so arena traffic merges
+// into [`crate::Snapshot`]s next to the ring planes; re-exported here so
+// `rt::ArenaStats` stays a valid path for existing callers.
+pub use crate::telemetry::ArenaStats;
+
 /// Payloads at or below this many bytes ride inline in the message — one
 /// cache line, the same granularity the slot state machine pads to.
 pub const INLINE_CAPACITY: usize = 64;
@@ -31,51 +38,6 @@ pub const INLINE_CAPACITY: usize = 64;
 /// Smallest slab size class (bytes). Anything below rides inline, so
 /// classes start just above the cache line.
 const MIN_SLAB_BYTES: usize = 128;
-
-/// Counters describing an arena's buffer traffic.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct ArenaStats {
-    /// Fresh heap allocations (a size class's free list was empty).
-    pub allocs: u64,
-    /// Buffers served by reusing a recycled slab (no heap traffic).
-    pub recycles: u64,
-    /// Payloads that fit the inline fast path (no slab at all).
-    pub inline_hits: u64,
-    /// Recycle attempts whose generation tag did not match this arena —
-    /// the buffer was dropped instead of entering a free list.
-    pub stale_recycles: u64,
-}
-
-impl ArenaStats {
-    /// Buffers handed out in total.
-    pub fn acquires(&self) -> u64 {
-        self.allocs + self.recycles + self.inline_hits
-    }
-
-    /// Fraction of acquires served inline (0 when idle).
-    pub fn inline_hit_rate(&self) -> f64 {
-        ratio(self.inline_hits, self.acquires())
-    }
-
-    /// Fraction of *slab* acquires served from the free lists.
-    pub fn recycle_rate(&self) -> f64 {
-        ratio(self.recycles, self.allocs + self.recycles)
-    }
-
-    /// Fresh heap allocations per acquire — the number the inline path and
-    /// the free lists drive toward zero.
-    pub fn allocs_per_op(&self) -> f64 {
-        ratio(self.allocs, self.acquires())
-    }
-}
-
-fn ratio(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        num as f64 / den as f64
-    }
-}
 
 /// Proof that a slab box was minted by a particular arena: its slot in the
 /// arena's generation table plus the generation it was issued under. The
@@ -257,6 +219,7 @@ impl SlabArena {
             }
             None => {
                 self.stats.allocs += 1;
+                trace("arena_grow", class as u64, self.stats.allocs);
                 vec![0u8; class].into_boxed_slice()
             }
         };
@@ -295,6 +258,11 @@ impl SlabArena {
             .is_some_and(|&g| g == handle.generation);
         if !valid {
             self.stats.stale_recycles += 1;
+            trace(
+                "arena_stale_recycle",
+                handle.index as u64,
+                handle.generation as u64,
+            );
             return;
         }
         self.generations[handle.index as usize] = handle.generation.wrapping_add(1);

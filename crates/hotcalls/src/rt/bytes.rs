@@ -16,9 +16,10 @@
 //! response, report its length, and nobody pays for zeroing in between.
 
 use crate::config::{
-    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
+    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
 };
 use crate::error::Result;
+use crate::telemetry::{PlaneProvider, PlaneTelemetry};
 
 use super::arena::{ArenaStats, HotBuf, SlabArena};
 use super::ring::{Bundle, RingRequester, RingServer, Ticket};
@@ -240,8 +241,45 @@ impl ByteRing {
     /// one degenerate shard (no probes, no steals).
     pub fn ring_stats(&self) -> RingStats {
         match &self.plane {
-            BytePlane::Single(server) => single_ring_stats(server.stats(), server.governor_stats()),
+            BytePlane::Single(server) => {
+                RingStats::from_single(server.stats(), server.governor_stats())
+            }
             BytePlane::Sharded(server) => server.ring_stats(),
+        }
+    }
+
+    /// A full telemetry view of the byte plane: per-lane stage histograms,
+    /// reap latency, and the shard-schema stats, tagged with a byte-plane
+    /// kind so dashboards can tell payload lanes from typed rings.
+    pub fn telemetry(&self, name: &str) -> PlaneTelemetry {
+        let mut t = match &self.plane {
+            BytePlane::Single(server) => server.telemetry(name),
+            BytePlane::Sharded(server) => server.telemetry(name),
+        };
+        t.kind = self.plane_kind();
+        t
+    }
+
+    /// A boxed provider for [`crate::TelemetryRegistry::register_plane`],
+    /// capturing the plane's shared state so snapshots stay live after
+    /// this handle is dropped.
+    pub fn telemetry_provider(&self, name: impl Into<String>) -> PlaneProvider {
+        let kind = self.plane_kind();
+        let inner = match &self.plane {
+            BytePlane::Single(server) => server.telemetry_provider(name),
+            BytePlane::Sharded(server) => server.telemetry_provider(name),
+        };
+        Box::new(move || {
+            let mut t = inner();
+            t.kind = kind;
+            t
+        })
+    }
+
+    fn plane_kind(&self) -> &'static str {
+        match &self.plane {
+            BytePlane::Single(_) => "byte-single",
+            BytePlane::Sharded(_) => "byte-sharded",
         }
     }
 
@@ -251,26 +289,6 @@ impl ByteRing {
             BytePlane::Single(server) => server.shutdown(),
             BytePlane::Sharded(server) => server.shutdown(),
         }
-    }
-}
-
-/// The single-ring plane viewed through the sharded stats schema: one
-/// shard, every poll a home poll, nothing stolen.
-fn single_ring_stats(totals: HotCallStats, governor: GovernorStats) -> RingStats {
-    let shard = ShardStats {
-        shard: 0,
-        serviced: totals.calls,
-        home_polls: totals.busy_polls + totals.idle_polls,
-        steals: 0,
-        steal_hits: 0,
-        cross_shard_wakes: 0,
-        parked: false,
-        occupancy: 0,
-    };
-    RingStats {
-        totals,
-        governor,
-        shards: vec![shard],
     }
 }
 

@@ -37,6 +37,7 @@ use std::sync::Arc;
 
 use crate::config::HotCallConfig;
 use crate::error::HotCallError;
+use crate::telemetry::{now_cycles, TELEMETRY_ENABLED};
 
 use super::ring::{ReqEnvelope, RespEnvelope, RingShared, RingSlot};
 use super::slot::{Backoff, LocalStats, StatCell, SUBMITTED};
@@ -69,6 +70,19 @@ pub(super) unsafe fn service_slot<Req, Resp>(
     local: &mut LocalStats,
     cell: &StatCell,
 ) {
+    // Dispatch-stage edge: the time between the requester's submit stamp
+    // and this pickup is the call's queueing delay. Recorded into this
+    // responder's single-writer cell — stolen slots are attributed to the
+    // stealing responder, keeping the cell single-writer.
+    let t_dispatch = if TELEMETRY_ENABLED {
+        let t = now_cycles();
+        cell.stages
+            .queue
+            .record(t.saturating_sub(slot.submitted_at()));
+        t
+    } else {
+        0
+    };
     // SAFETY: forwarded from the caller's contract — exclusive service
     // ownership of this slot, SUBMITTED observed with Acquire.
     let (id, env) = unsafe { slot.take_request() };
@@ -96,6 +110,12 @@ pub(super) unsafe fn service_slot<Req, Resp>(
         }
     };
     local.busy_polls += 1;
+    if TELEMETRY_ENABLED {
+        // Complete-stage edge: dispatch → now is the service time.
+        cell.stages
+            .service
+            .record(now_cycles().saturating_sub(t_dispatch));
+    }
     local.flush(cell);
     // SAFETY: this thread took the request for this slot above.
     unsafe { slot.finish(result) };

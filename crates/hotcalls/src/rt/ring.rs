@@ -43,6 +43,10 @@ use std::thread::JoinHandle;
 
 use crate::config::{GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
 use crate::error::{HotCallError, Result};
+use crate::telemetry::{
+    now_cycles, trace, AtomicHist, LaneTelemetry, PlaneProvider, PlaneTelemetry, RingStats,
+    TELEMETRY_ENABLED,
+};
 
 use super::pool;
 use super::slot::{Backoff, CachePadded, CallSlot, Doze, StatCell, DONE, EMPTY};
@@ -132,6 +136,7 @@ impl GovernorState {
             return false;
         }
         self.wakes.fetch_add(1, Ordering::Relaxed);
+        trace("governor_raise", (t + 1) as u64, self.policy.max as u64);
         // Wake *all* parked responders: each re-checks its index against
         // the new target and the surplus re-parks. notify_one could hand
         // the wake to a responder that stays parked, stranding the one
@@ -151,9 +156,14 @@ impl GovernorState {
         if t <= self.policy.min || index != t - 1 {
             return false;
         }
-        self.active_target
+        let demoted = self
+            .active_target
             .compare_exchange(t, t - 1, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
+            .is_ok();
+        if demoted {
+            trace("governor_park", index as u64, (t - 1) as u64);
+        }
+        demoted
     }
 }
 
@@ -182,6 +192,10 @@ pub(super) struct RingShared<Req, Resp> {
     /// One padded statistics cell per responder; each responder writes
     /// only its own (plain stores, no shared RMW on the hot path).
     pub(super) responders: Box<[CachePadded<StatCell>]>,
+    /// Completion → redeem latency (reap stage), recorded by whichever
+    /// requester reaps — shared `fetch_add` cell, but strictly *after*
+    /// the call completed, so it never touches the service critical path.
+    pub(super) reap_hist: CachePadded<AtomicHist>,
     // Requester-side event counters; rare, so shared RMWs are fine.
     fallbacks: AtomicU64,
     wakeups: AtomicU64,
@@ -222,6 +236,41 @@ impl<Req, Resp> RingShared<Req, Resp> {
             wakes: self.governor.wakes.load(Ordering::Relaxed),
             min: self.governor.policy.min,
             max: self.governor.policy.max,
+        }
+    }
+
+    /// Records the reap-stage latency for a call whose completion stamp
+    /// was read before redeeming its slot.
+    #[inline]
+    pub(super) fn record_reap(&self, completed_at: u64) {
+        if TELEMETRY_ENABLED {
+            self.reap_hist
+                .record_shared(now_cycles().saturating_sub(completed_at));
+        }
+    }
+
+    /// One [`LaneTelemetry`] row per responder cell.
+    pub(super) fn lane_telemetry(&self) -> Vec<LaneTelemetry> {
+        self.responders
+            .iter()
+            .enumerate()
+            .map(|(lane, cell)| LaneTelemetry {
+                lane,
+                queue: cell.stages.queue.snapshot(),
+                service: cell.stages.service.snapshot(),
+            })
+            .collect()
+    }
+
+    /// The plane's full telemetry view: counters plus per-lane stage
+    /// histograms and the plane-wide reap histogram.
+    pub(super) fn plane_telemetry(&self, name: &str, kind: &'static str) -> PlaneTelemetry {
+        PlaneTelemetry {
+            name: name.to_string(),
+            kind,
+            stats: RingStats::from_single(self.snapshot(), self.governor_snapshot()),
+            lanes: self.lane_telemetry(),
+            reap: self.reap_hist.snapshot(),
         }
     }
 }
@@ -343,6 +392,7 @@ where
             responders: (0..n_responders)
                 .map(|_| CachePadded::new(StatCell::default()))
                 .collect(),
+            reap_hist: CachePadded::new(AtomicHist::new()),
             fallbacks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
         });
@@ -386,6 +436,32 @@ where
     /// pools `active == min == max` and the counters stay zero.
     pub fn governor_stats(&self) -> GovernorStats {
         self.shared.governor_snapshot()
+    }
+
+    /// This plane's full telemetry view right now: counters plus per-lane
+    /// queue/service histograms and the plane-wide reap histogram. The
+    /// plane kind is `"single"` for a one-responder ring, `"pool"`
+    /// otherwise.
+    pub fn telemetry(&self, name: &str) -> crate::telemetry::PlaneTelemetry {
+        self.shared.plane_telemetry(name, self.plane_kind())
+    }
+
+    /// A [`PlaneProvider`] for [`crate::telemetry::TelemetryRegistry`]:
+    /// the registry polls it at snapshot time, so the snapshot is always
+    /// current. The provider holds the plane's shared state alive.
+    pub fn telemetry_provider(&self, name: impl Into<String>) -> PlaneProvider {
+        let shared = Arc::clone(&self.shared);
+        let name = name.into();
+        let kind = self.plane_kind();
+        Box::new(move || shared.plane_telemetry(&name, kind))
+    }
+
+    fn plane_kind(&self) -> &'static str {
+        if self.shared.responders.len() == 1 {
+            "single"
+        } else {
+            "pool"
+        }
     }
 
     /// Stops the responders and joins them.
@@ -650,6 +726,7 @@ impl<Req, Resp> RingRequester<Req, Resp> {
             ));
         }
         let len = bundle.len();
+        trace("bundle_submit", len as u64, 0);
         match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls)) {
             Ok(index) => Ok(BundleTicket { index, len }),
             Err((e, _)) => Err(e),
@@ -703,17 +780,22 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         self.wait_done(ticket.index)?;
         let cap = self.shared.slots.len();
         let slot = &self.shared.slots[ticket.index % cap];
+        // Read the completion stamp before redeeming: redeem frees the
+        // slot for re-claim, after which the stamp belongs to a new call.
+        let completed_at = slot.completed_at();
         // SAFETY: this requester submitted the call at `ticket.index` and
         // observed DONE with Acquire; only the submitter redeems a slot,
         // and the previous lap's DONE was redeemed before this slot could
         // be claimed again, so this DONE is ours.
-        match unsafe { slot.redeem() } {
+        let result = match unsafe { slot.redeem() } {
             Ok(RespEnvelope::One(resp)) => Ok(resp),
             Ok(RespEnvelope::Bundle(_)) => {
                 unreachable!("a Ticket is only minted for single-call submissions")
             }
             Err(e) => Err(e),
-        }
+        };
+        self.shared.record_reap(completed_at);
+        result
     }
 
     /// Redeems the response if the call already completed, or hands the
@@ -725,15 +807,18 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         if slot.state() != DONE {
             return Err(ticket);
         }
+        let completed_at = slot.completed_at();
         // SAFETY: as in `wait` — DONE observed with Acquire by the
         // submitting requester.
-        Ok(match unsafe { slot.redeem() } {
+        let result = match unsafe { slot.redeem() } {
             Ok(RespEnvelope::One(resp)) => Ok(resp),
             Ok(RespEnvelope::Bundle(_)) => {
                 unreachable!("a Ticket is only minted for single-call submissions")
             }
             Err(e) => Err(e),
-        })
+        };
+        self.shared.record_reap(completed_at);
+        Ok(result)
     }
 
     /// Waits until *any* of `tickets` completes, removes it from the set,
@@ -767,15 +852,18 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 }
                 let ticket = tickets.swap_remove(i);
                 let seq = ticket.seq();
+                let completed_at = slot.completed_at();
                 // SAFETY: as in `wait` — DONE observed with Acquire by the
                 // submitting requester, for a ticket this requester owns.
-                return match unsafe { slot.redeem() } {
+                let result = match unsafe { slot.redeem() } {
                     Ok(RespEnvelope::One(resp)) => Ok((seq, resp)),
                     Ok(RespEnvelope::Bundle(_)) => {
                         unreachable!("a Ticket is only minted for single-call submissions")
                     }
                     Err(e) => Err(e),
                 };
+                self.shared.record_reap(completed_at);
+                return result;
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
                 grace += 1;
@@ -803,15 +891,18 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         self.wait_done(ticket.index)?;
         let cap = self.shared.slots.len();
         let slot = &self.shared.slots[ticket.index % cap];
+        let completed_at = slot.completed_at();
         // SAFETY: as in `wait` — DONE observed with Acquire by the
         // submitting requester.
-        match unsafe { slot.redeem() } {
+        let result = match unsafe { slot.redeem() } {
             Ok(RespEnvelope::Bundle(results)) => Ok(results),
             Ok(RespEnvelope::One(_)) => {
                 unreachable!("a BundleTicket is only minted for bundle submissions")
             }
             Err(e) => Err(e),
-        }
+        };
+        self.shared.record_reap(completed_at);
+        result
     }
 
     /// Submit + wait in one step.

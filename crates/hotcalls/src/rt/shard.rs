@@ -36,6 +36,9 @@ use crate::config::{
     GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
 };
 use crate::error::{HotCallError, Result};
+use crate::telemetry::{
+    now_cycles, trace, AtomicHist, LaneTelemetry, PlaneProvider, PlaneTelemetry, TELEMETRY_ENABLED,
+};
 
 use super::pool::{service_slot, WIN_CREDIT_POLLS};
 use super::ring::{
@@ -152,6 +155,9 @@ struct ShardedShared<Req, Resp> {
     /// One padded cell per responder (= per shard); each responder writes
     /// only its own.
     responders: Box<[CachePadded<ShardStatCell>]>,
+    /// Completion → redeem latency (reap stage), shared `fetch_add` cell
+    /// written by requesters strictly after their call completed.
+    reap_hist: CachePadded<AtomicHist>,
     // Requester-side event counters; rare, so shared RMWs are fine.
     fallbacks: AtomicU64,
     wakeups: AtomicU64,
@@ -217,6 +223,39 @@ impl<Req, Resp> ShardedShared<Req, Resp> {
         }
     }
 
+    /// Records the reap-stage latency for a call whose completion stamp
+    /// was read before redeeming its slot.
+    #[inline]
+    fn record_reap(&self, completed_at: u64) {
+        if TELEMETRY_ENABLED {
+            self.reap_hist
+                .record_shared(now_cycles().saturating_sub(completed_at));
+        }
+    }
+
+    /// The plane's full telemetry view. Lane index == responder index ==
+    /// shard index (one home responder per shard); work a responder stole
+    /// from a sibling shard is attributed to the *stealing* responder's
+    /// lane, keeping each histogram cell single-writer.
+    fn plane_telemetry(&self, name: &str) -> PlaneTelemetry {
+        PlaneTelemetry {
+            name: name.to_string(),
+            kind: "sharded",
+            stats: self.ring_snapshot(),
+            lanes: self
+                .responders
+                .iter()
+                .enumerate()
+                .map(|(lane, cell)| LaneTelemetry {
+                    lane,
+                    queue: cell.base.stages.queue.snapshot(),
+                    service: cell.base.stages.service.snapshot(),
+                })
+                .collect(),
+            reap: self.reap_hist.snapshot(),
+        }
+    }
+
     /// Wakes a responder for a submission just published on `home`.
     ///
     /// Order of preference: the home responder's own doze (the common,
@@ -252,6 +291,7 @@ impl<Req, Resp> ShardedShared<Req, Resp> {
                     .cross_shard_wakes
                     .fetch_add(1, Ordering::Relaxed);
                 self.wakeups.fetch_add(1, Ordering::Relaxed);
+                trace("wake_redirect", home as u64, sibling as u64);
                 return;
             }
         }
@@ -352,6 +392,7 @@ where
             responders: (0..n_shards)
                 .map(|_| CachePadded::new(ShardStatCell::default()))
                 .collect(),
+            reap_hist: CachePadded::new(AtomicHist::new()),
             fallbacks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
         });
@@ -424,6 +465,21 @@ where
     /// cross-shard wakes, occupancy).
     pub fn ring_stats(&self) -> RingStats {
         self.shared.ring_snapshot()
+    }
+
+    /// This plane's full telemetry view right now (kind `"sharded"`):
+    /// per-shard counters plus per-lane queue/service histograms and the
+    /// plane-wide reap histogram.
+    pub fn telemetry(&self, name: &str) -> PlaneTelemetry {
+        self.shared.plane_telemetry(name)
+    }
+
+    /// A [`PlaneProvider`] for [`crate::telemetry::TelemetryRegistry`];
+    /// polled at snapshot time, holds the plane's shared state alive.
+    pub fn telemetry_provider(&self, name: impl Into<String>) -> PlaneProvider {
+        let shared = Arc::clone(&self.shared);
+        let name = name.into();
+        Box::new(move || shared.plane_telemetry(&name))
     }
 
     /// Stops the responders and joins them.
@@ -522,6 +578,7 @@ fn shard_responder_loop<Req, Resp>(
                 let stolen = drain_shard(&shared, &table, victim, &mut local, cell, config);
                 if stolen > 0 {
                     steal_stats.steal_hits += 1;
+                    trace("steal_hit", index as u64, victim as u64);
                     won += stolen;
                     break;
                 }
@@ -755,6 +812,7 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
             ));
         }
         let len = bundle.len();
+        trace("bundle_submit", len as u64, self.home as u64);
         match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls)) {
             Ok(index) => Ok(BundleTicket { index, len }),
             Err((e, _)) => Err(e),
@@ -801,16 +859,20 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         self.wait_done(ticket.index)?;
         let shard = &self.shared.shards[self.home];
         let slot = &shard.slots[ticket.index % shard.slots.len()];
+        // Read the completion stamp before redeeming frees the slot.
+        let completed_at = slot.completed_at();
         // SAFETY: this requester submitted the call at `ticket.index` on
         // its home shard and observed DONE with Acquire; only the
         // submitter redeems a slot.
-        match unsafe { slot.redeem() } {
+        let result = match unsafe { slot.redeem() } {
             Ok(RespEnvelope::One(resp)) => Ok(resp),
             Ok(RespEnvelope::Bundle(_)) => {
                 unreachable!("a Ticket is only minted for single-call submissions")
             }
             Err(e) => Err(e),
-        }
+        };
+        self.shared.record_reap(completed_at);
+        result
     }
 
     /// Redeems the response if the call already completed, or hands the
@@ -821,15 +883,18 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         if slot.state() != DONE {
             return Err(ticket);
         }
+        let completed_at = slot.completed_at();
         // SAFETY: as in `wait` — DONE observed with Acquire by the
         // submitting requester.
-        Ok(match unsafe { slot.redeem() } {
+        let result = match unsafe { slot.redeem() } {
             Ok(RespEnvelope::One(resp)) => Ok(resp),
             Ok(RespEnvelope::Bundle(_)) => {
                 unreachable!("a Ticket is only minted for single-call submissions")
             }
             Err(e) => Err(e),
-        })
+        };
+        self.shared.record_reap(completed_at);
+        Ok(result)
     }
 
     /// Waits until *any* of `tickets` (all from this requester) completes,
@@ -858,14 +923,17 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
                 }
                 let ticket = tickets.swap_remove(i);
                 let seq = ticket.seq();
+                let completed_at = slot.completed_at();
                 // SAFETY: as in `wait`, for a ticket this requester owns.
-                return match unsafe { slot.redeem() } {
+                let result = match unsafe { slot.redeem() } {
                     Ok(RespEnvelope::One(resp)) => Ok((seq, resp)),
                     Ok(RespEnvelope::Bundle(_)) => {
                         unreachable!("a Ticket is only minted for single-call submissions")
                     }
                     Err(e) => Err(e),
                 };
+                self.shared.record_reap(completed_at);
+                return result;
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
                 grace += 1;
@@ -891,15 +959,18 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         self.wait_done(ticket.index)?;
         let shard = &self.shared.shards[self.home];
         let slot = &shard.slots[ticket.index % shard.slots.len()];
+        let completed_at = slot.completed_at();
         // SAFETY: as in `wait` — DONE observed with Acquire by the
         // submitting requester.
-        match unsafe { slot.redeem() } {
+        let result = match unsafe { slot.redeem() } {
             Ok(RespEnvelope::Bundle(results)) => Ok(results),
             Ok(RespEnvelope::One(_)) => {
                 unreachable!("a BundleTicket is only minted for bundle submissions")
             }
             Err(e) => Err(e),
-        }
+        };
+        self.shared.record_reap(completed_at);
+        result
     }
 
     /// Submit + wait in one step.

@@ -21,6 +21,7 @@ use std::sync::atomic::{fence, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::Result;
+use crate::telemetry::{now_cycles, AtomicHist, TELEMETRY_ENABLED};
 
 /// Pads and aligns a value to a cache line so neighbouring values never
 /// share one (the classic crossbeam `CachePadded`). 64 bytes covers x86-64
@@ -80,6 +81,16 @@ pub(crate) struct CallSlot<Req, Resp> {
     /// word, and sharing it with payload bytes would ping-pong the line on
     /// every payload write.
     state: CachePadded<AtomicU8>,
+    /// Cycle stamp taken in [`Self::publish`], read by the servicing
+    /// responder to separate queueing delay from service time. Written
+    /// under the claim's exclusivity, read under service ownership — the
+    /// state machine orders both, so plain `Relaxed` accesses suffice.
+    /// Always 0 under `telemetry-off`.
+    t_submit: AtomicU64,
+    /// Cycle stamp taken in [`Self::finish`], read by the redeeming
+    /// requester to measure reap latency. Same ownership argument as
+    /// `t_submit`.
+    t_complete: AtomicU64,
     req: UnsafeCell<MaybeUninit<(u32, Req)>>,
     resp: UnsafeCell<MaybeUninit<Result<Resp>>>,
 }
@@ -94,9 +105,25 @@ impl<Req, Resp> CallSlot<Req, Resp> {
     pub(crate) fn new() -> Self {
         CallSlot {
             state: CachePadded::new(AtomicU8::new(EMPTY)),
+            t_submit: AtomicU64::new(0),
+            t_complete: AtomicU64::new(0),
             req: UnsafeCell::new(MaybeUninit::uninit()),
             resp: UnsafeCell::new(MaybeUninit::uninit()),
         }
+    }
+
+    /// The submit-time cycle stamp of the call currently in the slot
+    /// (0 under `telemetry-off`).
+    #[inline]
+    pub(crate) fn submitted_at(&self) -> u64 {
+        self.t_submit.load(Ordering::Relaxed)
+    }
+
+    /// The completion-time cycle stamp of the call currently in the slot
+    /// (0 under `telemetry-off`).
+    #[inline]
+    pub(crate) fn completed_at(&self) -> u64 {
+        self.t_complete.load(Ordering::Relaxed)
     }
 
     /// Current state (`Acquire`: pairs with the release transition that
@@ -135,6 +162,11 @@ impl<Req, Resp> CallSlot<Req, Resp> {
     pub(crate) unsafe fn publish(&self, id: u32, req: Req) {
         debug_assert_eq!(self.state.load(Ordering::Relaxed), CLAIMED);
         (*self.req.get()).write((id, req));
+        if TELEMETRY_ENABLED {
+            // Stamp before the Release store so the responder's Acquire of
+            // SUBMITTED makes the stamp visible along with the payload.
+            self.t_submit.store(now_cycles(), Ordering::Relaxed);
+        }
         self.state.store(SUBMITTED, Ordering::Release);
     }
 
@@ -168,6 +200,11 @@ impl<Req, Resp> CallSlot<Req, Resp> {
     pub(crate) unsafe fn finish(&self, resp: Result<Resp>) {
         debug_assert_eq!(self.state.load(Ordering::Relaxed), SERVICING);
         (*self.resp.get()).write(resp);
+        if TELEMETRY_ENABLED {
+            // Stamp before the Release store: the requester's Acquire of
+            // DONE makes it visible for the reap-latency record.
+            self.t_complete.store(now_cycles(), Ordering::Relaxed);
+        }
         self.state.store(DONE, Ordering::Release);
     }
 
@@ -349,6 +386,17 @@ impl Doze {
     }
 }
 
+/// The stage histogram cells one responder records into: queueing delay
+/// (submit stamp → responder pickup) and service time (pickup →
+/// completion). Same single-writer discipline as the counters — stolen
+/// work is attributed to the *stealing* responder's cell. Bucket-free
+/// under `telemetry-off`.
+#[derive(Debug, Default)]
+pub(crate) struct StageCells {
+    pub(crate) queue: AtomicHist,
+    pub(crate) service: AtomicHist,
+}
+
 /// A responder-owned statistics cell. Only its responder writes it (plain
 /// stores of running totals), anyone may read it; padded wherever it is
 /// embedded so readers never dirty the responder's line.
@@ -357,6 +405,8 @@ pub(crate) struct StatCell {
     pub(crate) calls: AtomicU64,
     pub(crate) busy_polls: AtomicU64,
     pub(crate) idle_polls: AtomicU64,
+    /// Per-responder queue/service histograms (telemetry plane).
+    pub(crate) stages: StageCells,
 }
 
 /// The responder's private (non-atomic) counters, flushed to its

@@ -19,6 +19,7 @@ use sgx_sim::{Addr, Cycles, Machine};
 
 use crate::config::{HotCallConfig, HotCallStats};
 use crate::error::Result;
+use crate::telemetry::trace;
 
 /// Bytes of shared (un-encrypted) memory reserved for marshalled data.
 const SHARED_BYTES: u64 = 1 << 20;
@@ -189,6 +190,7 @@ impl SimHotCalls {
     where
         F: FnOnce(&mut EnclaveCtx, &mut Machine, &CallArgs) -> sgx_sdk::Result<R>,
     {
+        let start = m.now();
         let plan = match kind {
             Kind::Ecall => ctx.proxies().ecall(name)?.clone(),
             Kind::Ocall => ctx.proxies().ocall(name)?.clone(),
@@ -199,6 +201,7 @@ impl SimHotCalls {
         if !self.acquire_responder(m)? {
             // Timeout: fall back to the regular SDK call (§4.2).
             self.stats.fallbacks += 1;
+            trace("sim_fallback", self.stats.fallbacks, m.now().get());
             return match kind {
                 Kind::Ecall => ctx.ecall(m, name, bufs, body).map_err(Into::into),
                 Kind::Ocall => ctx.ocall(m, name, bufs, body).map_err(Into::into),
@@ -253,6 +256,14 @@ impl SimHotCalls {
 
         self.stats.calls += 1;
         self.last_call_end = m.now();
+        // Feed the SDK's per-name edge-call ledger, as the regular paths
+        // do — the census derives Table 2's cycles-per-call from it, and
+        // hot calls would otherwise be invisible there. The fallback path
+        // above records through the SDK call itself.
+        match kind {
+            Kind::Ecall => ctx.record_hot_ecall(name, m.now() - start),
+            Kind::Ocall => ctx.record_hot_ocall(name, m.now() - start),
+        }
         result.map_err(Into::into)
     }
 
@@ -266,6 +277,7 @@ impl SimHotCalls {
             {
                 m.charge(Cycles::new(WAKE_COST));
                 self.stats.wakeups += 1;
+                trace("sim_wake", self.stats.wakeups, m.now().get());
             }
         }
     }

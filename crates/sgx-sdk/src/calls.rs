@@ -166,6 +166,19 @@ impl EnclaveCtx {
         self.stats.reset();
     }
 
+    /// Records one switchless (hot) ocall into the same per-name ledger
+    /// the SDK path feeds, so Table-2-style censuses see every edge
+    /// crossing regardless of transport. The caller measures the cycles
+    /// (the hot path never enters the SDK, so the SDK cannot).
+    pub fn record_hot_ocall(&mut self, name: &str, cycles: Cycles) {
+        self.stats.record_ocall(name, cycles);
+    }
+
+    /// As [`EnclaveCtx::record_hot_ocall`], for hot ecalls.
+    pub fn record_hot_ecall(&mut self, name: &str, cycles: Cycles) {
+        self.stats.record_ecall(name, cycles);
+    }
+
     /// Generated proxy plans (exposed so HotCalls can reuse exactly this
     /// marshalling code, as the paper's implementation does).
     pub fn proxies(&self) -> &Proxies {

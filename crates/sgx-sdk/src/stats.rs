@@ -95,6 +95,20 @@ impl CallStats {
         all
     }
 
+    /// Ecalls and ocalls folded into one per-name map — the shape the
+    /// Table-2 census wants, where a row is an API function regardless of
+    /// crossing direction. A name used in both directions (rare, but legal)
+    /// sums its counts and cycles.
+    pub fn merged(&self) -> BTreeMap<String, CallStat> {
+        let mut all: BTreeMap<String, CallStat> = BTreeMap::new();
+        for (name, stat) in self.ecalls.iter().chain(self.ocalls.iter()) {
+            let row = all.entry(name.clone()).or_default();
+            row.count += stat.count;
+            row.cycles += stat.cycles;
+        }
+        all
+    }
+
     /// Clears all counters.
     pub fn reset(&mut self) {
         self.ecalls.clear();
@@ -135,6 +149,19 @@ mod tests {
     fn zero_elapsed_is_zero_fraction() {
         let s = CallStats::new();
         assert_eq!(s.core_time_fraction(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn merged_folds_both_directions() {
+        let mut s = CallStats::new();
+        s.record_ecall("process", Cycles::new(10));
+        s.record_ocall("process", Cycles::new(30));
+        s.record_ocall("read", Cycles::new(100));
+        let m = s.merged();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["process"].count, 2);
+        assert_eq!(m["process"].cycles, Cycles::new(40));
+        assert_eq!(m["read"].count, 1);
     }
 
     #[test]

@@ -164,6 +164,69 @@ impl Clock {
     }
 }
 
+/// Named accounts of where virtual cycles went.
+///
+/// The cost model reports everything as one [`Cycles`] total; the ledger
+/// splits that total into labelled accounts ("ecall-crossing",
+/// "enclave-compute", "epc-paging", ...) so a telemetry snapshot can say
+/// *which* part of the simulated machine burned the time. Accounts are
+/// ordered (BTreeMap) so serialized ledgers are deterministic, and ledgers
+/// merge by account name so per-worker ledgers roll up like histograms.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{CycleLedger, Cycles};
+///
+/// let mut ledger = CycleLedger::new();
+/// ledger.credit("ecall-crossing", Cycles::new(8_000));
+/// ledger.credit("enclave-compute", Cycles::new(1_000));
+/// ledger.credit("ecall-crossing", Cycles::new(8_000));
+/// assert_eq!(ledger.get("ecall-crossing"), Cycles::new(16_000));
+/// assert_eq!(ledger.total(), Cycles::new(17_000));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleLedger {
+    accounts: std::collections::BTreeMap<String, Cycles>,
+}
+
+impl CycleLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to the named account, creating it at zero first.
+    pub fn credit(&mut self, account: &str, amount: Cycles) {
+        *self
+            .accounts
+            .entry(account.to_string())
+            .or_insert(Cycles::ZERO) += amount;
+    }
+
+    /// The balance of one account (zero if it was never credited).
+    pub fn get(&self, account: &str) -> Cycles {
+        self.accounts.get(account).copied().unwrap_or(Cycles::ZERO)
+    }
+
+    /// All accounts in name order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, Cycles)> {
+        self.accounts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sum over every account.
+    pub fn total(&self) -> Cycles {
+        self.accounts.values().copied().sum()
+    }
+
+    /// Adds every account of `other` into `self` by name.
+    pub fn merge(&mut self, other: &CycleLedger) {
+        for (name, cycles) in other.entries() {
+            self.credit(name, cycles);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +269,21 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert_eq!(Cycles::new(42).to_string(), "42 cycles");
+    }
+
+    #[test]
+    fn ledger_merges_by_account_in_name_order() {
+        let mut a = CycleLedger::new();
+        a.credit("ocall", Cycles::new(10));
+        a.credit("ecall", Cycles::new(5));
+        let mut b = CycleLedger::new();
+        b.credit("ocall", Cycles::new(7));
+        b.credit("aex", Cycles::new(1));
+        a.merge(&b);
+        assert_eq!(a.get("ocall"), Cycles::new(17));
+        assert_eq!(a.get("never-credited"), Cycles::ZERO);
+        assert_eq!(a.total(), Cycles::new(23));
+        let names: Vec<&str> = a.entries().map(|(n, _)| n).collect();
+        assert_eq!(names, ["aex", "ecall", "ocall"]);
     }
 }

@@ -10,12 +10,18 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets --workspace -- -D warnings"
 cargo clippy --all-targets --workspace -- -D warnings
 
-# The sharded data plane and its benches get a dedicated pass: the
-# workspace run above already denies warnings, but this names the crates
-# a data-plane PR touches so a local `check.sh` failure points straight
-# at them (and it is nearly free — the artifacts are already cached).
-echo "==> cargo clippy -p hotcalls -p bench --all-targets -- -D warnings"
-cargo clippy -p hotcalls -p bench --all-targets -- -D warnings
+# The crates a data-plane or telemetry PR touches get a dedicated pass:
+# the workspace run above already denies warnings, but naming the crates
+# makes a local `check.sh` failure point straight at them (and it is
+# nearly free — the artifacts are already cached).
+echo "==> cargo clippy -p hotcalls -p bench -p sgx-sim -p apps --all-targets -- -D warnings"
+cargo clippy -p hotcalls -p bench -p sgx-sim -p apps --all-targets -- -D warnings
+
+# The telemetry-off feature must keep building: the overhead gate's
+# baseline is a `--features telemetry-off` bench build.
+echo "==> cargo check -p hotcalls -p bench --features telemetry-off"
+cargo check -p hotcalls --features telemetry-off
+cargo check -p bench --features telemetry-off
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release

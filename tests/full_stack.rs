@@ -76,7 +76,11 @@ fn lifecycle_attestation_calls_hotcalls_end_to_end() {
     .unwrap();
     ctx.leave_main(&mut m).unwrap();
 
-    assert_eq!(ctx.stats().total_calls(), 2); // ecall + nested SDK ocall
+    // Hot calls feed the same per-name ledger as SDK calls (the API
+    // census reads it), so the hot ocall counts alongside the ecall and
+    // the nested SDK ocall.
+    assert_eq!(ctx.stats().total_calls(), 3);
+    assert_eq!(ctx.stats().ocalls()["ocall_emit"].count, 2); // SDK + hot
     assert_eq!(hot.stats().calls, 1);
 }
 
