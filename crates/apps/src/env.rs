@@ -16,7 +16,7 @@ use hotcalls::rt::{ArenaStats, ByteBundle, ByteCallTable, ByteCaller, ByteRing};
 use hotcalls::sim::SimHotCalls;
 use hotcalls::telemetry::{ApiCensus, ApiCensusRow, PlaneProvider, PlaneTelemetry};
 use hotcalls::{
-    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
+    FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
 };
 use sgx_sdk::edger8r::{edger8r, Proxies};
 use sgx_sdk::edl::{parse_edl, Direction};
@@ -96,14 +96,20 @@ pub enum RtTransport {
     /// (the default; what `AppEnv::new` always used before the knob).
     #[default]
     Sharded,
+    /// One adaptive ring whose callers run break-even-eligible calls
+    /// inline — the fused run-to-completion fast path. Quiet call tails
+    /// (a lone connection between bursts) skip the handoff entirely;
+    /// bursts spill to the pooled responders automatically.
+    Fused,
 }
 
 impl RtTransport {
-    /// Census label for this transport ("hot" / "sharded").
+    /// Census label for this transport ("hot" / "sharded" / "fused").
     pub fn label(&self) -> &'static str {
         match self {
             RtTransport::Single => "hot",
             RtTransport::Sharded => "sharded",
+            RtTransport::Fused => "fused",
         }
     }
 }
@@ -139,6 +145,19 @@ impl RtPool {
                 RT_RING_CAPACITY,
                 ShardPolicy::elastic(1, RT_SHARDS),
                 config,
+            )?,
+            // The single-ring shape with Auto fusing: a quiet application
+            // call tail runs its ocall inline on the requester core; the
+            // pooled responders only engage once the backlog crosses the
+            // break-even occupancy.
+            RtTransport::Fused => ByteRing::spawn_adaptive(
+                table,
+                RT_RING_CAPACITY,
+                ResponderPolicy::elastic(1, RT_SHARDS),
+                HotCallConfig {
+                    fused_mode: FusedMode::Auto,
+                    ..config
+                },
             )?,
         };
         let lanes = (0..server.shards())
@@ -1002,6 +1021,38 @@ mod tests {
         assert_eq!(env(IfaceMode::HotCalls).census_mode(), "sharded");
         assert_eq!(env(IfaceMode::Sdk).census_mode(), "sdk");
         assert_eq!(env(IfaceMode::Native).census_mode(), "native");
+    }
+
+    #[test]
+    fn fused_transport_runs_call_tails_inline_and_censuses_as_fused() {
+        let mut hot = AppEnv::with_transport(
+            SimConfig::builder().deterministic().build(),
+            IfaceMode::HotCalls,
+            &apis(),
+            1 << 20,
+            RtTransport::Fused,
+        )
+        .unwrap();
+        let data = hot.alloc_data(2048).unwrap();
+        hot.enter_main().unwrap();
+        for _ in 0..4 {
+            hot.api_call("getpid", &[]).unwrap();
+        }
+        hot.api_call("read", &[BufArg::new(data, 1024)]).unwrap();
+        hot.run_enclave_function(|e| {
+            e.api_call("sendmsg", &[BufArg::new(data, 64)])?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(hot.census_mode(), "fused");
+        let stats = hot.rt_stats().unwrap();
+        // 4 getpid + read + the RunEnclaveFunction shell + nested sendmsg.
+        assert_eq!(stats.calls, 7);
+        // With Auto fusing, every `call` either ran inline or was declined
+        // with an accounted fallback — the two must partition the total.
+        assert_eq!(stats.fused_runs + stats.fused_fallbacks, 7, "{stats:?}");
+        let rs = hot.rt_ring_stats().unwrap();
+        assert_eq!(rs.shards.len(), 1, "fused transport is one ring");
     }
 
     #[test]

@@ -245,13 +245,15 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
     rows
 }
 
-/// The three interface configurations the census compares, as
+/// The interface configurations the census compares, as
 /// `(IfaceMode, RtTransport)` pairs: the plain SDK port, HotCalls over
-/// the single ring ("hot"), and HotCalls over the sharded plane.
-pub const CENSUS_MODES: [(IfaceMode, RtTransport); 3] = [
+/// the single ring ("hot"), HotCalls over the sharded plane, and HotCalls
+/// with the fused run-to-completion fast path ("fused").
+pub const CENSUS_MODES: [(IfaceMode, RtTransport); 4] = [
     (IfaceMode::Sdk, RtTransport::Sharded), // transport unused in sdk mode
     (IfaceMode::HotCalls, RtTransport::Single),
     (IfaceMode::HotCalls, RtTransport::Sharded),
+    (IfaceMode::HotCalls, RtTransport::Fused),
 ];
 
 /// Drives memtier against memcached under one (mode, transport) pair and
@@ -340,9 +342,9 @@ pub fn census_openvpn(mode: IfaceMode, transport: RtTransport, packets: u64) -> 
 }
 
 /// The full API census: all three applications under each of
-/// [`CENSUS_MODES`] — nine Table-2-style reports.
+/// [`CENSUS_MODES`] — twelve Table-2-style reports.
 pub fn api_census_all(scale: Scale) -> Vec<ApiCensus> {
-    let mut out = Vec::with_capacity(9);
+    let mut out = Vec::with_capacity(CENSUS_MODES.len() * 3);
     for (mode, transport) in CENSUS_MODES {
         out.push(census_memcached(mode, transport, scale.memcached_requests));
         out.push(census_openvpn(mode, transport, scale.openvpn_packets));
@@ -387,7 +389,7 @@ mod tests {
             .collect();
         assert_eq!(
             censuses.iter().map(|c| c.mode.as_str()).collect::<Vec<_>>(),
-            ["sdk", "hot", "sharded"]
+            ["sdk", "hot", "sharded", "fused"]
         );
         for c in &censuses {
             assert_eq!(c.app, "memcached");
@@ -411,6 +413,12 @@ mod tests {
             "sdk {} vs sharded {}",
             per_call(&censuses[0]),
             per_call(&censuses[2])
+        );
+        assert!(
+            per_call(&censuses[0]) > 3.0 * per_call(&censuses[3]),
+            "sdk {} vs fused {}",
+            per_call(&censuses[0]),
+            per_call(&censuses[3])
         );
     }
 

@@ -1,0 +1,168 @@
+//! Shared CLI and artifact-envelope plumbing for the bench binaries.
+//!
+//! Every ablation harness used to hand-roll the same four flags
+//! (`--smoke`, `--trace-out`, `--prom-out`, `--baseline-json`), the same
+//! positional output path, the same `fs::write` + `wrote …` + side-artifact
+//! sequence, and the same baseline-ratio gate. [`ArtifactSink`] owns all of
+//! that: a binary folds the shared flags through [`ArtifactSink::try_flag`]
+//! (keeping its own `match` for binary-specific flags), or calls
+//! [`ArtifactSink::parse`] when it has none, then finishes the run through
+//! [`ArtifactSink::write`] and optionally [`ArtifactSink::baseline_gate`].
+
+use hotcalls::Snapshot;
+
+use crate::telemetry::{enable_tracing_if, extract_field_f64, write_artifacts};
+
+/// The common command-line surface and output plumbing of one bench run.
+#[derive(Debug)]
+pub struct ArtifactSink {
+    /// Where the `BENCH_*.json` document lands (positional argument).
+    pub out_path: String,
+    /// `--smoke`: shrink measure windows and relax self-check thresholds
+    /// so CI can run the harness on a small noisy host.
+    pub smoke: bool,
+    /// `--trace-out PATH`: drain the tracer as `chrome://tracing` JSON.
+    pub trace_out: Option<String>,
+    /// `--prom-out PATH`: write the snapshot's Prometheus exposition.
+    pub prom_out: Option<String>,
+    /// `--baseline-json PATH`: a prior artifact to gate this run against
+    /// (see [`ArtifactSink::baseline_gate`]).
+    pub baseline_json: Option<String>,
+}
+
+impl ArtifactSink {
+    /// A sink writing to `default_out`, with no flags set.
+    pub fn new(default_out: impl Into<String>) -> Self {
+        ArtifactSink {
+            out_path: default_out.into(),
+            smoke: false,
+            trace_out: None,
+            prom_out: None,
+            baseline_json: None,
+        }
+    }
+
+    /// Consumes `arg` if it is one of the shared flags, pulling the
+    /// flag's value from `it` when it takes one. Returns `false` when the
+    /// argument belongs to the caller (a binary-specific flag or a
+    /// positional).
+    pub fn try_flag(&mut self, arg: &str, it: &mut impl Iterator<Item = String>) -> bool {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg {
+            "--smoke" => self.smoke = true,
+            "--trace-out" => self.trace_out = Some(value("--trace-out")),
+            "--prom-out" => self.prom_out = Some(value("--prom-out")),
+            "--baseline-json" => self.baseline_json = Some(value("--baseline-json")),
+            _ => return false,
+        }
+        true
+    }
+
+    /// Parses the whole process argument list for a binary with no flags
+    /// of its own: shared flags as above, one positional output path,
+    /// panic on anything else. Enables the tracer if `--trace-out` was
+    /// given, so call this before the measured work starts.
+    pub fn parse(default_out: impl Into<String>) -> Self {
+        let mut sink = ArtifactSink::new(default_out);
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            if sink.try_flag(&arg, &mut it) {
+                continue;
+            }
+            match arg.as_str() {
+                flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
+                path => sink.out_path = path.to_string(),
+            }
+        }
+        sink.begin();
+        sink
+    }
+
+    /// Turns the process tracer on when `--trace-out` was given. Binaries
+    /// that parse their own argument loop call this once parsing is done;
+    /// [`ArtifactSink::parse`] already did.
+    pub fn begin(&self) {
+        enable_tracing_if(&self.trace_out);
+    }
+
+    /// Writes the finished JSON document to `out_path` and the optional
+    /// side artifacts (trace JSON, Prometheus text) next to it.
+    pub fn write(&self, json: &str, snap: &Snapshot) {
+        std::fs::write(&self.out_path, json).expect("write bench artifact");
+        println!("wrote {}", self.out_path);
+        write_artifacts(snap, &self.trace_out, &self.prom_out);
+    }
+
+    /// The baseline-ratio gate: when `--baseline-json` names a prior
+    /// artifact, read `key` out of it and require
+    /// `measured / baseline >= min_ratio`. Returns `false` (after
+    /// printing a `FAIL:` line) when the gate trips; `true` when it holds
+    /// or no baseline was given. This is how the telemetry-overhead gate
+    /// compares an instrumented run against a `telemetry-off` build's
+    /// artifact.
+    pub fn baseline_gate(&self, key: &str, measured: f64, min_ratio: f64) -> bool {
+        let Some(path) = &self.baseline_json else {
+            return true;
+        };
+        let text = std::fs::read_to_string(path).expect("read baseline json");
+        let baseline = extract_field_f64(&text, key)
+            .unwrap_or_else(|| panic!("baseline json carries no `{key}` field"));
+        let ratio = measured / baseline;
+        println!(
+            "baseline gate `{key}`: measured {measured:.0} vs baseline {baseline:.0} \
+             ({:.1}% delta)",
+            100.0 * (1.0 - ratio)
+        );
+        if ratio < min_ratio {
+            eprintln!(
+                "FAIL: `{key}` holds only {:.1}% of the baseline (need >= {:.0}%)",
+                100.0 * ratio,
+                100.0 * min_ratio
+            );
+            return false;
+        }
+        println!(
+            "PASS: `{key}` within {:.0}% budget",
+            100.0 * (1.0 - min_ratio)
+        );
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_flags_are_consumed_and_positionals_refused() {
+        let mut sink = ArtifactSink::new("BENCH_x.json");
+        let mut it = vec!["t.json".to_string(), "m.prom".to_string()].into_iter();
+        assert!(sink.try_flag("--smoke", &mut it));
+        assert!(sink.try_flag("--trace-out", &mut it));
+        assert!(sink.try_flag("--prom-out", &mut it));
+        assert!(!sink.try_flag("--shards", &mut it));
+        assert!(!sink.try_flag("OUT.json", &mut it));
+        assert!(sink.smoke);
+        assert_eq!(sink.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(sink.prom_out.as_deref(), Some("m.prom"));
+        assert_eq!(sink.out_path, "BENCH_x.json");
+    }
+
+    #[test]
+    fn baseline_gate_passes_and_fails_on_the_ratio() {
+        let dir = std::env::temp_dir().join("bench_artifact_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        std::fs::write(&path, "{\n  \"check_point_calls_per_sec\": 1000.0\n}\n").unwrap();
+        let mut sink = ArtifactSink::new("BENCH_x.json");
+        sink.baseline_json = Some(path.to_string_lossy().into_owned());
+        assert!(sink.baseline_gate("check_point_calls_per_sec", 990.0, 0.97));
+        assert!(!sink.baseline_gate("check_point_calls_per_sec", 900.0, 0.97));
+    }
+
+    #[test]
+    fn missing_baseline_means_the_gate_holds() {
+        let sink = ArtifactSink::new("BENCH_x.json");
+        assert!(sink.baseline_gate("anything", 0.0, 0.97));
+    }
+}

@@ -20,8 +20,9 @@
 //! or saves less than 20% at 4 KiB — the claims the artifact exists to
 //! witness.
 
+use bench::artifact::ArtifactSink;
 use bench::report::{banner, Json};
-use bench::telemetry::{append_snapshot, enable_tracing_if, write_artifacts};
+use bench::telemetry::append_snapshot;
 use hotcalls::sim::SimHotCalls;
 use hotcalls::{HotCallConfig, TelemetryRegistry};
 use sgx_sdk::edl::parse_edl;
@@ -103,44 +104,35 @@ impl Row {
     }
 }
 
-struct Args {
-    n: usize,
-    out_path: String,
-    trace_out: Option<String>,
-    prom_out: Option<String>,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        n: 400,
-        out_path: "BENCH_nrz.json".into(),
-        trace_out: None,
-        prom_out: None,
-    };
+/// The shared flags ride [`ArtifactSink`]; the positionals here are
+/// `[N] [OUT.json]` (sample count first), so this keeps its own loop
+/// instead of using [`ArtifactSink::parse`].
+fn parse_args() -> (ArtifactSink, usize) {
+    let mut sink = ArtifactSink::new("BENCH_nrz.json");
+    let mut n = 400;
     let mut positionals = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        if sink.try_flag(&arg, &mut it) {
+            continue;
+        }
         match arg.as_str() {
-            "--trace-out" => args.trace_out = Some(value("--trace-out")),
-            "--prom-out" => args.prom_out = Some(value("--prom-out")),
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             p => positionals.push(p.to_string()),
         }
     }
     if let Some(p) = positionals.first() {
-        args.n = p.parse().expect("sample count");
+        n = p.parse().expect("sample count");
     }
     if let Some(p) = positionals.get(1) {
-        args.out_path = p.clone();
+        sink.out_path = p.clone();
     }
-    args
+    sink.begin();
+    (sink, n)
 }
 
 fn main() {
-    let args = parse_args();
-    let (n, out_path) = (args.n, args.out_path.clone());
-    enable_tracing_if(&args.trace_out);
+    let (args, n) = parse_args();
 
     banner("Ablation: No-Redundant-Zeroing across transfer modes (median cycles)");
     let mut rows = Vec::new();
@@ -200,9 +192,7 @@ fn main() {
     let snap = registry.snapshot();
 
     let json = render_json(&rows, &snap);
-    std::fs::write(&out_path, &json).expect("write BENCH_nrz.json");
-    println!("wrote {out_path}");
-    write_artifacts(&snap, &args.trace_out, &args.prom_out);
+    args.write(&json, &snap);
 
     // Self-check the claims this artifact exists to witness.
     let mut ok = true;

@@ -35,8 +35,9 @@
 
 use std::time::{Duration, Instant};
 
+use bench::artifact::ArtifactSink;
 use bench::report::{banner, Json};
-use bench::telemetry::{append_snapshot, enable_tracing_if, write_artifacts};
+use bench::telemetry::append_snapshot;
 use hotcalls::rt::{Bundle, ByteBundle, ByteCallTable, ByteRing, CallTable, RingServer};
 use hotcalls::{HotCallConfig, ResponderPolicy, Snapshot, TelemetryRegistry};
 
@@ -47,34 +48,6 @@ const PIPELINE_DEPTH: usize = 16;
 const BUNDLE_LEN: usize = 16;
 const BYTE_BUNDLE_LEN: usize = 32;
 const INLINE_PAYLOADS: [usize; 4] = [8, 16, 32, 64];
-
-struct Args {
-    out_path: String,
-    smoke: bool,
-    trace_out: Option<String>,
-    prom_out: Option<String>,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        out_path: "BENCH_pipeline.json".into(),
-        smoke: false,
-        trace_out: None,
-        prom_out: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
-        match arg.as_str() {
-            "--smoke" => args.smoke = true,
-            "--trace-out" => args.trace_out = Some(value("--trace-out")),
-            "--prom-out" => args.prom_out = Some(value("--prom-out")),
-            flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
-            path => args.out_path = path.to_string(),
-        }
-    }
-    args
-}
 
 /// Responders doze when idle so the seven that sync mode cannot feed
 /// release the core instead of spinning on it. `drain_batch: 1` keeps
@@ -239,8 +212,7 @@ fn bundle_overhead(payload: usize, calls: u64, registry: &TelemetryRegistry) -> 
 }
 
 fn main() {
-    let args = parse_args();
-    enable_tracing_if(&args.trace_out);
+    let args = ArtifactSink::parse("BENCH_pipeline.json");
     let registry = TelemetryRegistry::new();
     let (measure, overhead_calls, min_speedup, max_bundle_ratio) = if args.smoke {
         (Duration::from_millis(80), 20_000u64, 2.0, 1.10)
@@ -288,9 +260,7 @@ fn main() {
 
     let snap = registry.snapshot();
     let json = render_json(&args, sync_cps, pipe_cps, bund_cps, &rows, measure, &snap);
-    std::fs::write(&args.out_path, &json).expect("write BENCH_pipeline.json");
-    println!("wrote {}", args.out_path);
-    write_artifacts(&snap, &args.trace_out, &args.prom_out);
+    args.write(&json, &snap);
 
     // Self-check the claims this artifact exists to witness.
     let mut ok = true;
@@ -325,7 +295,7 @@ fn main() {
 /// carries the same `schema_version` envelope as every other bench output.
 #[allow(clippy::too_many_arguments)]
 fn render_json(
-    args: &Args,
+    args: &ArtifactSink,
     sync_cps: f64,
     pipe_cps: f64,
     bund_cps: f64,

@@ -53,9 +53,10 @@
 
 use std::time::{Duration, Instant};
 
+use bench::artifact::ArtifactSink;
 use bench::report::{banner, Json};
 use bench::rt_baseline::{scaling_throughput, MutexMailbox};
-use bench::telemetry::{append_snapshot, enable_tracing_if, extract_field_f64, write_artifacts};
+use bench::telemetry::append_snapshot;
 use hotcalls::rt::{CallTable, RingServer, ShardedServer};
 use hotcalls::{
     HotCallConfig, ResponderPolicy, RingStats, ShardPolicy, Snapshot, TelemetryRegistry,
@@ -74,37 +75,6 @@ const CHECK_SHARDS: usize = 4;
 /// fraction of the telemetry-off baseline's check-point throughput
 /// (≤ 3% measured telemetry overhead).
 const MIN_BASELINE_RATIO: f64 = 0.97;
-
-struct Args {
-    out_path: String,
-    smoke: bool,
-    trace_out: Option<String>,
-    prom_out: Option<String>,
-    baseline_json: Option<String>,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        out_path: "BENCH_shard.json".into(),
-        smoke: false,
-        trace_out: None,
-        prom_out: None,
-        baseline_json: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
-        match arg.as_str() {
-            "--smoke" => args.smoke = true,
-            "--trace-out" => args.trace_out = Some(value("--trace-out")),
-            "--prom-out" => args.prom_out = Some(value("--prom-out")),
-            "--baseline-json" => args.baseline_json = Some(value("--baseline-json")),
-            flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
-            path => args.out_path = path.to_string(),
-        }
-    }
-    args
-}
 
 fn host_threads() -> usize {
     std::thread::available_parallelism()
@@ -302,8 +272,7 @@ struct GridCell {
 }
 
 fn main() {
-    let args = parse_args();
-    enable_tracing_if(&args.trace_out);
+    let args = ArtifactSink::parse("BENCH_shard.json");
     let registry = TelemetryRegistry::new();
     // Smoke gates are deliberately loose (CI runs on one noisy core);
     // full gates assert the headline multiples.
@@ -443,9 +412,7 @@ fn main() {
         check_cps,
         &snap,
     );
-    std::fs::write(&args.out_path, &json).expect("write BENCH_shard.json");
-    println!("wrote {}", args.out_path);
-    write_artifacts(&snap, &args.trace_out, &args.prom_out);
+    args.write(&json, &snap);
 
     // Self-check the claims this artifact exists to witness.
     let mut ok = true;
@@ -474,32 +441,7 @@ fn main() {
     // The telemetry-overhead gate: against a baseline artifact from a
     // `--features telemetry-off` build, the instrumented check point must
     // keep >= MIN_BASELINE_RATIO of the baseline's throughput.
-    if let Some(path) = &args.baseline_json {
-        let text = std::fs::read_to_string(path).expect("read baseline json");
-        let baseline = extract_field_f64(&text, "check_point_calls_per_sec")
-            .expect("baseline json carries check_point_calls_per_sec");
-        let ratio = check_cps / baseline;
-        let overhead_pct = 100.0 * (1.0 - ratio);
-        println!(
-            "telemetry overhead at {CHECK_REQUESTERS} req / {CHECK_SHARDS} shards: \
-             instrumented {check_cps:.0} vs baseline {baseline:.0} calls/sec \
-             ({overhead_pct:.1}% overhead)"
-        );
-        if ratio < MIN_BASELINE_RATIO {
-            eprintln!(
-                "FAIL: instrumented check point holds only {:.1}% of the telemetry-off \
-                 baseline (need >= {:.0}%)",
-                100.0 * ratio,
-                100.0 * MIN_BASELINE_RATIO
-            );
-            ok = false;
-        } else {
-            println!(
-                "PASS: telemetry overhead within {:.0}% budget",
-                100.0 * (1.0 - MIN_BASELINE_RATIO)
-            );
-        }
-    }
+    ok &= args.baseline_gate("check_point_calls_per_sec", check_cps, MIN_BASELINE_RATIO);
 
     if !ok {
         std::process::exit(1);
@@ -513,7 +455,7 @@ fn main() {
 
 #[allow(clippy::too_many_arguments)]
 fn render_json(
-    args: &Args,
+    args: &ArtifactSink,
     measure: Duration,
     mutex_rows: &[(usize, f64)],
     grid: &[GridCell],

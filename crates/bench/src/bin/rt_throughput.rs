@@ -31,9 +31,19 @@
 //!
 //! ```text
 //! rt_throughput [OUT.json] [--workload cpu|io|all] [--max-responders N]
-//!               [--shards N] [--measure-ms N] [--trace-out T.json]
-//!               [--prom-out M.prom]
+//!               [--shards N] [--measure-ms N] [--fused]
+//!               [--trace-out T.json] [--prom-out M.prom]
 //! ```
+//!
+//! `--fused` adds a fused-mode row per requester count: the adaptive pool
+//! with `FusedMode::Auto`. Under this bin's continuous saturated loops
+//! the responders never fall quiescent, so the gate correctly declines
+//! every call (`fused_runs` ≈ 0) — the rows measure that leaving `Auto`
+//! on costs nothing when the pool is hot. The sparse-traffic regime the
+//! fused path wins (paced calls with doze-sized gaps) is
+//! `ablation_fused`'s subject. The rows land in the JSON's
+//! `fused_throughput` array with the `fused_runs` / `fused_fallbacks`
+//! split per cell.
 //!
 //! Output: human-readable table on stdout plus `BENCH_rt.json` in the
 //! current directory (positional argument overrides the path). The JSON
@@ -46,11 +56,14 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use bench::artifact::ArtifactSink;
 use bench::report::Json;
 use bench::rt_baseline::{scaling_throughput, MutexMailbox};
-use bench::telemetry::{append_snapshot, enable_tracing_if, write_artifacts};
+use bench::telemetry::append_snapshot;
 use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, HotCallServer, RingServer, ShardedServer};
-use hotcalls::{HotCallConfig, ResponderPolicy, ShardPolicy, Snapshot, TelemetryRegistry};
+use hotcalls::{
+    FusedMode, HotCallConfig, ResponderPolicy, ShardPolicy, Snapshot, TelemetryRegistry,
+};
 
 const RING_CAPACITY: usize = 64;
 const IO_HANDLER_SLEEP: Duration = Duration::from_micros(200);
@@ -59,27 +72,28 @@ const ARENA_CALLS: u64 = 50_000;
 const ARENA_PAYLOADS: [usize; 4] = [16, 64, 256, 4096];
 
 struct Args {
-    out_path: String,
+    sink: ArtifactSink,
     workloads: Vec<&'static str>,
     max_responders: usize,
     shards: usize,
     measure: Duration,
-    trace_out: Option<String>,
-    prom_out: Option<String>,
+    fused: bool,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        out_path: "BENCH_rt.json".into(),
+        sink: ArtifactSink::new("BENCH_rt.json"),
         workloads: vec!["cpu", "io"],
         max_responders: 4,
         shards: 2,
         measure: Duration::from_millis(250),
-        trace_out: None,
-        prom_out: None,
+        fused: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        if args.sink.try_flag(&arg, &mut it) {
+            continue;
+        }
         let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
         match arg.as_str() {
             "--workload" => {
@@ -108,12 +122,12 @@ fn parse_args() -> Args {
                     .expect("--measure-ms takes milliseconds");
                 args.measure = Duration::from_millis(ms.max(1));
             }
-            "--trace-out" => args.trace_out = Some(value("--trace-out")),
-            "--prom-out" => args.prom_out = Some(value("--prom-out")),
+            "--fused" => args.fused = true,
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
-            path => args.out_path = path.to_string(),
+            path => args.sink.out_path = path.to_string(),
         }
     }
+    args.sink.begin();
     args
 }
 
@@ -356,6 +370,90 @@ fn shard_cell(
     }
 }
 
+struct FusedCell {
+    workload: &'static str,
+    requesters: usize,
+    calls: u64,
+    calls_per_sec: f64,
+    fused_runs: u64,
+    fused_fallbacks: u64,
+}
+
+/// Runs one fused-mode cell: the same adaptive single-ring pool as the
+/// `adapt` column, but with `FusedMode::Auto` — a requester that finds
+/// its responders dozing and the ring near-empty executes the handler
+/// inline, skipping the publish/wake/transfer handoff entirely.
+///
+/// This cell's loop is *continuous*, so the pool never falls quiescent:
+/// a responder is always mid-drain or mid-spin when the next call reads
+/// the gate, and every call correctly rides the pooled path
+/// (`fused_runs` ≈ 0, the declines accounted as `fused_fallbacks`).
+/// That is the measurement — `Auto` left enabled under saturation
+/// tracks the plain adaptive column instead of stealing the pool's
+/// work. The sparse regime the gate opens for (call gaps longer than
+/// the doze fuse) is measured by `ablation_fused`'s quiet phases.
+fn fused_cell(
+    workload: &'static str,
+    requesters: usize,
+    max_responders: usize,
+    measure: Duration,
+) -> FusedCell {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let id = match workload {
+        "cpu" => table.register(|x| x + 1),
+        "io" => table.register(|x| {
+            std::thread::sleep(IO_HANDLER_SLEEP);
+            x + 1
+        }),
+        _ => unreachable!("unknown workload"),
+    };
+    let server = RingServer::spawn_adaptive(
+        table,
+        RING_CAPACITY,
+        ResponderPolicy::elastic(1, max_responders),
+        HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            ..pool_config()
+        },
+    )
+    .expect("pool shape is valid");
+
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let calls: u64 = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(requesters);
+        for t in 0..requesters as u64 {
+            let r = server.requester();
+            let stop = &stop;
+            handles.push(s.spawn(move || {
+                let mut done = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = t * 1_000_000 + i;
+                    assert_eq!(r.call(id, x).unwrap(), x + 1);
+                    done += 1;
+                    i += 1;
+                }
+                done
+            }));
+        }
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    server.shutdown();
+    FusedCell {
+        workload,
+        requesters,
+        calls,
+        calls_per_sec: calls as f64 / secs,
+        fused_runs: stats.fused_runs,
+        fused_fallbacks: stats.fused_fallbacks,
+    }
+}
+
 struct BaselineCell {
     requesters: usize,
     calls_per_sec: f64,
@@ -412,7 +510,6 @@ fn telemetry_exemplar(shards: usize) -> Snapshot {
 
 fn main() {
     let args = parse_args();
-    enable_tracing_if(&args.trace_out);
 
     println!("rt_throughput: pooled HotCalls runtime matrix");
     println!("host threads available: {}", host_threads());
@@ -504,6 +601,25 @@ fn main() {
         println!();
     }
 
+    let mut fused_cells = Vec::new();
+    if args.fused {
+        for workload in args.workloads.iter().copied() {
+            println!(
+                "workload `{workload}`, fused auto (elastic 1..{}, calls/sec):",
+                args.max_responders
+            );
+            for requesters in [1usize, 2, 4, 8] {
+                let cell = fused_cell(workload, requesters, args.max_responders, args.measure);
+                println!(
+                    "  {requesters:>6} req | {:>12.0} (fused {} fallbacks {})",
+                    cell.calls_per_sec, cell.fused_runs, cell.fused_fallbacks
+                );
+                fused_cells.push(cell);
+            }
+            println!();
+        }
+    }
+
     println!("byte-payload arena ({ARENA_CALLS} calls per size):");
     println!(
         "  {:>8} | {:>10} {:>12} {:>12} {:>10}",
@@ -532,12 +648,11 @@ fn main() {
         &baseline_cells,
         &cells,
         &shard_cells,
+        &fused_cells,
         &arena,
         &snap,
     );
-    std::fs::write(&args.out_path, &json).expect("write BENCH_rt.json");
-    println!("wrote {}", args.out_path);
-    write_artifacts(&snap, &args.trace_out, &args.prom_out);
+    args.sink.write(&json, &snap);
 }
 
 fn host_threads() -> usize {
@@ -557,6 +672,7 @@ fn render_json(
     baseline_cells: &[BaselineCell],
     cells: &[Cell],
     shard_cells: &[ShardCell],
+    fused_cells: &[FusedCell],
     arena: &[ArenaCell],
     snap: &Snapshot,
 ) -> String {
@@ -609,6 +725,18 @@ fn render_json(
             .field_u64("steals", c.steals)
             .field_u64("steal_hits", c.steal_hits)
             .field_u64("cross_shard_wakes", c.cross_shard_wakes);
+        j.end_item();
+    }
+    j.end_array();
+    j.begin_array("fused_throughput");
+    for c in fused_cells {
+        j.begin_item();
+        j.field_str("workload", c.workload)
+            .field_u64("requesters", c.requesters as u64)
+            .field_u64("calls", c.calls)
+            .field_f64("calls_per_sec", c.calls_per_sec, 1)
+            .field_u64("fused_runs", c.fused_runs)
+            .field_u64("fused_fallbacks", c.fused_fallbacks);
         j.end_item();
     }
     j.end_array();

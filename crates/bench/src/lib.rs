@@ -26,6 +26,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod applications;
+pub mod artifact;
 pub mod hot;
 pub mod micro;
 pub mod report;

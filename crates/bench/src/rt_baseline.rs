@@ -157,6 +157,10 @@ where
             wakeups: self.shared.wakeups.load(Ordering::Relaxed),
             idle_polls: self.shared.idle_polls.load(Ordering::Relaxed),
             busy_polls: self.shared.busy_polls.load(Ordering::Relaxed),
+            // The mutex mailbox predates the fused fast path and never
+            // runs a handler inline.
+            fused_runs: 0,
+            fused_fallbacks: 0,
         }
     }
 

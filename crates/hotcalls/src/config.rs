@@ -2,6 +2,33 @@
 
 use serde::{Deserialize, Serialize};
 
+/// When a requester may run a handler inline (run-to-completion) instead
+/// of publishing the call to the responder pool.
+///
+/// The fused path skips the slot-publish handoff, the doze wake, and the
+/// cross-core cache-line transfer entirely — the requester's core executes
+/// the handler and keeps the data hot. That wins exactly when no second
+/// core is already spinning on the ring; the moment responders are active,
+/// handing off and pipelining wins instead. `Auto` makes that break-even
+/// decision per call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FusedMode {
+    /// Never fuse: every call goes through the responder pool (the
+    /// pre-fused behaviour; the default).
+    #[default]
+    Off,
+    /// Fuse synchronous `call`s when the home responder set is quiescent
+    /// (parked or dozing) and the ring occupancy is below
+    /// [`HotCallConfig::fused_below_occupancy`]; fall back to the pooled
+    /// path the moment responders are active. Pipelined `submit`s never
+    /// fuse under `Auto` — the caller chose the async API to overlap
+    /// work, which inline execution would forfeit.
+    Auto,
+    /// Always attempt the fused path (benchmarks and the zero-alloc gate;
+    /// `submit` still falls back when it loses the service race).
+    Always,
+}
+
 /// Configuration shared by the simulated and threaded HotCalls variants.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HotCallConfig {
@@ -21,6 +48,14 @@ pub struct HotCallConfig {
     /// wake/schedule cost under bursty load; `1` reproduces the original
     /// one-at-a-time drain. Zero is treated as `1`.
     pub drain_batch: u32,
+    /// When the requester may execute handlers inline instead of handing
+    /// them to the responder pool. See [`FusedMode`].
+    pub fused_mode: FusedMode,
+    /// Break-even occupancy for [`FusedMode::Auto`]: the fused path is
+    /// only considered while the (home) ring holds fewer than this many
+    /// in-flight submissions. Deeper backlogs mean pipelining through the
+    /// pool wins. Zero disables auto-fusing outright.
+    pub fused_below_occupancy: usize,
 }
 
 impl Default for HotCallConfig {
@@ -30,6 +65,8 @@ impl Default for HotCallConfig {
             spins_per_retry: 16,
             idle_polls_before_sleep: None,
             drain_batch: 8,
+            fused_mode: FusedMode::Off,
+            fused_below_occupancy: 2,
         }
     }
 }
@@ -51,6 +88,15 @@ impl HotCallConfig {
             timeout_retries: 1_000_000,
             spins_per_retry: 64,
             ..Self::default()
+        }
+    }
+
+    /// A configuration with the fused run-to-completion path enabled in
+    /// the given mode (otherwise [`Self::patient`]).
+    pub fn fused(mode: FusedMode) -> Self {
+        HotCallConfig {
+            fused_mode: mode,
+            ..Self::patient()
         }
     }
 
@@ -220,6 +266,16 @@ mod tests {
         assert_eq!(c.timeout_retries, 10);
         assert!(c.idle_polls_before_sleep.is_none());
         assert!(c.drain_batch >= 1);
+        // The fused path is strictly opt-in.
+        assert_eq!(c.fused_mode, FusedMode::Off);
+        assert!(c.fused_below_occupancy >= 1);
+    }
+
+    #[test]
+    fn fused_constructor_only_flips_the_mode() {
+        let c = HotCallConfig::fused(FusedMode::Auto);
+        assert_eq!(c.fused_mode, FusedMode::Auto);
+        assert_eq!(c.timeout_retries, HotCallConfig::patient().timeout_retries);
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub mod sim;
 pub mod telemetry;
 
 pub use config::{
-    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
+    FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
+    ShardStats,
 };
 pub use error::{HotCallError, Result};
 pub use telemetry::{Snapshot, TelemetryRegistry, TELEMETRY_ENABLED};

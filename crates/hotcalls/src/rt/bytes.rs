@@ -180,6 +180,24 @@ impl ByteRing {
         }
     }
 
+    /// A caller placed on logical core `core`: on a sharded plane the
+    /// home shard is chosen placement-aware (see
+    /// [`ShardedServer::requester_near`]) so the handoff stays same-core
+    /// or at least same-node when an on-node shard is active; on a
+    /// single-ring plane there is nothing to choose.
+    pub fn caller_near(&self, core: usize, topology: &sgx_sim::Topology) -> ByteCaller {
+        let requester = match &self.plane {
+            BytePlane::Single(server) => ByteRequester::Single(server.requester()),
+            BytePlane::Sharded(server) => {
+                ByteRequester::Sharded(server.requester_near(core, topology))
+            }
+        };
+        ByteCaller {
+            requester,
+            arena: SlabArena::new(),
+        }
+    }
+
     /// A caller pinned to an explicit home shard — the affinity override
     /// for workloads that partition connections themselves. On a
     /// single-ring plane only shard 0 exists.
@@ -785,6 +803,49 @@ mod tests {
         assert_eq!(rs.shards.len(), 1);
         assert_eq!(rs.shards[0].serviced, 1);
         assert_eq!(rs.steals(), 0);
+    }
+
+    #[test]
+    fn fused_byte_calls_run_inline_and_recycle() {
+        use crate::config::FusedMode;
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_pool(t, 4, 1, HotCallConfig::fused(FusedMode::Always)).unwrap();
+        let mut caller = ring.caller();
+        for _ in 0..100 {
+            caller
+                .call_with(rev, b"abcdef", 0, |resp| assert_eq!(resp, b"fedcba"))
+                .unwrap();
+        }
+        let stats = caller.arena_stats();
+        assert_eq!(stats.inline_hits, 100);
+        assert_eq!(stats.allocs, 0, "fused path must stay heap-free too");
+        let s = ring.stats();
+        assert_eq!(s.calls, 100);
+        assert_eq!(s.fused_runs, 100, "{s:?}");
+    }
+
+    #[test]
+    fn fused_sharded_byte_calls_count_and_conserve() {
+        use crate::config::FusedMode;
+        let (t, rev, _) = echo_table();
+        let ring = ByteRing::spawn_sharded(
+            t,
+            8,
+            ShardPolicy::fixed(2),
+            HotCallConfig::fused(FusedMode::Always),
+        )
+        .unwrap();
+        let mut a = ring.caller();
+        let mut b = ring.caller();
+        for _ in 0..50 {
+            a.call_with(rev, b"abc", 0, |resp| assert_eq!(resp, b"cba"))
+                .unwrap();
+            b.call_with(rev, b"wxyz", 0, |resp| assert_eq!(resp, b"zyxw"))
+                .unwrap();
+        }
+        let s = ring.stats();
+        assert_eq!(s.calls, 100);
+        assert_eq!(s.fused_runs, 100, "{s:?}");
     }
 
     #[test]

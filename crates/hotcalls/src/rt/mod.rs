@@ -70,6 +70,10 @@ impl<Req, Resp> Shared<Req, Resp> {
             wakeups: self.wakeups.load(Ordering::Relaxed),
             idle_polls: self.stats.idle_polls.load(Ordering::Relaxed),
             busy_polls: self.stats.busy_polls.load(Ordering::Relaxed),
+            // The single mailbox has no fused path: its one responder is
+            // the whole plane.
+            fused_runs: 0,
+            fused_fallbacks: 0,
         }
     }
 }

@@ -121,6 +121,51 @@ pub(super) unsafe fn service_slot<Req, Resp>(
     unsafe { slot.finish(result) };
 }
 
+/// Services one claimed slot on a *requester* thread — the fused
+/// run-to-completion path. Mirrors [`service_slot`] minus the responder
+/// bookkeeping: requesters own no single-writer stat cell or stage
+/// histograms, so the caller accounts the returned call count into the
+/// plane's shared `fused_runs` counter instead. Returns how many calls
+/// the envelope carried (1, or the bundle length).
+///
+/// # Safety
+///
+/// As [`service_slot`]: the caller must hold exclusive service ownership
+/// of `slot` (it won the tail CAS covering it after observing/having
+/// published `SUBMITTED`), and calls this at most once per claim.
+pub(super) unsafe fn service_slot_inline<Req, Resp>(
+    slot: &RingSlot<Req, Resp>,
+    table: &CallTable<Req, Resp>,
+) -> u64 {
+    // SAFETY: forwarded from the caller's contract — exclusive service
+    // ownership of this slot.
+    let (id, env) = unsafe { slot.take_request() };
+    let (result, n) = match env {
+        ReqEnvelope::One(req) => (
+            table
+                .dispatch(id, req)
+                .ok_or(HotCallError::UnknownCallId(id))
+                .map(RespEnvelope::One),
+            1u64,
+        ),
+        ReqEnvelope::Bundle(calls) => {
+            let n = calls.len() as u64;
+            let mut results = Vec::with_capacity(calls.len());
+            for (call_id, req) in calls {
+                results.push(
+                    table
+                        .dispatch(call_id, req)
+                        .ok_or(HotCallError::UnknownCallId(call_id)),
+                );
+            }
+            (Ok(RespEnvelope::Bundle(results)), n)
+        }
+    };
+    // SAFETY: this thread took the request for this slot above.
+    unsafe { slot.finish(result) };
+    n
+}
+
 pub(super) fn responder_loop<Req, Resp>(
     shared: Arc<RingShared<Req, Resp>>,
     table: Arc<CallTable<Req, Resp>>,

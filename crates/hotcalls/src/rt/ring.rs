@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::config::{GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
+use crate::config::{FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
 use crate::error::{HotCallError, Result};
 use crate::telemetry::{
     now_cycles, trace, AtomicHist, LaneTelemetry, PlaneProvider, PlaneTelemetry, RingStats,
@@ -181,6 +181,10 @@ pub(super) struct RingShared<Req, Resp> {
     /// Each slot is 64-byte aligned with its state word on its own line,
     /// so neighbouring slots never false-share.
     pub(super) slots: Box<[RingSlot<Req, Resp>]>,
+    /// The handler table. Responders clone the `Arc` at spawn; keeping it
+    /// here as well lets a *requester* dispatch inline on the fused
+    /// run-to-completion path without any handoff.
+    pub(super) table: Arc<CallTable<Req, Resp>>,
     /// Next slot index a requester claims. Padded: requesters hammer this
     /// line; responders must not.
     pub(super) head: CachePadded<AtomicUsize>,
@@ -199,6 +203,12 @@ pub(super) struct RingShared<Req, Resp> {
     // Requester-side event counters; rare, so shared RMWs are fine.
     fallbacks: AtomicU64,
     wakeups: AtomicU64,
+    /// Calls executed inline by requesters (fused run-to-completion).
+    /// Shared `fetch_add` cells: requesters have no single-writer stat
+    /// cell of their own, and the fused path only runs when the plane is
+    /// quiet, so contention on these lines is structurally rare.
+    pub(super) fused_runs: AtomicU64,
+    pub(super) fused_fallbacks: AtomicU64,
 }
 
 impl<Req, Resp> RingShared<Req, Resp> {
@@ -213,12 +223,17 @@ impl<Req, Resp> RingShared<Req, Resp> {
     }
 
     fn snapshot(&self) -> HotCallStats {
+        let fused_runs = self.fused_runs.load(Ordering::Relaxed);
         let mut s = HotCallStats {
-            calls: 0,
+            // Fused calls never pass through a responder cell, so the
+            // plane-wide call count starts from them.
+            calls: fused_runs,
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
             idle_polls: 0,
             busy_polls: 0,
+            fused_runs,
+            fused_fallbacks: self.fused_fallbacks.load(Ordering::Relaxed),
         };
         for cell in self.responders.iter() {
             s.calls += cell.calls.load(Ordering::Relaxed);
@@ -226,6 +241,18 @@ impl<Req, Resp> RingShared<Req, Resp> {
             s.busy_polls += cell.busy_polls.load(Ordering::Relaxed);
         }
         s
+    }
+
+    /// Is the whole responder set out of the way (parked by the governor
+    /// or dozing on the work doze)? While this holds, no responder core is
+    /// spinning on the ring, so a requester executing inline steals
+    /// nothing and saves the wake + cross-core transfer. The check is a
+    /// heuristic — the service-ownership CAS is what keeps the fused path
+    /// correct when a responder wakes mid-decision.
+    pub(super) fn responders_quiescent(&self) -> bool {
+        let parked = self.governor.parked_now.load(Ordering::Relaxed);
+        let dozing = self.doze.sleepers.load(Ordering::Relaxed);
+        parked + dozing >= self.responders.len()
     }
 
     fn governor_snapshot(&self) -> GovernorStats {
@@ -382,8 +409,10 @@ where
             ));
         }
         let n_responders = policy.max;
+        let table = Arc::new(table);
         let shared = Arc::new(RingShared {
             slots: (0..capacity).map(|_| RingSlot::new()).collect(),
+            table: Arc::clone(&table),
             head: CachePadded::new(AtomicUsize::new(0)),
             tail: CachePadded::new(AtomicUsize::new(0)),
             shutdown: AtomicBool::new(false),
@@ -395,8 +424,9 @@ where
             reap_hist: CachePadded::new(AtomicHist::new()),
             fallbacks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            fused_runs: AtomicU64::new(0),
+            fused_fallbacks: AtomicU64::new(0),
         });
-        let table = Arc::new(table);
         let joins = (0..n_responders)
             .map(|index| {
                 let shared = Arc::clone(&shared);
@@ -610,13 +640,68 @@ impl<Req> Bundle<Req> {
 }
 
 impl<Req, Resp> RingRequester<Req, Resp> {
+    /// Is the fused run-to-completion path worth attempting right now?
+    /// `occupancy` is the requester's latest coherent tail-before-head
+    /// snapshot. Never true after shutdown, so fused configs keep the
+    /// pooled `ResponderGone` semantics.
+    fn fused_eligible(&self, occupancy: usize) -> bool {
+        match self.config.fused_mode {
+            FusedMode::Off => false,
+            FusedMode::Always => true,
+            FusedMode::Auto => {
+                occupancy < self.config.fused_below_occupancy && self.shared.responders_quiescent()
+            }
+        }
+    }
+
+    /// Counts (and traces) a call that was fused-eligible in principle but
+    /// rode the pooled path.
+    #[inline]
+    fn note_fused_fallback(&self, seq: u64) {
+        if self.config.fused_mode != FusedMode::Off {
+            self.shared.fused_fallbacks.fetch_add(1, Ordering::Relaxed);
+            trace("fused_fallback", seq, 0);
+        }
+    }
+
+    /// Tries to service the just-published slot at `index` on *this*
+    /// thread. Winning the tail CAS for exactly `[index, index + 1)` is
+    /// the same service-ownership edge the responder drain uses, so the
+    /// requester and any awake responder can race for the slot and
+    /// exactly one of them executes it. Returns `true` if the slot was
+    /// serviced inline (it is DONE and awaits its normal redeem).
+    fn try_self_service(&self, index: usize) -> bool {
+        if self
+            .shared
+            .tail
+            .compare_exchange(index, index + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            // Older submissions sit ahead of ours (or a responder already
+            // claimed a run covering this slot): pipelining wins, hand
+            // off.
+            return false;
+        }
+        let slot = &self.shared.slots[index % self.shared.slots.len()];
+        // SAFETY: the tail CAS granted service ownership of exactly this
+        // slot, and this requester published it SUBMITTED (with Release)
+        // just above, so the Acquire side of the CAS sees the payload.
+        let n = unsafe { pool::service_slot_inline(slot, &self.shared.table) };
+        self.shared.fused_runs.fetch_add(n, Ordering::Relaxed);
+        trace("fused_run", index as u64, n);
+        true
+    }
+
     /// Claims a slot and publishes `env` into it, returning the absolute
     /// slot sequence. On failure the envelope is handed back so the
-    /// caller can recover the request payloads (the fallback path).
+    /// caller can recover the request payloads (the fallback path). With
+    /// `allow_fuse` (and [`FusedMode::Always`]), the requester services
+    /// its own submission inline instead of waking a responder.
     fn submit_envelope(
         &self,
         id: u32,
         env: ReqEnvelope<Req>,
+        allow_fuse: bool,
     ) -> core::result::Result<usize, (HotCallError, ReqEnvelope<Req>)> {
         let cap = self.shared.slots.len();
         let gov = &self.shared.governor;
@@ -668,9 +753,32 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 // very submission to be serviced and redeemed.
                 let slot = &self.shared.slots[head % cap];
                 slot.mark_claimed();
+                // Async submissions fuse only under an explicit `Always`.
+                // The caller chose the pipelined API to overlap work, and
+                // under `Auto` an inline completion would collapse
+                // occupancy back to zero before the next submission's gate
+                // reads it — the plane would run whole bursts inline,
+                // never wake a responder, and never hand the backlog to
+                // the pool. `Auto`'s break-even gate lives on the
+                // synchronous `call` path, where the requester would have
+                // blocked anyway.
+                let fuse = allow_fuse && self.config.fused_mode == FusedMode::Always;
                 // SAFETY: the head CAS above granted exclusive claim
                 // ownership of this slot (see comment); publish once.
                 unsafe { slot.publish(id, env) };
+                if fuse {
+                    if self.try_self_service(head) {
+                        // Serviced on this core: no handoff, no wake. The
+                        // slot is DONE and redeems through the normal
+                        // wait path.
+                        return Ok(head);
+                    }
+                    // Lost the service race (a responder is active after
+                    // all, or older submissions are queued ahead): fall
+                    // through to the pooled wake so the submission cannot
+                    // strand behind an unwoken doze.
+                    self.note_fused_fallback(head as u64);
+                }
                 // Wake a sleeping responder (after the SUBMITTED store).
                 // One wake per submission — a bundle of N calls pays this
                 // at most once.
@@ -705,7 +813,7 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
     /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
     pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
-        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
             Ok(index) => Ok(Ticket { index }),
             Err((e, _)) => Err(e),
         }
@@ -727,7 +835,7 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         }
         let len = bundle.len();
         trace("bundle_submit", len as u64, 0);
-        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls)) {
+        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls), true) {
             Ok(index) => Ok(BundleTicket { index, len }),
             Err((e, _)) => Err(e),
         }
@@ -845,11 +953,25 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         let mut grace: u32 = 0;
         let mut age_polls: u32 = 0;
         loop {
+            // Redeem the *oldest* completed ticket (ring indices are
+            // monotonic), never just the first one found. With
+            // instantly-completing submissions (the fused path), a
+            // first-found scan keeps redeeming whichever ticket
+            // `swap_remove` rotated to the front — always the youngest —
+            // while older DONE slots sit un-redeemed until the head laps
+            // onto one; `submit` then spins on a slot only this very
+            // caller could free. Oldest-first bounds an un-redeemed
+            // completion's age by the caller's in-flight window.
+            let mut oldest: Option<usize> = None;
             for i in 0..tickets.len() {
-                let slot = &self.shared.slots[tickets[i].index % cap];
-                if slot.state() != DONE {
-                    continue;
+                if self.shared.slots[tickets[i].index % cap].state() == DONE
+                    && oldest.is_none_or(|o| tickets[i].index < tickets[o].index)
+                {
+                    oldest = Some(i);
                 }
+            }
+            if let Some(i) = oldest {
+                let slot = &self.shared.slots[tickets[i].index % cap];
                 let ticket = tickets.swap_remove(i);
                 let seq = ticket.seq();
                 let completed_at = slot.completed_at();
@@ -907,12 +1029,41 @@ impl<Req, Resp> RingRequester<Req, Resp> {
 
     /// Submit + wait in one step.
     ///
+    /// On a quiet plane with fusing enabled (see
+    /// [`FusedMode`](crate::FusedMode)) the handler runs *inline on this
+    /// thread* — no slot publish, no doze wake, no cross-core cache-line
+    /// transfer — and falls back to the pooled submit/wait the moment
+    /// responders are active.
+    ///
     /// # Errors
     ///
     /// As [`RingRequester::submit`] and [`RingRequester::wait`].
     pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
-        let t = self.submit(id, req)?;
-        self.wait(t)
+        // Synchronous calls can skip the ring entirely: nothing to
+        // pipeline, no ticket to mint, so the fused path is a plain
+        // dispatch on the requester's core.
+        if self.config.fused_mode != FusedMode::Off && !self.shared.shutdown.load(Ordering::Acquire)
+        {
+            let tail = self.shared.tail.load(Ordering::Acquire);
+            let head = self.shared.head.load(Ordering::Acquire);
+            let occupancy = RingShared::<Req, Resp>::occupancy(head, tail);
+            if self.fused_eligible(occupancy) {
+                let result = self
+                    .shared
+                    .table
+                    .dispatch(id, req)
+                    .ok_or(HotCallError::UnknownCallId(id));
+                self.shared.fused_runs.fetch_add(1, Ordering::Relaxed);
+                trace("fused_run", id as u64, 1);
+                return result;
+            }
+            self.note_fused_fallback(id as u64);
+        }
+        // Fusing was declined here; don't re-attempt it inside submit.
+        match self.submit_envelope(id, ReqEnvelope::One(req), false) {
+            Ok(index) => self.wait(Ticket { index }),
+            Err((e, _)) => Err(e),
+        }
     }
 
     /// Submits a bundle and waits for all of its results.
@@ -936,7 +1087,7 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     where
         F: FnOnce(Req) -> Resp,
     {
-        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
             Ok(index) => self.wait(Ticket { index }),
             Err((HotCallError::ResponderTimeout { .. }, ReqEnvelope::One(req))) => {
                 Ok(fallback(req))
@@ -1424,5 +1575,150 @@ mod tests {
         let g = server.governor_stats();
         assert!(g.wakes >= 1, "backlog never raised the target: {g:?}");
         assert_eq!(server.stats().calls, 24);
+    }
+
+    #[test]
+    fn fused_always_runs_calls_inline() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 4, HotCallConfig::fused(FusedMode::Always));
+        let r = server.requester();
+        for i in 0..100u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+        }
+        let s = server.stats();
+        assert_eq!(s.calls, 100);
+        // `call` with Always never touches the ring at all.
+        assert_eq!(s.fused_runs, 100, "{s:?}");
+    }
+
+    #[test]
+    fn fused_call_propagates_unknown_id() {
+        let (t, _) = table();
+        let server = RingServer::spawn(t, 4, HotCallConfig::fused(FusedMode::Always));
+        let r = server.requester();
+        assert!(matches!(
+            r.call(42, 1),
+            Err(HotCallError::UnknownCallId(42))
+        ));
+    }
+
+    #[test]
+    fn fused_submit_self_services_and_redeems() {
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 8, HotCallConfig::fused(FusedMode::Always));
+        let r = server.requester();
+        let ticket = r.submit(sq, 6).unwrap();
+        assert_eq!(r.wait(ticket).unwrap(), 36);
+        let mut bundle = Bundle::new();
+        bundle.push(sq, 2).push(sq, 3);
+        let results = r.call_bundle(bundle).unwrap();
+        let values: Vec<u64> = results.into_iter().map(|x| x.unwrap()).collect();
+        assert_eq!(values, [4, 9]);
+        let s = server.stats();
+        // Each envelope either self-serviced (its calls count as fused
+        // runs) or lost its race to the responder (one counted fallback) —
+        // conservation must be exact either way.
+        assert_eq!(s.calls, 3, "{s:?}");
+        assert!(s.fused_runs + s.fused_fallbacks >= 1, "{s:?}");
+    }
+
+    #[test]
+    fn fused_pipelining_redeems_oldest_and_never_wedges_on_wrap() {
+        // Regression (same shape as the sharded plane's): first-found
+        // `wait_any` redemption starves older DONE tickets when fused
+        // submissions complete instantly, and the head's next lap then
+        // blocks on a slot only the spinning submitter could redeem.
+        // Oldest-first redemption keeps the lap ahead of the in-flight
+        // window; this loop wraps the 8-slot ring dozens of times.
+        let (t, sq) = table();
+        let server = RingServer::spawn(t, 8, HotCallConfig::fused(FusedMode::Always));
+        let r = server.requester();
+        let mut tickets: Vec<Ticket> = Vec::new();
+        let mut submitted = 0u64;
+        let mut redeemed = 0u64;
+        while redeemed < 500 {
+            while tickets.len() < 4 {
+                tickets.push(r.submit(sq, submitted).unwrap());
+                submitted += 1;
+            }
+            r.wait_any(&mut tickets).unwrap();
+            redeemed += 1;
+        }
+        while !tickets.is_empty() {
+            r.wait_any(&mut tickets).unwrap();
+            redeemed += 1;
+        }
+        assert_eq!(redeemed, submitted);
+        assert_eq!(server.stats().calls, submitted);
+    }
+
+    #[test]
+    fn fused_auto_uses_the_pool_when_responders_are_hot() {
+        // Spinning responders (no doze) keep the plane attended: Auto must
+        // decline to fuse and count the decline.
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            idle_polls_before_sleep: None,
+            ..HotCallConfig::patient()
+        };
+        let server = RingServer::spawn(t, 4, config);
+        let r = server.requester();
+        assert_eq!(r.call(sq, 9).unwrap(), 81);
+        let s = server.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.fused_runs, 0, "{s:?}");
+        assert_eq!(s.fused_fallbacks, 1, "{s:?}");
+    }
+
+    #[test]
+    fn fused_auto_fuses_once_responders_doze() {
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            idle_polls_before_sleep: Some(64),
+            ..HotCallConfig::patient()
+        };
+        let server = RingServer::spawn_pool(t, 8, 2, config).unwrap();
+        let r = server.requester();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.shared.doze.sleepers.load(Ordering::SeqCst) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "responders never slept"
+            );
+            std::thread::yield_now();
+        }
+        let before_wakes = server.stats().wakeups;
+        // Quiet plane, every responder dozing: the call runs inline and
+        // pays no wake.
+        assert_eq!(r.call(sq, 12).unwrap(), 144);
+        let s = server.stats();
+        assert_eq!(s.fused_runs, 1, "{s:?}");
+        assert_eq!(s.wakeups, before_wakes, "a fused call paid a wake");
+    }
+
+    #[test]
+    fn fused_and_pooled_paths_interleave_without_loss() {
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            idle_polls_before_sleep: Some(64),
+            ..HotCallConfig::patient()
+        };
+        let server = RingServer::spawn_pool(t, 8, 2, config).unwrap();
+        let r = server.requester();
+        // Alternate quiet single calls (fuse once responders doze) with
+        // pipelined bursts (occupancy pushes past break-even → pooled).
+        for round in 0..50u64 {
+            assert_eq!(r.call(sq, round).unwrap(), round * round);
+            let mut tickets: Vec<Ticket> = (0..4u64)
+                .map(|i| r.submit(sq, round * 10 + i).unwrap())
+                .collect();
+            while !tickets.is_empty() {
+                r.wait_any(&mut tickets).unwrap();
+            }
+        }
+        assert_eq!(server.stats().calls, 250);
     }
 }

@@ -33,14 +33,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::config::{
-    GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy, ShardStats,
+    FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
+    ShardStats,
 };
 use crate::error::{HotCallError, Result};
 use crate::telemetry::{
     now_cycles, trace, AtomicHist, LaneTelemetry, PlaneProvider, PlaneTelemetry, TELEMETRY_ENABLED,
 };
+use sgx_sim::{Placement, Topology};
 
-use super::pool::{service_slot, WIN_CREDIT_POLLS};
+use super::pool::{service_slot, service_slot_inline, WIN_CREDIT_POLLS};
 use super::ring::{
     Bundle, BundleTicket, GovernorState, ReqEnvelope, RespEnvelope, RingShared, RingSlot, Ticket,
 };
@@ -141,10 +143,45 @@ impl ShardRouter {
         let eligible = active.clamp(1, shards);
         self.next.fetch_add(1, Ordering::Relaxed) % eligible
     }
+
+    /// Picks the *active* shard whose responder is cheapest to hand a
+    /// cache line to from `from`, under the convention that shard `i`'s
+    /// responder runs at `topology.place(i)`. Same-core beats same-node
+    /// beats cross-node; cost ties rotate through the round-robin cursor
+    /// so co-located requesters still spread over equivalent shards.
+    fn assign_near(
+        &self,
+        from: Placement,
+        active: usize,
+        shards: usize,
+        topology: &Topology,
+    ) -> usize {
+        let eligible = active.clamp(1, shards);
+        let cost = |i: usize| topology.transfer_cost(from, topology.place(i));
+        let best = (0..eligible).map(cost).min().expect("at least one shard");
+        let ties = (0..eligible).filter(|&i| cost(i) == best).count();
+        let mut skip = self.next.fetch_add(1, Ordering::Relaxed) % ties;
+        (0..eligible)
+            .find(|&i| {
+                cost(i) == best && {
+                    if skip == 0 {
+                        true
+                    } else {
+                        skip -= 1;
+                        false
+                    }
+                }
+            })
+            .expect("a tie below `ties` always exists")
+    }
 }
 
 struct ShardedShared<Req, Resp> {
     shards: Box<[Shard<Req, Resp>]>,
+    /// The handler table, shared with every responder thread. Holding it
+    /// here as well lets a *requester* dispatch inline on the fused
+    /// run-to-completion path.
+    table: Arc<CallTable<Req, Resp>>,
     shutdown: AtomicBool,
     /// The shard governor: `active_target` counts active *shards*; the
     /// park doze hosts responders of parked shards.
@@ -161,6 +198,12 @@ struct ShardedShared<Req, Resp> {
     // Requester-side event counters; rare, so shared RMWs are fine.
     fallbacks: AtomicU64,
     wakeups: AtomicU64,
+    /// Calls executed inline by requesters (fused run-to-completion).
+    /// Shared `fetch_add` cells, as in [`RingShared`]: the fused path only
+    /// runs when the home shard is quiet, so contention is structurally
+    /// rare.
+    fused_runs: AtomicU64,
+    fused_fallbacks: AtomicU64,
 }
 
 impl<Req, Resp> ShardedShared<Req, Resp> {
@@ -172,12 +215,17 @@ impl<Req, Resp> ShardedShared<Req, Resp> {
     }
 
     fn snapshot(&self) -> HotCallStats {
+        let fused_runs = self.fused_runs.load(Ordering::Relaxed);
         let mut s = HotCallStats {
-            calls: 0,
+            // Fused calls never touch a responder cell; seed `calls` with
+            // them so the total is exact on either path.
+            calls: fused_runs,
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
             idle_polls: 0,
             busy_polls: 0,
+            fused_runs,
+            fused_fallbacks: self.fused_fallbacks.load(Ordering::Relaxed),
         };
         for cell in self.responders.iter() {
             s.calls += cell.base.calls.load(Ordering::Relaxed);
@@ -265,6 +313,21 @@ impl<Req, Resp> ShardedShared<Req, Resp> {
     /// its busy responder). Redirected wakes are counted as
     /// `cross_shard_wakes` on the home shard.
     fn wake_for(&self, home: usize) {
+        // One coherent snapshot per submission, taken *before* the home
+        // wake attempt. `active` is loaded SeqCst so it is ordered with
+        // the governor's demote/raise CASes; the park decision and the
+        // backlog reading both come from this single snapshot. The old
+        // code re-read `active` only after a failed home wake, racing
+        // `try_demote`: the home responder could park between the wake
+        // attempt and the re-read, and the redirect then concluded
+        // "active, no backlog" for a shard that had just lost its
+        // responder — stranding the submission until the next steal probe.
+        let active = self.governor.active_target.load(Ordering::SeqCst);
+        let parked_home = home >= active;
+        // Tail before head (see RingShared::occupancy). The caller has
+        // already published its own submission, so `> 1` means work
+        // *beyond* this call is queued behind a busy responder.
+        let backlog = self.shards[home].occupancy_snapshot() > 1;
         if self.shards[home].doze.wake() {
             self.wakeups.fetch_add(1, Ordering::Relaxed);
             return;
@@ -273,10 +336,6 @@ impl<Req, Resp> ShardedShared<Req, Resp> {
         if n == 1 {
             return;
         }
-        let active = self.governor.active_target.load(Ordering::Relaxed);
-        let parked_home = home >= active;
-        // Tail before head (see RingShared::occupancy).
-        let backlog = self.shards[home].occupancy_snapshot() > 1;
         if !parked_home && !backlog {
             return;
         }
@@ -379,10 +438,12 @@ where
             target_occupancy: policy.target_occupancy,
             park_after_idle_polls: policy.park_after_idle_polls,
         });
+        let table = Arc::new(table);
         let shared = Arc::new(ShardedShared {
             shards: (0..n_shards)
                 .map(|_| Shard::new(capacity_per_shard))
                 .collect(),
+            table: Arc::clone(&table),
             shutdown: AtomicBool::new(false),
             governor,
             router: ShardRouter {
@@ -395,8 +456,9 @@ where
             reap_hist: CachePadded::new(AtomicHist::new()),
             fallbacks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            fused_runs: AtomicU64::new(0),
+            fused_fallbacks: AtomicU64::new(0),
         });
-        let table = Arc::new(table);
         let joins = (0..n_shards)
             .map(|index| {
                 let shared = Arc::clone(&shared);
@@ -419,6 +481,31 @@ where
     pub fn requester(&self) -> ShardedRequester<Req, Resp> {
         let active = self.shared.governor.active_target.load(Ordering::Relaxed);
         let home = self.shared.router.assign(active, self.shared.shards.len());
+        ShardedRequester {
+            shared: Arc::clone(&self.shared),
+            config: self.config,
+            home,
+        }
+    }
+
+    /// Creates a requester placed on logical core `core`: the home shard
+    /// is the currently *active* shard whose responder costs the least to
+    /// hand a cache line to under `topology`, with shard `i`'s responder
+    /// modeled at `topology.place(i)` (responders are spawned in shard
+    /// order, so pinning them to consecutive cores matches this
+    /// convention). A requester sharing its responder's core gets the
+    /// free same-core handoff — the placement the fused run-to-completion
+    /// path turns into skipped handoffs outright; a requester on another
+    /// socket at least stays on the near side of the interconnect when an
+    /// on-node shard is active.
+    pub fn requester_near(&self, core: usize, topology: &Topology) -> ShardedRequester<Req, Resp> {
+        let active = self.shared.governor.active_target.load(Ordering::Relaxed);
+        let home = self.shared.router.assign_near(
+            topology.place(core),
+            active,
+            self.shared.shards.len(),
+            topology,
+        );
         ShardedRequester {
             shared: Arc::clone(&self.shared),
             config: self.config,
@@ -535,6 +622,15 @@ fn shard_responder_loop<Req, Resp>(
     let mut rotation: usize = 0;
     loop {
         if gov.adaptive() && index >= gov.active_target.load(Ordering::Acquire) {
+            // Close the demote-after-publish window before going dark: a
+            // submission can land on this shard between the demote CAS and
+            // this park (its `wake_for` redirect may have fired while the
+            // lowered target was not yet visible to it). Pull the active
+            // set back up so a stealer reaps it, rather than strand the
+            // call behind everyone's probe cadence.
+            if shared.shards[index].front_submitted() {
+                gov.try_raise();
+            }
             if !parked {
                 parked = true;
                 gov.parks.fetch_add(1, Ordering::Relaxed);
@@ -715,13 +811,84 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         self.home
     }
 
+    /// Is the fused run-to-completion path worth attempting right now?
+    /// Mirrors [`super::RingRequester`]'s gate with the home shard as the
+    /// unit: under `Auto`, the shard's backlog must be below the
+    /// break-even threshold and the shard must look unattended. The check
+    /// is a heuristic — the tail CAS in `try_self_service` is the
+    /// correctness edge.
+    fn fused_eligible(&self, occupancy: usize) -> bool {
+        match self.config.fused_mode {
+            FusedMode::Off => false,
+            FusedMode::Always => true,
+            FusedMode::Auto => {
+                occupancy < self.config.fused_below_occupancy && self.home_quiescent()
+            }
+        }
+    }
+
+    /// Does the home shard look unattended? A parked shard has no home
+    /// responder at all; an active shard counts once its responder dozes.
+    /// Stealers may still visit either way — the tail CAS arbitrates.
+    fn home_quiescent(&self) -> bool {
+        let active = self.shared.governor.active_target.load(Ordering::Relaxed);
+        self.home >= active
+            || self.shared.shards[self.home]
+                .doze
+                .sleepers
+                .load(Ordering::Relaxed)
+                > 0
+    }
+
+    /// Counts (and traces) a call that was fused-eligible in principle but
+    /// rode the pooled path — the break-even gate said no, or the service
+    /// race was lost to a responder.
+    fn note_fused_fallback(&self, seq: u64) {
+        if self.config.fused_mode != FusedMode::Off {
+            self.shared.fused_fallbacks.fetch_add(1, Ordering::Relaxed);
+            trace("fused_fallback", seq, self.home as u64);
+        }
+    }
+
+    /// Tries to claim the just-published slot at `index` back from the
+    /// responder set and service it on this thread. Returns `true` if the
+    /// call ran inline (the slot is `DONE`, redeemable through the normal
+    /// wait path, and no wakeup is needed).
+    fn try_self_service(&self, index: usize) -> bool {
+        let shard = &self.shared.shards[self.home];
+        if shard
+            .tail
+            .compare_exchange(
+                index,
+                index.wrapping_add(1),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        let slot = &shard.slots[index % shard.slots.len()];
+        // SAFETY: the tail CAS granted exclusive service ownership of
+        // exactly this slot (tail is monotonic, so success rules out any
+        // concurrent home or stealing claim), and this requester published
+        // it SUBMITTED with Release just above, so the payload is its own.
+        let n = unsafe { service_slot_inline(slot, &self.shared.table) };
+        self.shared.fused_runs.fetch_add(n, Ordering::Relaxed);
+        trace("fused_run", index as u64, n);
+        true
+    }
+
     /// Claims a slot on the home shard and publishes `env` into it. On
     /// failure the envelope is handed back so the caller can recover the
-    /// request payloads (the fallback path).
+    /// request payloads (the fallback path). With `allow_fuse` (and
+    /// [`FusedMode::Always`]), the submission is serviced inline by this
+    /// thread right after publishing — no handoff, no wake.
     fn submit_envelope(
         &self,
         id: u32,
         env: ReqEnvelope<Req>,
+        allow_fuse: bool,
     ) -> core::result::Result<usize, (HotCallError, ReqEnvelope<Req>)> {
         let shard = &self.shared.shards[self.home];
         let cap = shard.slots.len();
@@ -765,9 +932,32 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
                 // the single-ring plane.
                 let slot = &shard.slots[head % cap];
                 slot.mark_claimed();
+                // Async submissions fuse only under an explicit `Always`.
+                // The caller chose the pipelined API to overlap work, and
+                // under `Auto` an inline completion would collapse
+                // occupancy back to zero before the next submission's gate
+                // reads it — the plane would run whole bursts inline,
+                // never wake a responder, and never hand the backlog to
+                // the pool. `Auto`'s break-even gate lives on the
+                // synchronous `call` path, where the requester would have
+                // blocked anyway.
+                let fuse = allow_fuse && self.config.fused_mode == FusedMode::Always;
                 // SAFETY: the head CAS above granted exclusive claim
                 // ownership of this slot; publish once.
                 unsafe { slot.publish(id, env) };
+                if fuse {
+                    if self.try_self_service(head) {
+                        // Ran inline: the slot is DONE and redeems through
+                        // the normal wait path; nobody needs waking.
+                        return Ok(head);
+                    }
+                    // Lost the service race — a responder or stealer beat
+                    // us to the tail, or older work sits ahead. The call
+                    // rides the pooled path, which still needs its wakeup:
+                    // skipping it can strand this submission if every
+                    // responder dozes after draining past the front.
+                    self.note_fused_fallback(head as u64);
+                }
                 self.shared.wake_for(self.home);
                 return Ok(head);
             }
@@ -792,7 +982,7 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
     /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
     /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
     pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
-        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
             Ok(index) => Ok(Ticket { index }),
             Err((e, _)) => Err(e),
         }
@@ -813,7 +1003,7 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         }
         let len = bundle.len();
         trace("bundle_submit", len as u64, self.home as u64);
-        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls)) {
+        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls), true) {
             Ok(index) => Ok(BundleTicket { index, len }),
             Err((e, _)) => Err(e),
         }
@@ -916,11 +1106,25 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         let mut grace: u32 = 0;
         let mut age_polls: u32 = 0;
         loop {
+            // Redeem the *oldest* completed ticket (ring indices are
+            // monotonic), never just the first one found. With
+            // instantly-completing submissions (the fused path), a
+            // first-found scan keeps redeeming whichever ticket
+            // `swap_remove` rotated to the front — always the youngest —
+            // while older DONE slots sit un-redeemed until the head laps
+            // onto one; `submit` then spins on a slot only this very
+            // caller could free. Oldest-first bounds an un-redeemed
+            // completion's age by the caller's in-flight window.
+            let mut oldest: Option<usize> = None;
             for i in 0..tickets.len() {
-                let slot = &shard.slots[tickets[i].index % cap];
-                if slot.state() != DONE {
-                    continue;
+                if shard.slots[tickets[i].index % cap].state() == DONE
+                    && oldest.is_none_or(|o| tickets[i].index < tickets[o].index)
+                {
+                    oldest = Some(i);
                 }
+            }
+            if let Some(i) = oldest {
+                let slot = &shard.slots[tickets[i].index % cap];
                 let ticket = tickets.swap_remove(i);
                 let seq = ticket.seq();
                 let completed_at = slot.completed_at();
@@ -975,12 +1179,35 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
 
     /// Submit + wait in one step.
     ///
+    /// With fusing enabled and the home shard quiescent, the handler runs
+    /// directly on this thread — no slot, no handoff, no wake. There is no
+    /// pipeline here and no ticket to mint, so the fused path is a plain
+    /// table dispatch, exactly the run-to-completion shape.
+    ///
     /// # Errors
     ///
     /// As [`ShardedRequester::submit`] and [`ShardedRequester::wait`].
     pub fn call(&self, id: u32, req: Req) -> Result<Resp> {
-        let t = self.submit(id, req)?;
-        self.wait(t)
+        if self.config.fused_mode != FusedMode::Off && !self.shared.shutdown.load(Ordering::Acquire)
+        {
+            let occupancy = self.shared.shards[self.home].occupancy_snapshot();
+            if self.fused_eligible(occupancy) {
+                let result = self
+                    .shared
+                    .table
+                    .dispatch(id, req)
+                    .ok_or(HotCallError::UnknownCallId(id));
+                self.shared.fused_runs.fetch_add(1, Ordering::Relaxed);
+                trace("fused_run", id as u64, 1);
+                return result;
+            }
+            self.note_fused_fallback(id as u64);
+        }
+        // Fusing was declined here; don't re-attempt it inside submit.
+        match self.submit_envelope(id, ReqEnvelope::One(req), false) {
+            Ok(index) => self.wait(Ticket { index }),
+            Err((e, _)) => Err(e),
+        }
     }
 
     /// Submits a bundle and waits for all of its results.
@@ -1000,7 +1227,7 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
     where
         F: FnOnce(Req) -> Resp,
     {
-        match self.submit_envelope(id, ReqEnvelope::One(req)) {
+        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
             Ok(index) => self.wait(Ticket { index }),
             Err((HotCallError::ResponderTimeout { .. }, ReqEnvelope::One(req))) => {
                 Ok(fallback(req))
@@ -1094,6 +1321,53 @@ mod tests {
             .sum();
         assert_eq!(total, want);
         assert_eq!(server.stats().calls, 1_000);
+    }
+
+    #[test]
+    fn requester_near_prefers_the_same_core_shard() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 8, ShardPolicy::fixed(4), generous()).unwrap();
+        let topo = Topology::default();
+        // A requester sharing its core with shard 2's responder homes
+        // there: the handoff is free.
+        let r = server.requester_near(2, &topo);
+        assert_eq!(r.home, 2);
+        assert_eq!(r.call(sq, 6).unwrap(), 36);
+        // Repeated placement on the same core is deterministic — no tie
+        // to rotate through.
+        assert_eq!(server.requester_near(2, &topo).home, 2);
+    }
+
+    #[test]
+    fn requester_near_rotates_equidistant_shards() {
+        let (t, _sq) = table();
+        let server = ShardedServer::spawn(t, 8, ShardPolicy::fixed(4), generous()).unwrap();
+        // Core 6 is on node 1; shards 0..4 all live on node 0, so every
+        // active shard ties at the cross-node cost and the router spreads
+        // the requesters round-robin instead of convoying on shard 0.
+        let topo = Topology::default();
+        let homes: std::collections::HashSet<usize> = (0..4)
+            .map(|_| server.requester_near(6, &topo).home)
+            .collect();
+        assert_eq!(homes.len(), 4, "ties rotate over all equidistant shards");
+    }
+
+    #[test]
+    fn requester_near_never_picks_a_parked_shard() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(t, 8, ShardPolicy::elastic(1, 4), generous()).unwrap();
+        let topo = Topology::default();
+        // Force the governor down to one active shard: shard 3 may be the
+        // requester's same-core neighbour, but it is parked, so the
+        // router settles for the cheapest *active* shard.
+        server
+            .shared
+            .governor
+            .active_target
+            .store(1, Ordering::SeqCst);
+        let r = server.requester_near(3, &topo);
+        assert_eq!(r.home, 0);
+        assert_eq!(r.call(sq, 5).unwrap(), 25);
     }
 
     #[test]
@@ -1274,6 +1548,224 @@ mod tests {
             assert_eq!(r.call(sq, i).unwrap(), i * i);
         }
         assert_eq!(server.stats().calls, 5_000);
+    }
+
+    #[test]
+    fn fused_always_runs_calls_inline() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(
+            t,
+            4,
+            ShardPolicy::fixed(2),
+            HotCallConfig::fused(FusedMode::Always),
+        )
+        .unwrap();
+        let r = server.requester();
+        for i in 0..100u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+        }
+        let s = server.stats();
+        assert_eq!(s.calls, 100);
+        // `call` with Always never touches the ring at all.
+        assert_eq!(s.fused_runs, 100, "{s:?}");
+    }
+
+    #[test]
+    fn fused_submit_self_services_and_redeems() {
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(
+            t,
+            8,
+            ShardPolicy::fixed(2),
+            HotCallConfig::fused(FusedMode::Always),
+        )
+        .unwrap();
+        let r = server.requester();
+        let ticket = r.submit(sq, 6).unwrap();
+        assert_eq!(r.wait(ticket).unwrap(), 36);
+        let s = server.stats();
+        // The submission either self-serviced or lost the race to a
+        // responder (counted as a fallback) — never both, never neither.
+        assert_eq!(s.fused_runs + s.fused_fallbacks, 1, "{s:?}");
+        assert_eq!(s.calls, 1);
+    }
+
+    #[test]
+    fn fused_auto_uses_the_pool_when_responders_are_hot() {
+        // Auto fusing on a plane whose responders never doze: occupancy is
+        // low but the home shard is attended, so the call must ride the
+        // pool and count as a fused fallback.
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            idle_polls_before_sleep: None,
+            ..HotCallConfig::patient()
+        };
+        let server = ShardedServer::spawn(t, 4, ShardPolicy::fixed(2), config).unwrap();
+        let r = server.requester();
+        assert_eq!(r.call(sq, 9).unwrap(), 81);
+        let s = server.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.fused_runs, 0, "{s:?}");
+        assert_eq!(s.fused_fallbacks, 1, "{s:?}");
+    }
+
+    #[test]
+    fn fused_auto_fuses_once_the_home_responder_dozes() {
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            idle_polls_before_sleep: Some(64),
+            ..HotCallConfig::patient()
+        };
+        let server = ShardedServer::spawn(t, 4, ShardPolicy::fixed(2), config).unwrap();
+        let r = server.requester_on(0).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.shared.shards[0].doze.sleepers.load(Ordering::SeqCst) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "responder never dozed"
+            );
+            std::thread::yield_now();
+        }
+        // Quiet plane, dozing home responder: the call runs inline and
+        // nobody is woken for it.
+        assert_eq!(r.call(sq, 12).unwrap(), 144);
+        let s = server.stats();
+        assert_eq!(s.fused_runs, 1, "{s:?}");
+    }
+
+    #[test]
+    fn fused_and_pooled_paths_interleave_without_loss() {
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            idle_polls_before_sleep: Some(64),
+            ..HotCallConfig::patient()
+        };
+        let server = ShardedServer::spawn(t, 8, ShardPolicy::fixed(2), config).unwrap();
+        let r = server.requester();
+        // Alternate quiet single calls (fuse once responders doze) with
+        // pipelined bursts (occupancy pushes past break-even → pooled).
+        // Exact conservation across the mixed paths is the invariant.
+        for round in 0..50u64 {
+            assert_eq!(r.call(sq, round).unwrap(), round * round);
+            let mut tickets: Vec<Ticket> = (0..4u64)
+                .map(|i| r.submit(sq, round * 10 + i).unwrap())
+                .collect();
+            while !tickets.is_empty() {
+                r.wait_any(&mut tickets).unwrap();
+            }
+        }
+        assert_eq!(server.stats().calls, 250);
+    }
+
+    #[test]
+    fn fused_auto_submissions_ride_the_pool() {
+        // Pipelined submissions never fuse under `Auto`, even with the
+        // break-even gate wide open (dozing responder, empty ring): the
+        // async caller asked for overlap, and an inline completion would
+        // keep occupancy at zero so the plane never hands a burst to the
+        // pool at all.
+        let (t, sq) = table();
+        let config = HotCallConfig {
+            fused_mode: FusedMode::Auto,
+            idle_polls_before_sleep: Some(64),
+            ..HotCallConfig::patient()
+        };
+        let server = ShardedServer::spawn(t, 8, ShardPolicy::fixed(2), config).unwrap();
+        let r = server.requester_on(0).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while server.shared.shards[0].doze.sleepers.load(Ordering::SeqCst) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "responder never dozed"
+            );
+            std::thread::yield_now();
+        }
+        let mut tickets: Vec<Ticket> = (0..4u64).map(|i| r.submit(sq, i).unwrap()).collect();
+        while !tickets.is_empty() {
+            r.wait_any(&mut tickets).unwrap();
+        }
+        let s = server.stats();
+        assert_eq!(s.calls, 4);
+        assert_eq!(s.fused_runs, 0, "{s:?}");
+    }
+
+    #[test]
+    fn fused_pipelining_redeems_oldest_and_never_wedges_on_wrap() {
+        // Regression: with instantly-completing fused submissions every
+        // outstanding ticket is DONE at scan time, and a first-found
+        // `wait_any` kept redeeming whichever ticket `swap_remove` had
+        // rotated to the front — always the youngest — while older DONE
+        // slots sat un-redeemed until the head lapped onto one and
+        // `submit` spun forever on a slot only this very thread could
+        // free. Oldest-first redemption keeps the lap ahead of the
+        // in-flight window; this loop wraps the 8-slot shard dozens of
+        // times.
+        let (t, sq) = table();
+        let server = ShardedServer::spawn(
+            t,
+            8,
+            ShardPolicy::fixed(1),
+            HotCallConfig::fused(FusedMode::Always),
+        )
+        .unwrap();
+        let r = server.requester_on(0).unwrap();
+        let mut tickets: Vec<Ticket> = Vec::new();
+        let mut submitted = 0u64;
+        let mut redeemed = 0u64;
+        while redeemed < 500 {
+            while tickets.len() < 4 {
+                tickets.push(r.submit(sq, submitted).unwrap());
+                submitted += 1;
+            }
+            let (_, resp) = r.wait_any(&mut tickets).unwrap();
+            assert!(resp <= (submitted - 1) * (submitted - 1));
+            redeemed += 1;
+        }
+        while !tickets.is_empty() {
+            r.wait_any(&mut tickets).unwrap();
+            redeemed += 1;
+        }
+        assert_eq!(redeemed, submitted);
+        assert_eq!(server.stats().calls, submitted);
+    }
+
+    #[test]
+    fn park_unpark_race_never_strands_a_submission() {
+        // Regression for the wake_for park/unpark race: the redirect
+        // decision must come from one coherent snapshot taken before the
+        // home wake attempt, and a demoting responder must re-check its
+        // shard front before going dark. Race a requester pinned to the
+        // top shard against an aggressive governor; every call must
+        // complete well inside the deadline.
+        let (t, sq) = table();
+        let policy = ShardPolicy {
+            park_after_idle_polls: 16,
+            ..ShardPolicy::elastic(1, 3)
+        };
+        let config = HotCallConfig {
+            idle_polls_before_sleep: Some(32),
+            ..generous()
+        };
+        let server = ShardedServer::spawn(t, 4, policy, config).unwrap();
+        let r = server.requester_on(2).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        for i in 0..3_000u64 {
+            assert_eq!(r.call(sq, i).unwrap(), i * i);
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stranded after {i} calls: {:?}",
+                server.ring_stats()
+            );
+            if i % 64 == 0 {
+                // Let demotions ripen between bursts so the parked window
+                // is actually exercised.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        assert_eq!(server.stats().calls, 3_000);
     }
 
     #[test]

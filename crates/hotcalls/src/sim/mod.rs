@@ -15,7 +15,7 @@
 use sgx_sdk::marshal::{stage, unstage, CallerSide, StagingArea};
 use sgx_sdk::sync::{sim_spin_acquire, sim_spin_release};
 use sgx_sdk::{BufArg, CallArgs, EnclaveCtx};
-use sgx_sim::{Addr, Cycles, Machine};
+use sgx_sim::{Addr, CycleLedger, Cycles, Machine, Placement, Topology};
 
 use crate::config::{HotCallConfig, HotCallStats};
 use crate::error::Result;
@@ -35,10 +35,6 @@ const WAKE_COST: u64 = 1_500;
 /// Core cost of the responder noticing + dispatching a request once the
 /// mailbox is read (call-table index check and jump).
 const DISPATCH_COST: u64 = 70;
-
-/// Cost of a cross-core coherence transfer when one side reads a line the
-/// other just wrote (the mailbox ping-pongs between two L1 caches).
-const COHERENCE_TRANSFER: u64 = 60;
 
 /// Which side of the boundary requests the call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +86,15 @@ pub struct SimHotCalls {
     /// Probability a retry finds the responder busy (models contention from
     /// other requesters sharing the responder; 0 for a dedicated pair).
     contention: f64,
+    /// Core layout + handoff cost table the channel is placed on.
+    topology: Topology,
+    /// Where the requester thread runs.
+    requester: Placement,
+    /// Where the polling responder thread runs.
+    responder: Placement,
+    /// Cycles burned on mailbox handoffs, filed per placement regime
+    /// (`handoff-same-core` / `handoff-cross-core` / `handoff-cross-node`).
+    placement_ledger: CycleLedger,
 }
 
 impl SimHotCalls {
@@ -104,6 +109,10 @@ impl SimHotCalls {
         let mailbox_line = m.alloc_untrusted(64, 64);
         let shared_area = m.alloc_untrusted(SHARED_BYTES, 4096);
         let secure_area = m.alloc_enclave_heap(ctx.eid, SECURE_BYTES, 4096)?;
+        // The paper's deployment: requester and responder are sibling
+        // cores on one socket, so every handoff is the 60-cycle LLC
+        // coherence transfer the ~620-cycle round trip was fitted with.
+        let topology = Topology::default();
         Ok(SimHotCalls {
             lock_line,
             mailbox_line,
@@ -113,6 +122,10 @@ impl SimHotCalls {
             stats: HotCallStats::default(),
             last_call_end: Cycles::ZERO,
             contention: 0.0,
+            requester: topology.place(0),
+            responder: topology.place(1),
+            topology,
+            placement_ledger: CycleLedger::new(),
         })
     }
 
@@ -135,6 +148,48 @@ impl SimHotCalls {
     pub fn set_contention(&mut self, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.contention = p;
+    }
+
+    /// Replaces the machine layout the channel's endpoints are placed on.
+    /// Existing placements are re-derived on the new layout.
+    pub fn set_topology(&mut self, topology: Topology) {
+        self.topology = topology;
+        self.requester = topology.place(self.requester.core);
+        self.responder = topology.place(self.responder.core);
+    }
+
+    /// Pins the requester and responder to logical cores; the NUMA node of
+    /// each follows from the topology. The next call is charged under the
+    /// new regime — same-core handoffs are free, cross-node ones ride the
+    /// interconnect.
+    pub fn set_placement(&mut self, requester_core: usize, responder_core: usize) {
+        self.requester = self.topology.place(requester_core);
+        self.responder = self.topology.place(responder_core);
+    }
+
+    /// The current (requester, responder) placements.
+    pub fn placements(&self) -> (Placement, Placement) {
+        (self.requester, self.responder)
+    }
+
+    /// Cycles burned moving the mailbox and data lines between the two
+    /// endpoints, filed per placement regime. Zero-cost same-core handoffs
+    /// still appear (at zero), so the account names double as a census of
+    /// which regime the channel ran in.
+    pub fn placement_ledger(&self) -> &CycleLedger {
+        &self.placement_ledger
+    }
+
+    /// Charges `hops` cache-line handoffs between the endpoints and files
+    /// them in the placement ledger.
+    fn charge_handoff(&mut self, m: &mut Machine, hops: u64) {
+        let cost = self.topology.transfer_cost(self.requester, self.responder) * hops;
+        self.placement_ledger.credit(
+            self.topology
+                .transfer_account(self.requester, self.responder),
+            cost,
+        );
+        m.charge(cost);
     }
 
     /// A HotOcall: the enclave requests untrusted work without leaving the
@@ -310,22 +365,24 @@ impl SimHotCalls {
     }
 
     /// The responder polls the mailbox, sees the flag after at most one
-    /// poll interval, pulls the lines across cores, and dispatches.
+    /// poll interval, pulls the mailbox and data lines over from the
+    /// requester's cache (two handoffs, costed by placement), and
+    /// dispatches.
     fn responder_pickup(&mut self, m: &mut Machine) -> Result<()> {
         let poll_delay = m.sample_uniform(self.poll_interval(m));
-        m.charge(Cycles::new(
-            poll_delay + 2 * COHERENCE_TRANSFER + DISPATCH_COST,
-        ));
+        m.charge(Cycles::new(poll_delay + DISPATCH_COST));
+        self.charge_handoff(m, 2);
         self.stats.busy_polls += 1;
         Ok(())
     }
 
     /// The responder signals completion; the requester notices after its
-    /// own poll granularity plus a coherence transfer.
+    /// own poll granularity plus one handoff pulling the line back.
     fn complete(&mut self, m: &mut Machine) -> Result<()> {
         m.write(self.mailbox_line, 8)?;
         let notice = m.sample_uniform(m.config().pause + 30);
-        m.charge(Cycles::new(notice + COHERENCE_TRANSFER));
+        m.charge(Cycles::new(notice));
+        self.charge_handoff(m, 1);
         // Occasional long tail: scheduler interference on the responder
         // core (bounded near the paper's 1,400-cycle p99.97).
         if m.sample_bool(0.004) {
@@ -496,6 +553,84 @@ mod tests {
             },
         )
         .unwrap();
+    }
+
+    #[test]
+    fn placement_ledger_files_handoffs_per_regime() {
+        let (mut m, mut ctx, mut hot) = setup();
+        ctx.enter_main(&mut m).unwrap();
+
+        // Default placement: sibling cores on one socket. Each hot call is
+        // three handoffs (mailbox + data over, completion back) at the
+        // 60-cycle coherence cost.
+        hot.hot_ocall(&mut m, &mut ctx, "ocall_empty", &[], |_, _, _| Ok(()))
+            .unwrap();
+        assert_eq!(
+            hot.placement_ledger().get("handoff-cross-core"),
+            Cycles::new(3 * 60)
+        );
+
+        // Fused regime: both endpoints on one core — handoffs are free but
+        // still censused, so the ledger shows which regime ran.
+        hot.set_placement(2, 2);
+        hot.hot_ocall(&mut m, &mut ctx, "ocall_empty", &[], |_, _, _| Ok(()))
+            .unwrap();
+        assert_eq!(
+            hot.placement_ledger().get("handoff-same-core"),
+            Cycles::ZERO
+        );
+        assert!(hot
+            .placement_ledger()
+            .entries()
+            .any(|(name, _)| name == "handoff-same-core"));
+
+        // Worst case: the responder lives on the other socket.
+        hot.set_placement(0, 4);
+        assert_ne!(hot.placements().0.node, hot.placements().1.node);
+        hot.hot_ocall(&mut m, &mut ctx, "ocall_empty", &[], |_, _, _| Ok(()))
+            .unwrap();
+        assert_eq!(
+            hot.placement_ledger().get("handoff-cross-node"),
+            Cycles::new(3 * 180)
+        );
+    }
+
+    #[test]
+    fn same_core_placement_beats_cross_node() {
+        let (mut m, mut ctx, mut hot) = setup();
+        ctx.enter_main(&mut m).unwrap();
+        let run = |m: &mut Machine, ctx: &mut EnclaveCtx, hot: &mut SimHotCalls| {
+            let s = m.now();
+            for _ in 0..20 {
+                hot.hot_ocall(m, ctx, "ocall_empty", &[], |_, _, _| Ok(()))
+                    .unwrap();
+            }
+            (m.now() - s).get()
+        };
+        hot.set_placement(3, 3);
+        let fused = run(&mut m, &mut ctx, &mut hot);
+        hot.set_placement(0, 4);
+        let remote = run(&mut m, &mut ctx, &mut hot);
+        // 20 calls × 3 handoffs × 180 cycles of deterministic gap dwarfs
+        // the sampled poll/notice jitter.
+        assert!(
+            remote > fused + 5_000,
+            "cross-node should cost more: fused={fused} remote={remote}"
+        );
+    }
+
+    #[test]
+    fn set_topology_rederives_existing_placements() {
+        let (_m, _ctx, mut hot) = setup();
+        hot.set_placement(0, 5); // node 1 under the default layout
+        hot.set_topology(Topology {
+            cores_per_node: 8,
+            nodes: 1,
+            costs: sgx_sim::TransferCosts::default(),
+        });
+        let (req, resp) = hot.placements();
+        assert_eq!((req.node, resp.node), (0, 0), "one-node layout");
+        assert_eq!(resp.core, 5);
     }
 
     #[test]

@@ -380,6 +380,14 @@ pub struct HotCallStats {
     pub idle_polls: u64,
     /// Responder poll iterations that serviced a call.
     pub busy_polls: u64,
+    /// Calls the requester executed inline on its own core (the fused
+    /// run-to-completion path — no handoff, no wake). Included in
+    /// [`HotCallStats::calls`].
+    pub fused_runs: u64,
+    /// Calls that were eligible for the fused path but went through the
+    /// responder pool instead (responders active, backlog over the
+    /// break-even occupancy, or a lost service race).
+    pub fused_fallbacks: u64,
 }
 
 impl HotCallStats {
@@ -945,6 +953,14 @@ impl Snapshot {
             out.push_str(&format!(
                 "hotcalls_wakeups_total{{{pl}}} {}\n",
                 p.stats.totals.wakeups
+            ));
+            out.push_str(&format!(
+                "hotcalls_fused_runs_total{{{pl}}} {}\n",
+                p.stats.totals.fused_runs
+            ));
+            out.push_str(&format!(
+                "hotcalls_fused_fallbacks_total{{{pl}}} {}\n",
+                p.stats.totals.fused_fallbacks
             ));
             out.push_str(&format!(
                 "hotcalls_governor_active{{{pl}}} {}\n",

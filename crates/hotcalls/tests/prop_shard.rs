@@ -27,7 +27,7 @@ use std::collections::VecDeque;
 use proptest::prelude::*;
 
 use hotcalls::rt::{CallTable, ShardedServer};
-use hotcalls::{HotCallConfig, ShardPolicy};
+use hotcalls::{FusedMode, HotCallConfig, ShardPolicy};
 
 const MAGIC: u64 = 0x9e37_79b9_7f4a_7c15;
 
@@ -170,6 +170,126 @@ proptest! {
                 );
             }
         }
+        server.shutdown();
+    }
+
+    /// Fused↔pooled flips mid-stream: requesters alternate synchronous
+    /// calls (which fuse under [`FusedMode::Auto`] whenever the home
+    /// responders doze) with pipelined submits (which always ride the
+    /// pool), while a short doze fuse keeps parking responders between
+    /// bursts. The plane therefore flips service path many times per
+    /// case, at interleavings chosen by the ops vector. No flip may
+    /// lose, duplicate, or mis-deliver a ticket: every response carries
+    /// its own submission's stamp, and the fused + pooled service counts
+    /// partition the total exactly.
+    #[test]
+    fn fused_and_pooled_paths_interleave_without_losing_tickets(
+        shards in 1usize..4,
+        capacity in 2usize..8,
+        n_requesters in 1usize..4,
+        ops in prop::collection::vec(any::<u8>(), 16..96),
+    ) {
+        let config = HotCallConfig {
+            // Short doze fuse: responders fall quiescent inside the
+            // natural gaps of the interleaving, making the Auto gate
+            // open and close repeatedly within one case.
+            idle_polls_before_sleep: Some(64),
+            timeout_retries: 5_000,
+            fused_mode: FusedMode::Auto,
+            ..HotCallConfig::patient()
+        };
+        let server = ShardedServer::spawn(
+            shard_table(),
+            capacity,
+            ShardPolicy::fixed(shards),
+            config,
+        )
+        .unwrap();
+
+        let requesters: Vec<_> = (0..n_requesters)
+            .map(|i| server.requester_on(i % shards).unwrap())
+            .collect();
+
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = requesters
+                .iter()
+                .enumerate()
+                .map(|(ri, r)| {
+                    let ops = &ops;
+                    s.spawn(move || {
+                        let depth = capacity - 1;
+                        let mut pending: VecDeque<(hotcalls::rt::Ticket, u64)> =
+                            VecDeque::new();
+                        let mut seq = 0u64;
+                        for &op in ops {
+                            match op % 3 {
+                                // A synchronous call: the one path the
+                                // Auto gate may run inline. Needs a free
+                                // slot of its own, so keep one in
+                                // reserve below the pipeline depth.
+                                0 if pending.len() + 1 < depth => {
+                                    let value = stamp(ri, r.home(), seq);
+                                    match r.call(0, value) {
+                                        Ok(resp) => {
+                                            assert_eq!(resp, value ^ MAGIC);
+                                            seq += 1;
+                                        }
+                                        Err(hotcalls::HotCallError::ResponderTimeout {
+                                            ..
+                                        }) => {}
+                                        Err(e) => panic!("call failed: {e:?}"),
+                                    }
+                                }
+                                // An async submit: never fuses under
+                                // Auto, so this keeps the pooled path
+                                // and the ring occupancy alive.
+                                1 if pending.len() < depth => {
+                                    let value = stamp(ri, r.home(), seq);
+                                    match r.submit(0, value) {
+                                        Ok(t) => {
+                                            pending.push_back((t, value));
+                                            seq += 1;
+                                        }
+                                        Err(hotcalls::HotCallError::ResponderTimeout {
+                                            ..
+                                        }) => {
+                                            if let Some((t, value)) = pending.pop_front() {
+                                                assert_eq!(
+                                                    r.wait(t).unwrap(),
+                                                    value ^ MAGIC
+                                                );
+                                            }
+                                        }
+                                        Err(e) => panic!("submit failed: {e:?}"),
+                                    }
+                                }
+                                // Reap the oldest pending ticket.
+                                _ => {
+                                    if let Some((t, value)) = pending.pop_front() {
+                                        assert_eq!(r.wait(t).unwrap(), value ^ MAGIC);
+                                    }
+                                }
+                            }
+                        }
+                        while let Some((t, value)) = pending.pop_front() {
+                            assert_eq!(r.wait(t).unwrap(), value ^ MAGIC);
+                        }
+                        seq
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+
+        let rs = server.ring_stats();
+        // The fused and pooled service paths partition the total: calls
+        // run inline by requesters plus calls serviced by responder
+        // threads account for every stamped submission exactly once.
+        prop_assert_eq!(rs.totals.calls, total);
+        let serviced: u64 = rs.shards.iter().map(|s| s.serviced).sum();
+        prop_assert_eq!(rs.totals.fused_runs + serviced, total);
+        // Nothing left in flight after every pending set drained.
+        prop_assert_eq!(rs.shards.iter().map(|s| s.occupancy).sum::<usize>(), 0);
         server.shutdown();
     }
 }

@@ -58,6 +58,7 @@ pub mod mee;
 pub mod mem;
 pub mod seal;
 pub mod tlb;
+pub mod topology;
 
 pub use attest::{Report, REPORT_DATA_LEN};
 pub use config::{
@@ -70,3 +71,4 @@ pub use error::{Result, SgxError};
 pub use machine::{AccessKind, EnclaveBuildOptions, Machine, Measured, Telemetry};
 pub use mem::Addr;
 pub use seal::{SealError, SealPolicy, SealedBlob};
+pub use topology::{Placement, Topology, TransferCosts};

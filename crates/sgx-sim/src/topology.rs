@@ -1,0 +1,214 @@
+//! Core/NUMA placement and the handoff transfer-cost model.
+//!
+//! The HotCalls protocol never crosses the enclave boundary on the hot
+//! path, so what is left of the per-call cost is *where the two endpoints
+//! run*: every mailbox (or ring-slot) handoff moves a cache line from the
+//! writer's core to the reader's. On one physical core that transfer is
+//! free (same L1/L2); across cores on one socket it is a coherence
+//! transfer through the shared LLC; across NUMA nodes it additionally
+//! rides the interconnect. This module gives the simulator explicit
+//! coordinates for both sides of a channel and a cost table for the three
+//! regimes, so lane↔core affinity is *measured* rather than an accident
+//! of where the OS happened to schedule the threads.
+//!
+//! The default cost table keeps the paper's calibration: a cross-core
+//! transfer is the 60-cycle coherence hop the ~620-cycle HotCall round
+//! trip was fitted with, a same-core handoff is free, and a cross-node
+//! hop is 3× the on-socket cost (the usual QPI/UPI multiplier class).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cycles::Cycles;
+
+/// Where a thread (a requester lane or a responder) runs: a logical core
+/// and the NUMA node that core belongs to.
+///
+/// Placements are usually minted through [`Topology::place`], which
+/// derives the node from the core index; constructing one directly is for
+/// tests that want deliberately inconsistent coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{Placement, Topology};
+///
+/// let topo = Topology::default();
+/// let a = topo.place(0);
+/// let b = topo.place(1);
+/// assert_eq!((a.core, a.node), (0, 0));
+/// assert_eq!(b.node, 0, "cores 0..cores_per_node share node 0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    /// Logical core index.
+    pub core: usize,
+    /// NUMA node the core belongs to.
+    pub node: usize,
+}
+
+impl Placement {
+    /// A placement with explicit coordinates.
+    pub const fn new(core: usize, node: usize) -> Self {
+        Placement { core, node }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}/node{}", self.core, self.node)
+    }
+}
+
+/// The cycle cost of one cache-line handoff in each placement regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferCosts {
+    /// Both sides on the same logical core (shared L1/L2): no coherence
+    /// traffic at all — the fused run-to-completion regime.
+    pub same_core: Cycles,
+    /// Different cores on the same node: one LLC coherence transfer (the
+    /// paper's mailbox ping-pong cost).
+    pub cross_core: Cycles,
+    /// Different NUMA nodes: the coherence transfer plus the interconnect
+    /// hop.
+    pub cross_node: Cycles,
+}
+
+impl Default for TransferCosts {
+    fn default() -> Self {
+        TransferCosts {
+            same_core: Cycles::ZERO,
+            cross_core: Cycles::new(60),
+            cross_node: Cycles::new(180),
+        }
+    }
+}
+
+/// The machine's core layout plus the handoff cost table.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{Cycles, Topology};
+///
+/// let topo = Topology::default();
+/// let requester = topo.place(0);
+/// let same = topo.place(0);
+/// let sibling = topo.place(1);
+/// let remote = topo.place(topo.cores_per_node); // first core of node 1
+/// assert_eq!(topo.transfer_cost(requester, same), Cycles::ZERO);
+/// assert_eq!(topo.transfer_cost(requester, sibling), Cycles::new(60));
+/// assert_eq!(topo.transfer_cost(requester, remote), Cycles::new(180));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Logical cores per NUMA node.
+    pub cores_per_node: usize,
+    /// NUMA nodes in the machine.
+    pub nodes: usize,
+    /// Handoff costs for the three placement regimes.
+    pub costs: TransferCosts,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        // A dual-socket quad-core layout: enough cores that a shard plane
+        // can spread over both nodes, matching nothing more specific than
+        // "a two-socket server".
+        Topology {
+            cores_per_node: 4,
+            nodes: 2,
+            costs: TransferCosts::default(),
+        }
+    }
+}
+
+impl Topology {
+    /// Total logical cores in the machine.
+    pub fn cores(&self) -> usize {
+        self.cores_per_node * self.nodes
+    }
+
+    /// The placement of a logical core (node derived by layout; core
+    /// indices wrap, so any thread index maps onto a valid core).
+    pub fn place(&self, core: usize) -> Placement {
+        let core = core % self.cores().max(1);
+        Placement {
+            core,
+            node: core / self.cores_per_node.max(1),
+        }
+    }
+
+    /// The cycle cost of handing a cache line from `from` to `to`.
+    pub fn transfer_cost(&self, from: Placement, to: Placement) -> Cycles {
+        if from.core == to.core {
+            self.costs.same_core
+        } else if from.node == to.node {
+            self.costs.cross_core
+        } else {
+            self.costs.cross_node
+        }
+    }
+
+    /// The [`crate::CycleLedger`] account a handoff between `from` and
+    /// `to` files under.
+    pub fn transfer_account(&self, from: Placement, to: Placement) -> &'static str {
+        if from.core == to.core {
+            "handoff-same-core"
+        } else if from.node == to.node {
+            "handoff-cross-core"
+        } else {
+            "handoff-cross-node"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placements_derive_nodes_from_layout() {
+        let topo = Topology::default();
+        assert_eq!(topo.cores(), 8);
+        assert_eq!(topo.place(3), Placement::new(3, 0));
+        assert_eq!(topo.place(4), Placement::new(4, 1));
+        // Core indices wrap instead of panicking.
+        assert_eq!(topo.place(9), Placement::new(1, 0));
+    }
+
+    #[test]
+    fn transfer_costs_follow_the_three_regimes() {
+        let topo = Topology::default();
+        let a = topo.place(0);
+        assert_eq!(topo.transfer_cost(a, topo.place(0)), Cycles::ZERO);
+        assert_eq!(topo.transfer_cost(a, topo.place(2)), Cycles::new(60));
+        assert_eq!(topo.transfer_cost(a, topo.place(5)), Cycles::new(180));
+        assert_eq!(topo.transfer_account(a, topo.place(0)), "handoff-same-core");
+        assert_eq!(
+            topo.transfer_account(a, topo.place(2)),
+            "handoff-cross-core"
+        );
+        assert_eq!(
+            topo.transfer_account(a, topo.place(5)),
+            "handoff-cross-node"
+        );
+    }
+
+    #[test]
+    fn degenerate_layouts_do_not_divide_by_zero() {
+        let topo = Topology {
+            cores_per_node: 0,
+            nodes: 0,
+            costs: TransferCosts::default(),
+        };
+        // A broken layout degrades to "everything on core 0".
+        assert_eq!(topo.place(7).core, 0);
+    }
+
+    #[test]
+    fn display_names_the_coordinates() {
+        assert_eq!(Placement::new(2, 1).to_string(), "core2/node1");
+    }
+}
