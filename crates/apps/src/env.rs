@@ -11,12 +11,15 @@
 //! | [`IfaceMode::HotCallsNrz`] | HotCalls + No-Redundant-Zeroing |
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use hotcalls::ctl::{ApiId, CtlTelemetry, Transport};
 use hotcalls::rt::{ArenaStats, ByteBundle, ByteCallTable, ByteCaller, ByteRing};
 use hotcalls::sim::SimHotCalls;
-use hotcalls::telemetry::{ApiCensus, ApiCensusRow, PlaneProvider, PlaneTelemetry};
+use hotcalls::telemetry::{ApiCensus, ApiCensusRow, CtlProvider, PlaneProvider, PlaneTelemetry};
 use hotcalls::{
-    FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
+    Controller, CtlStats, FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy,
+    RingStats, ShardPolicy,
 };
 use sgx_sdk::edger8r::{edger8r, Proxies};
 use sgx_sdk::edl::{parse_edl, Direction};
@@ -101,16 +104,72 @@ pub enum RtTransport {
     /// (a lone connection between bursts) skip the handoff entirely;
     /// bursts spill to the pooled responders automatically.
     Fused,
+    /// Zero-config: the plane spawns with [`HotCallConfig::auto`] /
+    /// [`ResponderPolicy::auto`] and a [`Controller`] closes the loop —
+    /// each API is routed to its measured break-even transport (SDK for
+    /// rare calls, switchless for hot ones), the responder pool resizes
+    /// from worker efficiency, and batch flush thresholds track backlog.
+    /// No knob on this variant is chosen by the application.
+    Auto,
 }
 
 impl RtTransport {
-    /// Census label for this transport ("hot" / "sharded" / "fused").
+    /// Census label for this transport ("hot" / "sharded" / "fused" /
+    /// "auto").
     pub fn label(&self) -> &'static str {
         match self {
             RtTransport::Single => "hot",
             RtTransport::Sharded => "sharded",
             RtTransport::Fused => "fused",
+            RtTransport::Auto => "auto",
         }
+    }
+}
+
+/// How many routed calls between sizer ticks in the Auto transport. Each
+/// tick reads one [`RingStats`] snapshot and may resize the responder
+/// pool, so the cadence amortizes snapshot cost without letting the
+/// controller fall behind a phase shift.
+const CTL_TICK_EVERY: u64 = 64;
+
+/// The control half of the Auto transport: the break-even router plus the
+/// registered API ids it routes between.
+#[derive(Debug)]
+struct AutoCtl {
+    /// Shared so telemetry providers can hold the controller alive.
+    controller: Arc<Controller>,
+    ids: BTreeMap<&'static str, ApiId>,
+    /// The `RunEnclaveFunction` ecall shell (also the fallback for calls
+    /// outside the declared table). Pinned to the hot plane — an ecall
+    /// has no SDK-ocall shape to demote to.
+    run_fn: ApiId,
+    /// Routed calls observed so far; drives the sizer-tick cadence.
+    observed: u64,
+}
+
+impl AutoCtl {
+    fn new(apis: &[ApiDecl]) -> Self {
+        let mut controller = Controller::auto();
+        let mut ids = BTreeMap::new();
+        for api in apis {
+            // Every declared API may ride switchless or fall back to the
+            // SDK ocall path; the router decides from measured cycles.
+            ids.insert(
+                api.name,
+                controller.register(api.name, Transport::Hot, &[Transport::Sdk, Transport::Hot]),
+            );
+        }
+        let run_fn = controller.register("RunEnclaveFunction", Transport::Hot, &[Transport::Hot]);
+        AutoCtl {
+            controller: Arc::new(controller),
+            ids,
+            run_fn,
+            observed: 0,
+        }
+    }
+
+    fn id_of(&self, name: &str) -> ApiId {
+        self.ids.get(name).copied().unwrap_or(self.run_fn)
     }
 }
 
@@ -158,6 +217,16 @@ impl RtPool {
                     fused_mode: FusedMode::Auto,
                     ..config
                 },
+            )?,
+            // Zero-config: the auto policies size the pool to the host
+            // (the governor and the controller's sizer park the excess)
+            // and fusing stays on its measured break-even occupancy. The
+            // per-API routing rides in `AutoCtl`, outside the plane.
+            RtTransport::Auto => ByteRing::spawn_adaptive(
+                table,
+                RT_RING_CAPACITY,
+                ResponderPolicy::auto(),
+                HotCallConfig::auto(),
             )?,
         };
         let lanes = (0..server.shards())
@@ -335,6 +404,8 @@ pub struct AppEnv {
     hot: Option<SimHotCalls>,
     /// Real pooled transport (HotCalls modes only).
     rt: Option<RtPool>,
+    /// Break-even router + sizer loop ([`RtTransport::Auto`] only).
+    ctl: Option<AutoCtl>,
     /// Which plane shape the transport uses (census "hot" vs "sharded").
     transport: RtTransport,
     api_costs: BTreeMap<&'static str, u64>,
@@ -382,7 +453,7 @@ impl AppEnv {
         let api_costs = apis.iter().map(|a| (a.name, a.os_cost)).collect();
         let native_bounce = machine.alloc_untrusted(64 * 1024, 4096);
 
-        let (ctx, hot, rt) = if mode.in_enclave() {
+        let (ctx, hot, rt, ctl) = if mode.in_enclave() {
             let eid = machine.build_enclave(EnclaveBuildOptions {
                 heap_bytes: heap_bytes + (4 << 20), // app data + SDK scratch
                 ..EnclaveBuildOptions::default()
@@ -392,7 +463,12 @@ impl AppEnv {
                 optimized_memset: false,
             };
             let ctx = EnclaveCtx::new(&mut machine, eid, &edl, options)?;
-            let (hot, rt) = if matches!(mode, IfaceMode::HotCalls | IfaceMode::HotCallsNrz) {
+            let (hot, rt, ctl) = if matches!(mode, IfaceMode::HotCalls | IfaceMode::HotCallsNrz) {
+                let ctl = if transport == RtTransport::Auto {
+                    Some(AutoCtl::new(apis))
+                } else {
+                    None
+                };
                 (
                     Some(SimHotCalls::new(
                         &mut machine,
@@ -400,13 +476,14 @@ impl AppEnv {
                         HotCallConfig::default(),
                     )?),
                     Some(RtPool::new(apis, transport)?),
+                    ctl,
                 )
             } else {
-                (None, None)
+                (None, None, None)
             };
-            (Some(ctx), hot, rt)
+            (Some(ctx), hot, rt, ctl)
         } else {
-            (None, None, None)
+            (None, None, None, None)
         };
 
         let start = machine.now();
@@ -417,6 +494,7 @@ impl AppEnv {
             ctx,
             hot,
             rt,
+            ctl,
             transport,
             api_costs,
             api_counts: BTreeMap::new(),
@@ -501,6 +579,13 @@ impl AppEnv {
                 Ok(())
             }
             IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
+                // Zero-config transport: ask the break-even router where
+                // this call goes before touching the plane.
+                if let Some(ctl) = &self.ctl {
+                    let api = ctl.id_of(name);
+                    let route = ctl.controller.route(api);
+                    return self.api_call_routed(name, bufs, os_cost, api, route);
+                }
                 // The real data plane: stage the callee-bound bytes into an
                 // arena-backed buffer, submit it into the pooled ring, and
                 // let an "On Call" responder write the caller-bound bytes
@@ -517,6 +602,61 @@ impl AppEnv {
                     Ok(())
                 })?;
                 Ok(())
+            }
+        }
+    }
+
+    /// One call under the Auto transport, on the transport the router
+    /// chose: `Sdk` takes the plain ocall path (no ring traffic, no
+    /// responder standby — the break-even loss side for rare calls),
+    /// anything else rides the switchless plane. Either way the call's
+    /// measured virtual-cycle cost feeds back into the router.
+    fn api_call_routed(
+        &mut self,
+        name: &'static str,
+        bufs: &[BufArg],
+        os_cost: u64,
+        api: ApiId,
+        route: Transport,
+    ) -> Result<()> {
+        let t0 = self.machine.now();
+        if route == Transport::Sdk {
+            let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
+            ctx.ocall(&mut self.machine, name, bufs, |_, m, _| {
+                m.charge(Cycles::new(SYSCALL_TRAP + os_cost));
+                Ok(())
+            })?;
+        } else {
+            let (in_bytes, out_bytes) = self.payload_bytes(name, bufs)?;
+            let rt = self.rt.as_mut().expect("hot mode has rt pool");
+            let produced = rt.call(name, in_bytes, out_bytes)?;
+            debug_assert_eq!(produced, out_bytes, "responder fills the out request");
+            let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
+            let hot = self.hot.as_mut().expect("hot mode has channel");
+            hot.hot_ocall(&mut self.machine, ctx, name, bufs, |_, m, _| {
+                m.charge(Cycles::new(SYSCALL_TRAP + os_cost));
+                Ok(())
+            })?;
+        }
+        let cycles = (self.machine.now() - t0).get();
+        self.ctl_observe(api, route, cycles);
+        Ok(())
+    }
+
+    /// Feeds one measured call into the controller and, on the tick
+    /// cadence, lets the sizer resize the responder pool from the plane's
+    /// own efficiency counters.
+    fn ctl_observe(&mut self, api: ApiId, transport: Transport, cycles: u64) {
+        let stamp = self.machine.now().get();
+        let ctl = self.ctl.as_mut().expect("routed call has a controller");
+        ctl.controller.observe(api, transport, cycles, stamp);
+        ctl.observed += 1;
+        if ctl.observed.is_multiple_of(CTL_TICK_EVERY) {
+            if let Some(rt) = &self.rt {
+                let decision = ctl.controller.tick(&rt.ring_stats());
+                if let Some(n) = decision.responders {
+                    rt.server.set_active(n);
+                }
             }
         }
     }
@@ -584,8 +724,19 @@ impl AppEnv {
             let (in_bytes, out_bytes) = self.payload_bytes(name, bufs)?;
             staged.push((*name, in_bytes, out_bytes));
         }
+        let t0 = self.machine.now();
+        // Under the Auto transport the sizer's flush threshold decides the
+        // bundle grain: small flushes keep latency low on quiet phases,
+        // backlog grows them toward one-submission batches.
+        let flush = self
+            .ctl
+            .as_ref()
+            .map(|c| c.controller.bundle_flush().max(1))
+            .unwrap_or(staged.len().max(1));
         let rt = self.rt.as_mut().expect("hot mode has rt pool");
-        rt.call_bundle(&staged)?;
+        for chunk in staged.chunks(flush) {
+            rt.call_bundle(chunk)?;
+        }
         // The cycle model charges each call's paper cost individually —
         // bundling amortizes the transport, not the simulated OS work.
         for (name, buf) in calls {
@@ -600,6 +751,19 @@ impl AppEnv {
                 m.charge(Cycles::new(SYSCALL_TRAP + os_cost));
                 Ok(())
             })?;
+        }
+        // Feed the batch back as per-call Bundled costs so the router's
+        // telemetry covers the bundled transport too (the amortized share
+        // of the batch window, not each call's solo cost).
+        if self.ctl.is_some() {
+            let per_call = (self.machine.now() - t0).get() / staged.len().max(1) as u64;
+            let apis: Vec<ApiId> = {
+                let ctl = self.ctl.as_ref().expect("checked above");
+                staged.iter().map(|(name, _, _)| ctl.id_of(name)).collect()
+            };
+            for api in apis {
+                self.ctl_observe(api, Transport::Bundled, per_call);
+            }
         }
         Ok(())
     }
@@ -640,6 +804,7 @@ impl AppEnv {
             IfaceMode::HotCalls | IfaceMode::HotCallsNrz => {
                 // The real data plane carries the ecall shell (the 8-byte
                 // routine pointer rides inline in the slot)...
+                let t0 = self.machine.now();
                 let rt = self.rt.as_mut().expect("hot mode has rt pool");
                 rt.call("RunEnclaveFunction", 8, 0)?;
                 let ctx = self.ctx.as_mut().expect("enclave mode has ctx");
@@ -654,6 +819,14 @@ impl AppEnv {
                     &[routine],
                     |_, _, _| Ok(()),
                 )?;
+                // The Auto transport observes the shell's cost (the body
+                // is trusted work, not interface) even though the ecall is
+                // pinned hot — the row keeps the census complete.
+                if let Some(ctl) = &self.ctl {
+                    let api = ctl.run_fn;
+                    let cycles = (self.machine.now() - t0).get();
+                    self.ctl_observe(api, Transport::Hot, cycles);
+                }
                 // ...then the trusted body.
                 body(self)
             }
@@ -821,6 +994,24 @@ impl AppEnv {
         self.rt
             .as_ref()
             .map(|rt| rt.server.telemetry_provider(name))
+    }
+
+    /// Decision counters of the zero-config control loop — route flips,
+    /// SDK demotions, sizer grows/shrinks ([`RtTransport::Auto`] only).
+    pub fn ctl_stats(&self) -> Option<CtlStats> {
+        self.ctl.as_ref().map(|c| c.controller.stats())
+    }
+
+    /// The control plane's telemetry section: per-API routes and EWMA
+    /// costs plus the decision counters ([`RtTransport::Auto`] only).
+    pub fn ctl_telemetry(&self, name: &str) -> Option<CtlTelemetry> {
+        self.ctl.as_ref().map(|c| c.controller.telemetry(name))
+    }
+
+    /// A provider for [`hotcalls::TelemetryRegistry::register_ctl`]
+    /// holding the controller alive ([`RtTransport::Auto`] only).
+    pub fn ctl_provider(&self, name: impl Into<String>) -> Option<CtlProvider> {
+        self.ctl.as_ref().map(|c| c.controller.provider(name))
     }
 }
 
@@ -1053,6 +1244,81 @@ mod tests {
         assert_eq!(stats.fused_runs + stats.fused_fallbacks, 7, "{stats:?}");
         let rs = hot.rt_ring_stats().unwrap();
         assert_eq!(rs.shards.len(), 1, "fused transport is one ring");
+    }
+
+    #[test]
+    fn auto_transport_routes_observes_and_censuses_as_auto() {
+        let mut auto = AppEnv::with_transport(
+            SimConfig::builder().deterministic().build(),
+            IfaceMode::HotCalls,
+            &apis(),
+            1 << 20,
+            RtTransport::Auto,
+        )
+        .unwrap();
+        let data = auto.alloc_data(2048).unwrap();
+        auto.enter_main().unwrap();
+        for _ in 0..80 {
+            auto.api_call("getpid", &[]).unwrap();
+        }
+        auto.api_call("read", &[BufArg::new(data, 1024)]).unwrap();
+        auto.run_enclave_function(|e| {
+            e.api_call("sendmsg", &[BufArg::new(data, 64)])?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(auto.census_mode(), "auto");
+        assert_eq!(auto.api_counts()["getpid"], 80);
+        // Modes/transports without a controller expose no ctl surface.
+        assert!(env(IfaceMode::HotCalls).ctl_stats().is_none());
+        assert!(env(IfaceMode::Sdk).ctl_provider("x").is_none());
+        let stats = auto.ctl_stats().expect("auto transport has a controller");
+        let t = auto.ctl_telemetry("app-ctl").unwrap();
+        assert_eq!(t.name, "app-ctl");
+        // Every declared API plus the ecall shell has a route row, each on
+        // an allowed transport.
+        assert_eq!(t.routes.len(), 4);
+        if hotcalls::TELEMETRY_ENABLED {
+            // 83 routed calls crossed several decide windows and at least
+            // one sizer tick.
+            assert!(stats.decisions >= 1, "{stats:?}");
+            assert!(stats.ticks >= 1, "{stats:?}");
+            let getpid = t.routes.iter().find(|r| r.api == "getpid").unwrap();
+            assert!(getpid.observes >= 80, "{getpid:?}");
+        }
+        // The provider snapshot matches the live controller.
+        let provider = auto.ctl_provider("prov").unwrap();
+        assert_eq!(provider().routes.len(), 4);
+    }
+
+    #[test]
+    fn auto_transport_batches_by_the_flush_threshold() {
+        let mut auto = AppEnv::with_transport(
+            SimConfig::builder().deterministic().build(),
+            IfaceMode::HotCalls,
+            &apis(),
+            1 << 20,
+            RtTransport::Auto,
+        )
+        .unwrap();
+        let data = auto.alloc_data(2048).unwrap();
+        auto.enter_main().unwrap();
+        let batch: Vec<(&'static str, Option<BufArg>)> = vec![
+            ("getpid", None),
+            ("read", Some(BufArg::new(data, 1024))),
+            ("sendmsg", Some(BufArg::new(data, 512))),
+        ];
+        auto.api_call_batch(&batch).unwrap();
+        // All three calls counted and carried, whatever the chunk grain
+        // the sizer's flush threshold picked.
+        assert_eq!(auto.api_counts()["getpid"], 1);
+        assert_eq!(auto.rt_stats().unwrap().calls, 3);
+        if hotcalls::TELEMETRY_ENABLED {
+            // Each bundled call fed a Bundled-cost observation back.
+            let t = auto.ctl_telemetry("b").unwrap();
+            let observed: u64 = t.routes.iter().map(|r| r.observes).sum();
+            assert!(observed >= 3, "{t:?}");
+        }
     }
 
     #[test]

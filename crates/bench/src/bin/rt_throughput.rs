@@ -31,7 +31,7 @@
 //!
 //! ```text
 //! rt_throughput [OUT.json] [--workload cpu|io|all] [--max-responders N]
-//!               [--shards N] [--measure-ms N] [--fused]
+//!               [--shards N] [--measure-ms N] [--fused] [--zero-config]
 //!               [--trace-out T.json] [--prom-out M.prom]
 //! ```
 //!
@@ -44,6 +44,16 @@
 //! `ablation_fused`'s subject. The rows land in the JSON's
 //! `fused_throughput` array with the `fused_runs` / `fused_fallbacks`
 //! split per cell.
+//!
+//! `--zero-config` adds the configless row per requester count: the plane
+//! an operator gets by writing no numbers at all —
+//! `ResponderPolicy::auto()` + `HotCallConfig::auto()` with a
+//! `hotcalls::ctl` controller ticking the sizer from requester 0. The
+//! rows land in `zero_config_throughput` with the sizer's tick/grow/
+//! shrink counts, so the matrix shows what self-tuning costs (or earns)
+//! next to every hand-picked shape. The head-to-head claim — zero-config
+//! within 0.95× of the best static everywhere, strictly ahead on
+//! phase-shifting traffic — is `ablation_ctl`'s subject.
 //!
 //! Output: human-readable table on stdout plus `BENCH_rt.json` in the
 //! current directory (positional argument overrides the path). The JSON
@@ -62,7 +72,7 @@ use bench::rt_baseline::{scaling_throughput, MutexMailbox};
 use bench::telemetry::append_snapshot;
 use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, HotCallServer, RingServer, ShardedServer};
 use hotcalls::{
-    FusedMode, HotCallConfig, ResponderPolicy, ShardPolicy, Snapshot, TelemetryRegistry,
+    Controller, FusedMode, HotCallConfig, ResponderPolicy, ShardPolicy, Snapshot, TelemetryRegistry,
 };
 
 const RING_CAPACITY: usize = 64;
@@ -78,6 +88,7 @@ struct Args {
     shards: usize,
     measure: Duration,
     fused: bool,
+    zero_config: bool,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +99,7 @@ fn parse_args() -> Args {
         shards: 2,
         measure: Duration::from_millis(250),
         fused: false,
+        zero_config: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -123,6 +135,7 @@ fn parse_args() -> Args {
                 args.measure = Duration::from_millis(ms.max(1));
             }
             "--fused" => args.fused = true,
+            "--zero-config" => args.zero_config = true,
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => args.sink.out_path = path.to_string(),
         }
@@ -454,6 +467,91 @@ fn fused_cell(
     }
 }
 
+struct ZeroConfigCell {
+    workload: &'static str,
+    requesters: usize,
+    calls: u64,
+    calls_per_sec: f64,
+    ticks: u64,
+    grows: u64,
+    shrinks: u64,
+}
+
+/// Tick stride for the configless cell's control loop — a period, not a
+/// per-call tax.
+const ZERO_CONFIG_TICK_EVERY: u64 = 1_024;
+
+/// Runs one configless cell: `ResponderPolicy::auto()` +
+/// `HotCallConfig::auto()`, with a `hotcalls::ctl` controller ticked from
+/// requester 0 and its resize decisions pushed into the governor. What an
+/// operator gets for writing zero numbers, measured in the same matrix as
+/// every hand-picked shape.
+fn zero_config_cell(
+    workload: &'static str,
+    requesters: usize,
+    ctl: &Controller,
+    measure: Duration,
+) -> ZeroConfigCell {
+    let mut table: CallTable<u64, u64> = CallTable::new();
+    let id = match workload {
+        "cpu" => table.register(|x| x + 1),
+        "io" => table.register(|x| {
+            std::thread::sleep(IO_HANDLER_SLEEP);
+            x + 1
+        }),
+        _ => unreachable!("unknown workload"),
+    };
+    let server = RingServer::spawn_adaptive(
+        table,
+        RING_CAPACITY,
+        ResponderPolicy::auto(),
+        HotCallConfig::auto(),
+    )
+    .expect("auto shape is valid");
+
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let ticks_before = ctl.stats().ticks;
+    let calls: u64 = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(requesters);
+        for t in 0..requesters as u64 {
+            let r = server.requester();
+            let stop = &stop;
+            let server = &server;
+            handles.push(s.spawn(move || {
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let x = t * 1_000_000 + done;
+                    assert_eq!(r.call(id, x).unwrap(), x + 1);
+                    done += 1;
+                    if t == 0 && done.is_multiple_of(ZERO_CONFIG_TICK_EVERY) {
+                        let d = ctl.tick(&server.telemetry("zero-config").stats);
+                        if let Some(n) = d.responders {
+                            server.set_active_responders(n);
+                        }
+                    }
+                }
+                done
+            }));
+        }
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let stats = ctl.stats();
+    server.shutdown();
+    ZeroConfigCell {
+        workload,
+        requesters,
+        calls,
+        calls_per_sec: calls as f64 / secs,
+        ticks: stats.ticks - ticks_before,
+        grows: stats.grows,
+        shrinks: stats.shrinks,
+    }
+}
+
 struct BaselineCell {
     requesters: usize,
     calls_per_sec: f64,
@@ -620,6 +718,23 @@ fn main() {
         }
     }
 
+    let mut zero_cells = Vec::new();
+    if args.zero_config {
+        let ctl = Controller::auto();
+        for workload in args.workloads.iter().copied() {
+            println!("workload `{workload}`, zero-config (auto policies + ctl, calls/sec):");
+            for requesters in [1usize, 2, 4, 8] {
+                let cell = zero_config_cell(workload, requesters, &ctl, args.measure);
+                println!(
+                    "  {requesters:>6} req | {:>12.0} (ticks {} grows {} shrinks {})",
+                    cell.calls_per_sec, cell.ticks, cell.grows, cell.shrinks
+                );
+                zero_cells.push(cell);
+            }
+            println!();
+        }
+    }
+
     println!("byte-payload arena ({ARENA_CALLS} calls per size):");
     println!(
         "  {:>8} | {:>10} {:>12} {:>12} {:>10}",
@@ -649,6 +764,7 @@ fn main() {
         &cells,
         &shard_cells,
         &fused_cells,
+        &zero_cells,
         &arena,
         &snap,
     );
@@ -673,6 +789,7 @@ fn render_json(
     cells: &[Cell],
     shard_cells: &[ShardCell],
     fused_cells: &[FusedCell],
+    zero_cells: &[ZeroConfigCell],
     arena: &[ArenaCell],
     snap: &Snapshot,
 ) -> String {
@@ -737,6 +854,19 @@ fn render_json(
             .field_f64("calls_per_sec", c.calls_per_sec, 1)
             .field_u64("fused_runs", c.fused_runs)
             .field_u64("fused_fallbacks", c.fused_fallbacks);
+        j.end_item();
+    }
+    j.end_array();
+    j.begin_array("zero_config_throughput");
+    for c in zero_cells {
+        j.begin_item();
+        j.field_str("workload", c.workload)
+            .field_u64("requesters", c.requesters as u64)
+            .field_u64("calls", c.calls)
+            .field_f64("calls_per_sec", c.calls_per_sec, 1)
+            .field_u64("ctl_ticks", c.ticks)
+            .field_u64("ctl_grows", c.grows)
+            .field_u64("ctl_shrinks", c.shrinks);
         j.end_item();
     }
     j.end_array();

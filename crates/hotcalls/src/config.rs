@@ -100,9 +100,59 @@ impl HotCallConfig {
         }
     }
 
+    /// The zero-config configuration the control plane starts from: a
+    /// patient retry budget, idle-sleeping responders, and the fused
+    /// break-even left to [`FusedMode::Auto`]. The `ctl` controller then
+    /// tunes the rest online.
+    pub fn auto() -> Self {
+        HotCallConfig {
+            idle_polls_before_sleep: Some(256),
+            fused_mode: FusedMode::Auto,
+            ..Self::patient()
+        }
+    }
+
     /// The effective drain batch (zero-proofed).
     pub(crate) fn drain_batch_clamped(&self) -> usize {
         self.drain_batch.max(1) as usize
+    }
+
+    /// Rejects contradictory knob combinations before a plane is built on
+    /// them. Called at plane construction, so a controller mutating knobs
+    /// online can never hand the data plane a config that silently
+    /// misbehaves.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HotCallError::InvalidConfig`] when the retry or spin
+    /// budget is zero (the availability handshake would never be
+    /// attempted), when idle-sleep is enabled with a zero poll budget
+    /// (responders would sleep before ever polling), or when a fused mode
+    /// is enabled with `fused_below_occupancy == 0` (auto-fusing would be
+    /// requested and simultaneously disabled).
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::HotCallError::InvalidConfig;
+        if self.timeout_retries == 0 {
+            return Err(InvalidConfig(
+                "timeout_retries must be positive: zero retries never attempts the call",
+            ));
+        }
+        if self.spins_per_retry == 0 {
+            return Err(InvalidConfig(
+                "spins_per_retry must be positive: zero spins never checks availability",
+            ));
+        }
+        if self.idle_polls_before_sleep == Some(0) {
+            return Err(InvalidConfig(
+                "idle_polls_before_sleep of zero would sleep responders before they poll once",
+            ));
+        }
+        if self.fused_mode != FusedMode::Off && self.fused_below_occupancy == 0 {
+            return Err(InvalidConfig(
+                "a fused mode with fused_below_occupancy of zero both requests and forbids fusing",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -162,6 +212,16 @@ impl ResponderPolicy {
         }
     }
 
+    /// The zero-config pool: elastic between one responder and the host's
+    /// available parallelism, leaving the active target to the governor
+    /// and the `ctl` sizer.
+    pub fn auto() -> Self {
+        let max = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::elastic(1, max.max(1))
+    }
+
     /// Does this policy ever park a responder?
     pub fn is_adaptive(&self) -> bool {
         self.max > self.min
@@ -170,6 +230,33 @@ impl ResponderPolicy {
     /// The effective backlog threshold (zero-proofed).
     pub(crate) fn target_occupancy_clamped(&self) -> usize {
         self.target_occupancy.max(1)
+    }
+
+    /// Rejects contradictory pool bounds before threads are spawned on
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HotCallError::InvalidConfig`] when `min` is zero (the pool
+    /// would keep no thread alive), `max < min` (an empty active range),
+    /// or an adaptive policy would park after zero idle polls (the top
+    /// responder would demote itself on every empty poll).
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::HotCallError::InvalidConfig;
+        if self.min == 0 {
+            return Err(InvalidConfig(
+                "responder pool must keep at least one active thread",
+            ));
+        }
+        if self.max < self.min {
+            return Err(InvalidConfig("responder policy max must be at least min"));
+        }
+        if self.is_adaptive() && self.park_after_idle_polls == 0 {
+            return Err(InvalidConfig(
+                "an adaptive responder policy must allow at least one idle poll before parking",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -246,6 +333,34 @@ impl ShardPolicy {
     pub fn is_adaptive(&self) -> bool {
         self.resolved_shards() > self.min_active
     }
+
+    /// Rejects contradictory shard bounds before the plane is built on
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HotCallError::InvalidConfig`] when `min_active` is zero,
+    /// exceeds the resolved shard count, or an adaptive policy would park
+    /// a shard after zero idle polls.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::HotCallError::InvalidConfig;
+        if self.min_active == 0 {
+            return Err(InvalidConfig(
+                "a sharded plane must keep at least one active shard",
+            ));
+        }
+        if self.min_active > self.resolved_shards() {
+            return Err(InvalidConfig(
+                "shard policy min_active must not exceed the shard count",
+            ));
+        }
+        if self.is_adaptive() && self.park_after_idle_polls == 0 {
+            return Err(InvalidConfig(
+                "an adaptive shard policy must allow at least one idle poll before parking",
+            ));
+        }
+        Ok(())
+    }
 }
 
 // The stats snapshot structs historically lived here as ad-hoc counter
@@ -305,6 +420,82 @@ mod tests {
         assert_eq!(ShardPolicy::fixed(4).resolved_shards(), 4);
         // Auto resolves to the host's parallelism, never zero.
         assert!(ShardPolicy::auto().resolved_shards() >= 1);
+    }
+
+    #[test]
+    fn validate_rejects_contradictory_configs() {
+        assert!(HotCallConfig::default().validate().is_ok());
+        assert!(HotCallConfig::auto().validate().is_ok());
+        for bad in [
+            HotCallConfig {
+                timeout_retries: 0,
+                ..HotCallConfig::default()
+            },
+            HotCallConfig {
+                spins_per_retry: 0,
+                ..HotCallConfig::default()
+            },
+            HotCallConfig {
+                idle_polls_before_sleep: Some(0),
+                ..HotCallConfig::default()
+            },
+            HotCallConfig {
+                fused_mode: FusedMode::Auto,
+                fused_below_occupancy: 0,
+                ..HotCallConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        // fused_below_occupancy of zero is fine while fusing is off.
+        assert!(HotCallConfig {
+            fused_below_occupancy: 0,
+            ..HotCallConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_contradictory_policies() {
+        assert!(ResponderPolicy::default().validate().is_ok());
+        assert!(ResponderPolicy::auto().validate().is_ok());
+        assert!(ResponderPolicy::auto().max >= 1);
+        assert!(ResponderPolicy::fixed(0).validate().is_err());
+        assert!(ResponderPolicy::elastic(3, 2).validate().is_err());
+        assert!(ResponderPolicy {
+            park_after_idle_polls: 0,
+            ..ResponderPolicy::elastic(1, 4)
+        }
+        .validate()
+        .is_err());
+        // A fixed pool never parks, so a zero park budget is harmless.
+        assert!(ResponderPolicy {
+            park_after_idle_polls: 0,
+            ..ResponderPolicy::fixed(2)
+        }
+        .validate()
+        .is_ok());
+
+        assert!(ShardPolicy::auto().validate().is_ok());
+        assert!(ShardPolicy {
+            min_active: 0,
+            ..ShardPolicy::fixed(2)
+        }
+        .validate()
+        .is_err());
+        assert!(ShardPolicy {
+            min_active: 5,
+            ..ShardPolicy::fixed(4)
+        }
+        .validate()
+        .is_err());
+        assert!(ShardPolicy {
+            park_after_idle_polls: 0,
+            ..ShardPolicy::elastic(1, 4)
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

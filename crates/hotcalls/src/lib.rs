@@ -27,6 +27,10 @@
 //!   with a [`ResponderPolicy`] governor that parks idle responders and
 //!   wakes them on backlog. This is usable as a general low-latency
 //!   inter-thread call primitive.
+//! * [`ctl`] — the **configless control plane**: a per-API break-even
+//!   router and an online worker-efficiency sizer that close the loop
+//!   from [`telemetry`] back into the data plane's knobs, so the three
+//!   demo apps run with zero explicit configuration.
 //!
 //! ## Threaded quick start
 //!
@@ -46,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+pub mod ctl;
 mod error;
 pub mod rt;
 pub mod sim;
@@ -55,5 +60,6 @@ pub use config::{
     FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
     ShardStats,
 };
+pub use ctl::{ApiRouter, Controller, CtlPolicy, CtlStats, SizerPolicy, Transport};
 pub use error::{HotCallError, Result};
 pub use telemetry::{Snapshot, TelemetryRegistry, TELEMETRY_ENABLED};

@@ -255,6 +255,17 @@ impl ByteRing {
         }
     }
 
+    /// Sets the plane's active responder/shard target (the `ctl` sizer's
+    /// control surface), clamped into the policy's bounds, and returns
+    /// the value installed. See [`RingServer::set_active_responders`] and
+    /// [`ShardedServer::set_active_shards`].
+    pub fn set_active(&self, n: usize) -> usize {
+        match &self.plane {
+            BytePlane::Single(server) => server.set_active_responders(n),
+            BytePlane::Sharded(server) => server.set_active_shards(n),
+        }
+    }
+
     /// The full per-shard snapshot. A single-ring plane reports itself as
     /// one degenerate shard (no probes, no steals).
     pub fn ring_stats(&self) -> RingStats {

@@ -165,6 +165,24 @@ impl GovernorState {
         }
         demoted
     }
+
+    /// Sets the active target directly, clamped into `[min, max]`, and
+    /// returns the value installed. The external control surface for the
+    /// `ctl` sizer: responders notice the new target on their next poll —
+    /// surplus ones park themselves, and a raise wakes the parked set so
+    /// newly admitted responders start draining.
+    pub(super) fn set_target(&self, n: usize) -> usize {
+        let n = n.clamp(self.policy.min, self.policy.max);
+        let prev = self.active_target.swap(n, Ordering::AcqRel);
+        if n > prev {
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            trace("governor_raise", n as u64, self.policy.max as u64);
+            self.park_doze.wake_all();
+        } else if n < prev {
+            trace("governor_park", prev as u64, n as u64);
+        }
+        n
+    }
 }
 
 impl core::fmt::Debug for GovernorState {
@@ -385,8 +403,9 @@ where
     ///
     /// # Errors
     ///
-    /// [`HotCallError::InvalidConfig`] if `capacity` or `policy.min` is
-    /// zero, or `policy.max < policy.min`.
+    /// [`HotCallError::InvalidConfig`] if `capacity` is zero or the policy
+    /// or config fail their [`ResponderPolicy::validate`] /
+    /// [`HotCallConfig::validate`] checks.
     pub fn spawn_adaptive(
         table: CallTable<Req, Resp>,
         capacity: usize,
@@ -398,16 +417,8 @@ where
                 "ring capacity must be positive",
             ));
         }
-        if policy.min == 0 {
-            return Err(HotCallError::InvalidConfig(
-                "responder pool must keep at least one active thread",
-            ));
-        }
-        if policy.max < policy.min {
-            return Err(HotCallError::InvalidConfig(
-                "responder policy max must be at least min",
-            ));
-        }
+        policy.validate()?;
+        config.validate()?;
         let n_responders = policy.max;
         let table = Arc::new(table);
         let shared = Arc::new(RingShared {
@@ -466,6 +477,16 @@ where
     /// pools `active == min == max` and the counters stay zero.
     pub fn governor_stats(&self) -> GovernorStats {
         self.shared.governor_snapshot()
+    }
+
+    /// Sets the active responder target directly (the `ctl` sizer's
+    /// control surface), clamped into the policy's `[min, max]`, and
+    /// returns the value installed. Responders converge on their next
+    /// poll: surplus ones park, and a raise wakes the parked set. The
+    /// requester-side backlog governor keeps running — it can still raise
+    /// the target above what the sizer set if the ring backs up.
+    pub fn set_active_responders(&self, n: usize) -> usize {
+        self.shared.governor.set_target(n)
     }
 
     /// This plane's full telemetry view right now: counters plus per-lane

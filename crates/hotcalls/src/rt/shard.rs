@@ -405,9 +405,9 @@ where
     ///
     /// # Errors
     ///
-    /// [`HotCallError::InvalidConfig`] if `capacity_per_shard` or
-    /// `policy.min_active` is zero, or `min_active` exceeds the shard
-    /// count.
+    /// [`HotCallError::InvalidConfig`] if `capacity_per_shard` is zero or
+    /// the policy or config fail their [`ShardPolicy::validate`] /
+    /// [`HotCallConfig::validate`] checks.
     pub fn spawn(
         table: CallTable<Req, Resp>,
         capacity_per_shard: usize,
@@ -419,17 +419,9 @@ where
                 "shard capacity must be positive",
             ));
         }
+        policy.validate()?;
+        config.validate()?;
         let n_shards = policy.resolved_shards();
-        if policy.min_active == 0 {
-            return Err(HotCallError::InvalidConfig(
-                "a sharded plane must keep at least one active shard",
-            ));
-        }
-        if policy.min_active > n_shards {
-            return Err(HotCallError::InvalidConfig(
-                "shard policy min_active must not exceed the shard count",
-            ));
-        }
         // The PR-3 governor, reused with a shard as the unit: active
         // responders are exactly the responders of active shards.
         let governor = GovernorState::new(ResponderPolicy {
@@ -545,6 +537,16 @@ where
     /// The shard governor's current shape and decision counters.
     pub fn governor_stats(&self) -> GovernorStats {
         self.shared.governor_snapshot()
+    }
+
+    /// Sets the active-shard target directly (the `ctl` sizer's control
+    /// surface), clamped into `[min_active, shards]`, and returns the
+    /// value installed. Shard responders converge on their next poll —
+    /// surplus shards park (their residual submissions drain via
+    /// stealing), and a raise wakes the parked set. The requester-side
+    /// backlog governor keeps running on top.
+    pub fn set_active_shards(&self, n: usize) -> usize {
+        self.shared.governor.set_target(n)
     }
 
     /// The full per-shard snapshot: totals, governor, and one

@@ -47,7 +47,7 @@ pub const TELEMETRY_ENABLED: bool = cfg!(not(feature = "telemetry-off"));
 
 /// Schema version of the serialized telemetry [`Snapshot`]. Bumped when a
 /// field is renamed or its meaning changes.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
 
 /// Reads the current cycle counter (`RDTSC` on x86-64, a monotonic
 /// nanosecond clock elsewhere). Returns 0 under `telemetry-off` so stage
@@ -907,6 +907,9 @@ pub struct Snapshot {
     pub censuses: Vec<ApiCensus>,
     /// Simulator cycle-ledger entries.
     pub sim: Vec<SimLedgerEntry>,
+    /// Every registered control plane's decision counters and routing
+    /// table (schema v3).
+    pub ctl: Vec<crate::ctl::CtlTelemetry>,
     /// Events the process tracer has dropped so far.
     pub tracer_dropped: u64,
 }
@@ -1008,6 +1011,55 @@ impl Snapshot {
                 e.name, e.cycles
             ));
         }
+        for c in &self.ctl {
+            let cl = format!("ctl=\"{}\"", c.name);
+            out.push_str(&format!(
+                "hotcalls_ctl_decisions_total{{{cl}}} {}\n",
+                c.stats.decisions
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_route_flips_total{{{cl}}} {}\n",
+                c.stats.flips
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_sdk_demotions_total{{{cl}}} {}\n",
+                c.stats.sdk_demotions
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_promotions_total{{{cl}}} {}\n",
+                c.stats.promotions
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_explore_probes_total{{{cl}}} {}\n",
+                c.stats.explore_probes
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_resizes_total{{{cl},direction=\"grow\"}} {}\n",
+                c.stats.grows
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_resizes_total{{{cl},direction=\"shrink\"}} {}\n",
+                c.stats.shrinks
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_bundle_resizes_total{{{cl}}} {}\n",
+                c.stats.bundle_resizes
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_bundle_flush{{{cl}}} {}\n",
+                c.bundle_flush
+            ));
+            for r in &c.routes {
+                out.push_str(&format!(
+                    "hotcalls_ctl_api_transport{{{cl},api=\"{}\",transport=\"{}\"}} 1\n",
+                    r.api, r.transport
+                ));
+                out.push_str(&format!(
+                    "hotcalls_ctl_api_flips_total{{{cl},api=\"{}\"}} {}\n",
+                    r.api, r.flips
+                ));
+            }
+        }
         for c in &self.censuses {
             let cl = format!("app=\"{}\",mode=\"{}\"", c.app, c.mode);
             out.push_str(&format!(
@@ -1036,12 +1088,17 @@ pub type PlaneProvider = Box<dyn Fn() -> PlaneTelemetry + Send + Sync>;
 /// An arena-counter provider polled at snapshot time.
 pub type ArenaProvider = Box<dyn Fn() -> ArenaStats + Send + Sync>;
 
+/// A control-plane provider polled at snapshot time (see
+/// [`crate::ctl::Controller::provider`]).
+pub type CtlProvider = Box<dyn Fn() -> crate::ctl::CtlTelemetry + Send + Sync>;
+
 #[derive(Default)]
 struct RegistryInner {
     planes: Vec<PlaneProvider>,
     arenas: Vec<(String, ArenaProvider)>,
     censuses: Vec<ApiCensus>,
     sim: Vec<SimLedgerEntry>,
+    ctl: Vec<CtlProvider>,
 }
 
 /// The registry that merges every telemetry source into one
@@ -1113,6 +1170,12 @@ impl TelemetryRegistry {
             .push((name.into(), Box::new(provider)));
     }
 
+    /// Registers a control-plane provider (see
+    /// [`crate::ctl::Controller::provider`]).
+    pub fn register_ctl(&self, provider: CtlProvider) {
+        self.inner.lock().expect("registry lock").ctl.push(provider);
+    }
+
     /// Adds a finished application census.
     pub fn add_census(&self, census: ApiCensus) {
         self.inner
@@ -1151,6 +1214,7 @@ impl TelemetryRegistry {
                 .collect(),
             censuses: inner.censuses.clone(),
             sim: inner.sim.clone(),
+            ctl: inner.ctl.iter().map(|p| p()).collect(),
             tracer_dropped: tracer().dropped_events(),
         }
     }

@@ -107,6 +107,13 @@ fn hot_path_makes_zero_heap_allocations() {
     for _ in 0..100 {
         caller.call(id, &data, 0).unwrap();
     }
+    // Under `Always` the warmup never needs the responder, so the freshly
+    // spawned responder thread may still be mid-startup — and its one-time
+    // startup allocations (thread-name bookkeeping) would land inside the
+    // measured window. Wait until it is demonstrably inside its poll loop.
+    while ring.stats().idle_polls == 0 {
+        std::thread::yield_now();
+    }
     let before = ALLOCS.load(Ordering::Relaxed);
     for _ in 0..5_000 {
         let n = caller.call(id, &data, 0).unwrap();

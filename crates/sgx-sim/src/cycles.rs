@@ -227,6 +227,51 @@ impl CycleLedger {
     }
 }
 
+/// Window-delta tracker over a virtual clock: the cycle feed a control
+/// loop samples between decisions.
+///
+/// A controller that acts every N calls needs "cycles spent since my last
+/// look", not absolute time. `CycleFeed` remembers the clock reading of
+/// the previous sample and returns the delta, monotone-proofed (a clock
+/// that was swapped or reset yields zero rather than a huge bogus
+/// window).
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{CycleFeed, Cycles};
+///
+/// let mut feed = CycleFeed::new(Cycles::new(1_000));
+/// assert_eq!(feed.delta(Cycles::new(1_750)), 750);
+/// assert_eq!(feed.delta(Cycles::new(1_750)), 0);
+/// // A rewound clock is treated as an empty window, not an underflow.
+/// assert_eq!(feed.delta(Cycles::new(500)), 0);
+/// assert_eq!(feed.delta(Cycles::new(900)), 400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleFeed {
+    last: Cycles,
+}
+
+impl CycleFeed {
+    /// A feed anchored at the clock's current reading.
+    pub fn new(now: Cycles) -> Self {
+        CycleFeed { last: now }
+    }
+
+    /// Cycles elapsed since the previous sample; re-anchors at `now`.
+    pub fn delta(&mut self, now: Cycles) -> u64 {
+        let d = now.saturating_sub(self.last).get();
+        self.last = now;
+        d
+    }
+
+    /// The clock reading of the previous sample.
+    pub fn last(&self) -> Cycles {
+        self.last
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

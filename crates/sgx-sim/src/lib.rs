@@ -65,7 +65,7 @@ pub use config::{
     CacheGeometry, EntryConfig, MeeConfig, NoiseConfig, PagingConfig, SdkCostConfig, SimConfig,
     SimConfigBuilder,
 };
-pub use cycles::{Clock, CycleLedger, Cycles};
+pub use cycles::{Clock, CycleFeed, CycleLedger, Cycles};
 pub use enclave::{Enclave, EnclaveId, EnclaveState, Measurement, PageType};
 pub use error::{Result, SgxError};
 pub use machine::{AccessKind, EnclaveBuildOptions, Machine, Measured, Telemetry};

@@ -10,7 +10,9 @@
 //! * [`ping`] — flood ping RTT through the tunnel (preload 100);
 //! * [`spec`] — `mcf` / `libquantum` / `astar` analogues run in plaintext
 //!   vs encrypted memory (Fig. 8), including the EPC-overflow cliff;
-//! * [`link`] — the 1 Gbit/s link model (935 Mbit/s measured ceiling).
+//! * [`link`] — the 1 Gbit/s link model (935 Mbit/s measured ceiling);
+//! * [`phases`] — deterministic phase-shifting arrival plans (bursty →
+//!   idle → saturated) for the control-plane benches.
 //!
 //! All drivers run in *virtual time*: throughput and latency come from the
 //! machine model's cycle accounting, with latency derived through Little's
@@ -24,6 +26,7 @@ pub mod http_load;
 pub mod iperf;
 pub mod link;
 pub mod memtier;
+pub mod phases;
 pub mod ping;
 mod result;
 pub mod spec;

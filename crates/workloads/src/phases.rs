@@ -1,0 +1,194 @@
+//! Deterministic phase-shifting call-arrival plans.
+//!
+//! *Stress-SGX* (PAPERS.md) makes the case against static enclave
+//! configurations: real workloads shift phases mid-run, so any fixed
+//! responder/shard/bundle shape is tuned for at most one of them. This
+//! module provides the shared phase generator the control-plane benches
+//! (`ablation_ctl`, `rt_throughput --zero-config`) drive their planes
+//! with, instead of per-bin ad-hoc loops: a seeded, fully deterministic
+//! sequence of call gaps that walks **bursty → idle → saturated**.
+//!
+//! The plan is abstract time: each planned call carries the nanosecond
+//! gap to wait before issuing it. Wall-clock benches sleep or spin that
+//! gap; virtual-time drivers charge it to the machine model as cycles.
+//! Two runs from the same seed produce byte-identical schedules.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::phases::PhasePlan;
+//!
+//! let plan = PhasePlan::standard(42, 1);
+//! let schedule = plan.schedule();
+//! assert_eq!(schedule.len() as u64, plan.total_calls());
+//! // Determinism: the same seed replays the same schedule.
+//! assert_eq!(schedule, PhasePlan::standard(42, 1).schedule());
+//! ```
+
+/// One homogeneous stretch of the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSegment {
+    /// Phase name (lands in bench artifacts): `"bursty"`, `"idle"`,
+    /// `"saturated"`.
+    pub name: &'static str,
+    /// Calls issued during this segment.
+    pub calls: u64,
+    /// Calls per burst: gaps apply *between* bursts, calls inside a burst
+    /// go back-to-back. `1` paces every call; `calls` makes the whole
+    /// segment one burst.
+    pub burst: u64,
+    /// Base gap before each burst, nanoseconds.
+    pub gap_ns: u64,
+    /// Deterministic jitter added to each gap, uniform in
+    /// `[0, jitter_ns)` from the plan's seed.
+    pub jitter_ns: u64,
+}
+
+/// One call of the rendered schedule: wait `gap_ns`, then issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedCall {
+    /// Name of the segment this call belongs to.
+    pub segment: &'static str,
+    /// Nanoseconds to wait before issuing this call.
+    pub gap_ns: u64,
+}
+
+/// A seeded sequence of [`PhaseSegment`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhasePlan {
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// The segments, in execution order.
+    pub segments: Vec<PhaseSegment>,
+}
+
+/// The xorshift64* step used for jitter — tiny, seedable, and identical
+/// everywhere the plan is replayed.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+impl PhasePlan {
+    /// The canonical bursty → idle → saturated walk. `scale` multiplies
+    /// every segment's call count (1 ≈ 3k calls; benches pass their
+    /// smoke/full factor).
+    ///
+    /// * **bursty** — 64-call bursts separated by ~200 µs gaps: deep
+    ///   enough to reward batching and extra responders during a burst,
+    ///   quiet enough between bursts that keeping them all spinning
+    ///   loses.
+    /// * **idle** — one call every ~2 ms: the regime where a dedicated
+    ///   polling core costs more than the SDK fallback saves, i.e. the
+    ///   router's demotion territory.
+    /// * **saturated** — back-to-back calls: every responder earns its
+    ///   keep and the sizer should grow to the ceiling.
+    pub fn standard(seed: u64, scale: u64) -> Self {
+        let scale = scale.max(1);
+        PhasePlan {
+            seed,
+            segments: vec![
+                PhaseSegment {
+                    name: "bursty",
+                    calls: 1_024 * scale,
+                    burst: 64,
+                    gap_ns: 200_000,
+                    jitter_ns: 50_000,
+                },
+                PhaseSegment {
+                    name: "idle",
+                    calls: 64 * scale,
+                    burst: 1,
+                    gap_ns: 2_000_000,
+                    jitter_ns: 250_000,
+                },
+                PhaseSegment {
+                    name: "saturated",
+                    calls: 2_048 * scale,
+                    burst: 2_048 * scale,
+                    gap_ns: 0,
+                    jitter_ns: 0,
+                },
+            ],
+        }
+    }
+
+    /// Total calls across all segments.
+    pub fn total_calls(&self) -> u64 {
+        self.segments.iter().map(|s| s.calls).sum()
+    }
+
+    /// Renders the plan into its per-call gap sequence. Deterministic in
+    /// the seed: jitter is drawn from a private xorshift64* stream.
+    pub fn schedule(&self) -> Vec<PlannedCall> {
+        let mut rng = self.seed | 1;
+        let mut out = Vec::with_capacity(self.total_calls() as usize);
+        for seg in &self.segments {
+            let burst = seg.burst.max(1);
+            for i in 0..seg.calls {
+                let gap_ns = if i % burst == 0 {
+                    let jitter = if seg.jitter_ns == 0 {
+                        0
+                    } else {
+                        xorshift(&mut rng) % seg.jitter_ns
+                    };
+                    seg.gap_ns + jitter
+                } else {
+                    0
+                };
+                out.push(PlannedCall {
+                    segment: seg.name,
+                    gap_ns,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_plan_walks_the_three_phases() {
+        let plan = PhasePlan::standard(7, 1);
+        let names: Vec<_> = plan.segments.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["bursty", "idle", "saturated"]);
+        let schedule = plan.schedule();
+        assert_eq!(schedule.len() as u64, plan.total_calls());
+        // Saturated calls are back-to-back; idle calls are all paced.
+        assert!(schedule
+            .iter()
+            .filter(|c| c.segment == "saturated")
+            .all(|c| c.gap_ns == 0));
+        assert!(schedule
+            .iter()
+            .filter(|c| c.segment == "idle")
+            .all(|c| c.gap_ns >= 2_000_000));
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        assert_eq!(
+            PhasePlan::standard(42, 2).schedule(),
+            PhasePlan::standard(42, 2).schedule()
+        );
+        assert_ne!(
+            PhasePlan::standard(1, 1).schedule(),
+            PhasePlan::standard(2, 1).schedule()
+        );
+    }
+
+    #[test]
+    fn scale_multiplies_call_counts() {
+        assert_eq!(
+            PhasePlan::standard(1, 3).total_calls(),
+            3 * PhasePlan::standard(1, 1).total_calls()
+        );
+    }
+}
