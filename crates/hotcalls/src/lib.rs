@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod aio;
 mod config;
 pub mod ctl;
 mod error;
@@ -56,6 +57,7 @@ pub mod rt;
 pub mod sim;
 pub mod telemetry;
 
+pub use aio::{block_on, Reactor, ReapPlane};
 pub use config::{
     FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
     ShardStats,

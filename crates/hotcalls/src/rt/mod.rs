@@ -33,6 +33,7 @@ pub use shard::{ShardedRequester, ShardedServer};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 
 use crate::config::{HotCallConfig, HotCallStats};
@@ -60,6 +61,13 @@ struct Shared<Req, Resp> {
     // Requester-side event counters; rare, so shared RMWs are fine.
     wakeups: AtomicU64,
     fallbacks: AtomicU64,
+    /// Set by a [`MailTicket`] dropped unredeemed: the mailbox holds one
+    /// call, so the flag always refers to the current occupant. The next
+    /// claimant that finds the slot DONE with this flag set reaps the
+    /// stale response instead of spinning forever (the single-slot analog
+    /// of the ring planes' `AbandonBoard`). `Arc`ed so the non-generic
+    /// ticket can carry a handle without the plane's type parameters.
+    abandoned: Arc<AtomicBool>,
 }
 
 impl<Req, Resp> Shared<Req, Resp> {
@@ -125,6 +133,7 @@ where
             stats: CachePadded::new(StatCell::default()),
             wakeups: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
+            abandoned: Arc::new(AtomicBool::new(false)),
         });
         let responder_shared = Arc::clone(&shared);
         let responder_config = config;
@@ -241,12 +250,35 @@ fn responder_loop<Req, Resp>(
 }
 
 /// The mailbox's in-flight call: redeem with [`Requester::wait`] or
-/// [`Requester::try_wait`]. Non-clonable: holding it is the proof of
-/// submission ownership the redeem path relies on.
+/// [`Requester::try_wait`], or await the future minted by the async
+/// submit path (`hotcalls::aio`). Non-clonable: holding it is the proof
+/// of submission ownership the redeem path relies on.
+///
+/// Dropping the ticket unredeemed *abandons* the call: the next claimant
+/// that finds the completed response reaps (and discards) it, so a
+/// dropped ticket no longer wedges the mailbox.
 #[derive(Debug)]
-#[must_use = "a submitted call must be waited on, or the mailbox stays occupied"]
+#[must_use = "redeem the response by waiting, or drop to abandon the call"]
 pub struct MailTicket {
-    _sealed: (),
+    /// The plane's abandonment flag; `None` once the ticket has been
+    /// defused (redeemed through a wait path, so drop must not mark).
+    abandon: Option<Arc<AtomicBool>>,
+}
+
+impl MailTicket {
+    /// Takes over the redeem obligation from the drop guard: after this,
+    /// dropping the ticket is inert.
+    fn defuse(&mut self) {
+        self.abandon = None;
+    }
+}
+
+impl Drop for MailTicket {
+    fn drop(&mut self) {
+        if let Some(flag) = self.abandon.take() {
+            flag.store(true, Ordering::Release);
+        }
+    }
 }
 
 /// A handle for issuing HotCalls.
@@ -291,7 +323,48 @@ impl<Req, Resp> Requester<Req, Resp> {
     /// As [`Requester::call`]'s claim phase.
     pub fn submit(&self, id: u32, req: Req) -> Result<MailTicket> {
         self.claim_mailbox()?;
-        Ok(self.exchange(id, req))
+        Ok(self.exchange(id, req, false))
+    }
+
+    /// [`Requester::submit`] with the mailbox's waker cell armed: the
+    /// responder (or the shutdown sweep) fires a waker registered against
+    /// the returned ticket — the `hotcalls::aio` completion hook on the
+    /// single-slot plane.
+    pub(crate) fn submit_async(&self, id: u32, req: Req) -> Result<MailTicket> {
+        self.claim_mailbox()?;
+        Ok(self.exchange(id, req, true))
+    }
+
+    /// The future-side poll: redeem if complete, otherwise register
+    /// `cx`'s waker with the mailbox slot and stay pending. Takes the
+    /// ticket out of `ticket` exactly when it returns `Ready`.
+    pub(crate) fn poll_mail(
+        &self,
+        ticket: &mut Option<MailTicket>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<Resp>> {
+        assert!(ticket.is_some(), "future polled after completion");
+        let slot = &self.shared.slot;
+        if slot.state() == DONE || slot.register_waker(cx.waker()) {
+            ticket.take().expect("present above").defuse();
+            // SAFETY: holding the (non-clonable) ticket proves this caller
+            // submitted the in-flight call; DONE observed with Acquire.
+            return Poll::Ready(unsafe { slot.redeem() });
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            // The responder's final sweep may have completed the call
+            // between the registration above and the flag load.
+            if slot.state() == DONE {
+                ticket.take().expect("present above").defuse();
+                // SAFETY: as above.
+                return Poll::Ready(unsafe { slot.redeem() });
+            }
+            // Abandon the call (the drop marks it reapable) and surface
+            // the shutdown.
+            drop(ticket.take());
+            return Poll::Ready(Err(HotCallError::ResponderGone));
+        }
+        Poll::Pending
     }
 
     /// Waits for the in-flight call and returns its response.
@@ -300,8 +373,8 @@ impl<Req, Resp> Requester<Req, Resp> {
     ///
     /// [`HotCallError::ResponderGone`] if the server shut down first, or
     /// the handler's own error.
-    pub fn wait(&self, ticket: MailTicket) -> Result<Resp> {
-        let MailTicket { _sealed: () } = ticket;
+    pub fn wait(&self, mut ticket: MailTicket) -> Result<Resp> {
+        ticket.defuse();
         // Spin for completion with escalating backoff.
         let mut backoff = Backoff::new();
         let mut grace: u32 = 0;
@@ -335,6 +408,8 @@ impl<Req, Resp> Requester<Req, Resp> {
         if self.shared.slot.state() != DONE {
             return Err(ticket);
         }
+        let mut ticket = ticket;
+        ticket.defuse();
         // SAFETY: as in `wait` — the ticket proves submission ownership
         // and DONE was observed with Acquire.
         Ok(unsafe { self.shared.slot.redeem() })
@@ -350,6 +425,20 @@ impl<Req, Resp> Requester<Req, Resp> {
                 if self.shared.slot.try_claim() {
                     return Ok(());
                 }
+                // A completed call whose ticket was dropped unredeemed
+                // blocks the claim forever — reap it on the dropper's
+                // behalf. DONE is checked before the flag swap, and only
+                // one racing claimant wins the swap, so a live call is
+                // never redeemed out from under its waiter.
+                if self.shared.slot.state() == DONE
+                    && self.shared.abandoned.swap(false, Ordering::AcqRel)
+                {
+                    // SAFETY: the swap transferred the dropping
+                    // submitter's redeem ownership to this thread, and
+                    // DONE was observed with Acquire above.
+                    drop(unsafe { self.shared.slot.redeem() });
+                    continue;
+                }
                 if self.shared.shutdown.load(Ordering::Acquire) {
                     return Err(HotCallError::ResponderGone);
                 }
@@ -364,8 +453,14 @@ impl<Req, Resp> Requester<Req, Resp> {
     }
 
     /// Publishes a request into the already-claimed mailbox and returns
-    /// the in-flight ticket.
-    fn exchange(&self, id: u32, req: Req) -> MailTicket {
+    /// the in-flight ticket. With `arm`, the slot's waker cell is armed
+    /// before publish so the responder fires the future's waker.
+    fn exchange(&self, id: u32, req: Req, arm: bool) -> MailTicket {
+        if arm {
+            // Before publish: the SUBMITTED Release store carries the
+            // armed flag to the responder, so its wake cannot be missed.
+            self.shared.slot.arm_async();
+        }
         // SAFETY: the caller won `claim_mailbox`'s EMPTY→CLAIMED CAS,
         // which grants this thread exclusive write access to the request
         // cell.
@@ -374,7 +469,9 @@ impl<Req, Resp> Requester<Req, Resp> {
         if self.shared.doze.wake() {
             self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
         }
-        MailTicket { _sealed: () }
+        MailTicket {
+            abandon: Some(Arc::clone(&self.shared.abandoned)),
+        }
     }
 
     /// Issues a call, running `fallback` locally if the fast path times
@@ -389,7 +486,7 @@ impl<Req, Resp> Requester<Req, Resp> {
     {
         match self.claim_mailbox() {
             Ok(()) => {
-                let t = self.exchange(id, req);
+                let t = self.exchange(id, req, false);
                 self.wait(t)
             }
             Err(HotCallError::ResponderTimeout { .. }) => Ok(fallback(req)),

@@ -39,7 +39,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::config::{FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy};
 use crate::error::{HotCallError, Result};
@@ -49,7 +51,7 @@ use crate::telemetry::{
 };
 
 use super::pool;
-use super::slot::{Backoff, CachePadded, CallSlot, Doze, StatCell, DONE, EMPTY};
+use super::slot::{AbandonBoard, Backoff, CachePadded, CallSlot, Doze, StatCell, DONE, EMPTY};
 use super::CallTable;
 
 /// Grace polls a waiter grants the shutdown sweep before giving up on a
@@ -59,6 +61,10 @@ const SHUTDOWN_GRACE_POLLS: u32 = 100_000;
 /// Poll interval at which a waiter treats its in-flight call as "aging"
 /// and nudges the governor to raise the active-responder target.
 const AGE_POLLS_PER_RAISE: u32 = 4_096;
+
+/// Poll interval at which a deadline-bounded wait re-reads the clock.
+/// `Instant::now` is a vDSO call — cheap, but not spin-loop cheap.
+pub(super) const DEADLINE_CHECK_POLLS: u32 = 64;
 
 /// What one ring slot carries callee-bound: a single call's request (the
 /// call id rides in the slot's id word) or a bundle of `(id, request)`
@@ -218,6 +224,9 @@ pub(super) struct RingShared<Req, Resp> {
     /// requester reaps — shared `fetch_add` cell, but strictly *after*
     /// the call completed, so it never touches the service critical path.
     pub(super) reap_hist: CachePadded<AtomicHist>,
+    /// Dropped-unredeemed ticket registry (see [`AbandonBoard`]): tickets
+    /// hold a clone, claimants lapping onto a marked slot reap it.
+    pub(super) abandon: Arc<AbandonBoard>,
     // Requester-side event counters; rare, so shared RMWs are fine.
     fallbacks: AtomicU64,
     wakeups: AtomicU64,
@@ -281,6 +290,29 @@ impl<Req, Resp> RingShared<Req, Resp> {
             wakes: self.governor.wakes.load(Ordering::Relaxed),
             min: self.governor.policy.min,
             max: self.governor.policy.max,
+        }
+    }
+
+    /// Reaps the slot a claimant at sequence `head` is lapping onto, if
+    /// (and only if) its occupant is a completed call whose ticket was
+    /// dropped unredeemed. The occupant of slot `head % cap` at claim
+    /// sequence `head` is exactly `head - cap`, so the board's
+    /// exact-sequence CAS can neither match a live call nor hand the
+    /// reap to two racing claimants.
+    pub(super) fn try_reap_abandoned(&self, head: usize) {
+        let cap = self.slots.len();
+        let slot = &self.slots[head % cap];
+        if slot.state() != DONE {
+            // Not completed yet (or still live mid-service): the mark, if
+            // any, stays on the board for a later lap.
+            return;
+        }
+        let seq = head.wrapping_sub(cap);
+        if self.abandon.try_take(seq) {
+            // SAFETY: winning the exact-sequence CAS transferred the
+            // dropping submitter's redeem ownership to this thread, and
+            // DONE was observed with Acquire above.
+            drop(unsafe { slot.redeem() });
         }
     }
 
@@ -433,6 +465,7 @@ where
                 .map(|_| CachePadded::new(StatCell::default()))
                 .collect(),
             reap_hist: CachePadded::new(AtomicHist::new()),
+            abandon: AbandonBoard::new(capacity),
             fallbacks: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
             fused_runs: AtomicU64::new(0),
@@ -557,11 +590,21 @@ impl<Req, Resp> Clone for RingRequester<Req, Resp> {
 }
 
 /// An in-flight call: redeem with [`RingRequester::wait`],
-/// [`RingRequester::try_wait`] or [`RingRequester::wait_any`].
+/// [`RingRequester::try_wait`] or [`RingRequester::wait_any`], or await
+/// the future minted by the async submit paths (`hotcalls::aio`).
+///
+/// Dropping a ticket unredeemed *abandons* the call: the drop marks the
+/// slot on the plane's [`AbandonBoard`], and the next claimant that laps
+/// onto the completed slot reaps the stale response. The response value
+/// is discarded, but the slot is released — a dropped ticket no longer
+/// wedges the ring.
 #[derive(Debug)]
-#[must_use = "a ticket must be waited on, or its slot stays occupied"]
+#[must_use = "redeem the response by waiting, or drop to abandon the call"]
 pub struct Ticket {
     pub(super) index: usize,
+    /// The plane's abandonment registry; `None` once the ticket has been
+    /// defused (redeemed through a wait path, so drop must not mark).
+    pub(super) board: Option<Arc<AbandonBoard>>,
 }
 
 impl Ticket {
@@ -571,14 +614,34 @@ impl Ticket {
     pub fn seq(&self) -> u64 {
         self.index as u64
     }
+
+    /// Takes over the redeem obligation from the drop guard: after this,
+    /// dropping the ticket is inert. Every redeeming path calls it right
+    /// before (or instead of) consuming the slot.
+    pub(super) fn defuse(&mut self) -> usize {
+        self.board = None;
+        self.index
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if let Some(board) = self.board.take() {
+            board.mark(self.index);
+        }
+    }
 }
 
 /// An in-flight bundle: redeem with [`RingRequester::wait_bundle`].
+/// Dropping it unredeemed abandons the bundle the same way dropping a
+/// [`Ticket`] abandons a single call.
 #[derive(Debug)]
-#[must_use = "a bundle ticket must be waited on, or its slot stays occupied"]
+#[must_use = "redeem the results by waiting, or drop to abandon the bundle"]
 pub struct BundleTicket {
     pub(super) index: usize,
     pub(super) len: usize,
+    /// See [`Ticket::board`].
+    pub(super) board: Option<Arc<AbandonBoard>>,
 }
 
 impl BundleTicket {
@@ -591,6 +654,20 @@ impl BundleTicket {
     /// pair.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// See [`Ticket::defuse`].
+    pub(super) fn defuse(&mut self) -> usize {
+        self.board = None;
+        self.index
+    }
+}
+
+impl Drop for BundleTicket {
+    fn drop(&mut self) {
+        if let Some(board) = self.board.take() {
+            board.mark(self.index);
+        }
     }
 }
 
@@ -717,12 +794,15 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     /// slot sequence. On failure the envelope is handed back so the
     /// caller can recover the request payloads (the fallback path). With
     /// `allow_fuse` (and [`FusedMode::Always`]), the requester services
-    /// its own submission inline instead of waking a responder.
+    /// its own submission inline instead of waking a responder. With
+    /// `arm`, the slot's waker cell is armed before publish so the
+    /// completing side fires the future's waker (the async submit paths).
     fn submit_envelope(
         &self,
         id: u32,
         env: ReqEnvelope<Req>,
         allow_fuse: bool,
+        arm: bool,
     ) -> core::result::Result<usize, (HotCallError, ReqEnvelope<Req>)> {
         let cap = self.shared.slots.len();
         let gov = &self.shared.governor;
@@ -755,8 +835,11 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 // response from the previous lap (a responder advanced
                 // `tail` before that requester called `wait`); it only
                 // becomes EMPTY when redeemed. Never claim a non-empty
-                // slot.
+                // slot — but if its occupant was *abandoned* (ticket
+                // dropped unredeemed), reap it here so the lap can
+                // proceed instead of wedging.
                 if self.shared.slots[head % cap].state() != EMPTY {
+                    self.shared.try_reap_abandoned(head);
                     core::hint::spin_loop();
                     continue;
                 }
@@ -774,6 +857,12 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 // very submission to be serviced and redeemed.
                 let slot = &self.shared.slots[head % cap];
                 slot.mark_claimed();
+                if arm {
+                    // Before publish: the SUBMITTED Release store carries
+                    // the armed flag to whichever thread completes the
+                    // call, so its wake cannot be missed.
+                    slot.arm_async();
+                }
                 // Async submissions fuse only under an explicit `Always`.
                 // The caller chose the pipelined API to overlap work, and
                 // under `Auto` an inline completion would collapse
@@ -824,20 +913,74 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     ///
     /// An un-redeemed ticket keeps its ring slot occupied, so a
     /// submission that laps the ring onto such a slot blocks until the
-    /// ticket is redeemed (and times out if it never is). Pipelined
-    /// callers should keep fewer than `capacity` calls in flight and
-    /// redeem a ticket whose sequence number is one full lap behind the
-    /// submission count before submitting past it.
+    /// ticket is redeemed (or, if the ticket was dropped, reaps the
+    /// abandoned response itself). Pipelined callers should keep fewer
+    /// than `capacity` calls in flight and redeem a ticket whose sequence
+    /// number is one full lap behind the submission count before
+    /// submitting past it.
     ///
     /// # Errors
     ///
     /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
     /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
     pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
-        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
-            Ok(index) => Ok(Ticket { index }),
+        match self.submit_envelope(id, ReqEnvelope::One(req), true, false) {
+            Ok(index) => Ok(Ticket {
+                index,
+                board: Some(Arc::clone(&self.shared.abandon)),
+            }),
             Err((e, _)) => Err(e),
         }
+    }
+
+    /// [`RingRequester::submit`] with the slot's waker cell armed: the
+    /// completing side (responder, fused-inline service, or the shutdown
+    /// sweep) fires a waker registered against the returned ticket, which
+    /// is what gives the `hotcalls::aio` futures completion wakes without
+    /// any busy polling.
+    pub(crate) fn submit_async(&self, id: u32, req: Req) -> Result<Ticket> {
+        match self.submit_envelope(id, ReqEnvelope::One(req), true, true) {
+            Ok(index) => Ok(Ticket {
+                index,
+                board: Some(Arc::clone(&self.shared.abandon)),
+            }),
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// The future-side poll: redeem if complete, otherwise register
+    /// `cx`'s waker with the slot and stay pending. Takes the ticket out
+    /// of `ticket` exactly when it returns `Ready`.
+    pub(crate) fn poll_ticket(
+        &self,
+        ticket: &mut Option<Ticket>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<Resp>> {
+        let index = ticket
+            .as_ref()
+            .expect("future polled after completion")
+            .index;
+        let cap = self.shared.slots.len();
+        let slot = &self.shared.slots[index % cap];
+        if slot.state() == DONE || slot.register_waker(cx.waker()) {
+            ticket.take().expect("present above").defuse();
+            return Poll::Ready(self.redeem_one(index));
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            // The drain sweep may have completed the call between the
+            // registration above and the flag load; deliver if so.
+            if slot.state() == DONE {
+                ticket.take().expect("present above").defuse();
+                return Poll::Ready(self.redeem_one(index));
+            }
+            // A submission that raced the flag may never be serviced; a
+            // future cannot grace-spin the way the sync waiters do, so
+            // abandon the call (the drop marks the slot reapable) and
+            // surface the shutdown.
+            drop(ticket.take());
+            return Poll::Ready(Err(HotCallError::ResponderGone));
+        }
+        Poll::Pending
     }
 
     /// Packs `bundle` into one ring submission: one slot claim, one
@@ -856,8 +999,12 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         }
         let len = bundle.len();
         trace("bundle_submit", len as u64, 0);
-        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls), true) {
-            Ok(index) => Ok(BundleTicket { index, len }),
+        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls), true, false) {
+            Ok(index) => Ok(BundleTicket {
+                index,
+                len,
+                board: Some(Arc::clone(&self.shared.abandon)),
+            }),
             Err((e, _)) => Err(e),
         }
     }
@@ -899,20 +1046,16 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         }
     }
 
-    /// Waits for a submitted call to complete and returns its response.
-    ///
-    /// # Errors
-    ///
-    /// [`HotCallError::ResponderGone`] if the server shut down first, or
-    /// the handler's own error.
-    pub fn wait(&self, ticket: Ticket) -> Result<Resp> {
-        self.wait_done(ticket.index)?;
+    /// Redeems the single-call response sitting DONE at `index`. The
+    /// caller must be (or act for) the submitter and must have observed
+    /// `DONE` with Acquire.
+    fn redeem_one(&self, index: usize) -> Result<Resp> {
         let cap = self.shared.slots.len();
-        let slot = &self.shared.slots[ticket.index % cap];
+        let slot = &self.shared.slots[index % cap];
         // Read the completion stamp before redeeming: redeem frees the
         // slot for re-claim, after which the stamp belongs to a new call.
         let completed_at = slot.completed_at();
-        // SAFETY: this requester submitted the call at `ticket.index` and
+        // SAFETY: this requester submitted the call at `index` and
         // observed DONE with Acquire; only the submitter redeems a slot,
         // and the previous lap's DONE was redeemed before this slot could
         // be claimed again, so this DONE is ours.
@@ -927,6 +1070,24 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         result
     }
 
+    /// Wait + redeem by raw slot sequence: the synchronous call paths use
+    /// this directly so they never mint a ticket (and never touch the
+    /// abandonment board) at all.
+    fn wait_index(&self, index: usize) -> Result<Resp> {
+        self.wait_done(index)?;
+        self.redeem_one(index)
+    }
+
+    /// Waits for a submitted call to complete and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderGone`] if the server shut down first, or
+    /// the handler's own error.
+    pub fn wait(&self, mut ticket: Ticket) -> Result<Resp> {
+        self.wait_index(ticket.defuse())
+    }
+
     /// Redeems the response if the call already completed, or hands the
     /// ticket back untouched — the non-blocking reap primitive for
     /// poll-style event loops.
@@ -936,18 +1097,8 @@ impl<Req, Resp> RingRequester<Req, Resp> {
         if slot.state() != DONE {
             return Err(ticket);
         }
-        let completed_at = slot.completed_at();
-        // SAFETY: as in `wait` — DONE observed with Acquire by the
-        // submitting requester.
-        let result = match unsafe { slot.redeem() } {
-            Ok(RespEnvelope::One(resp)) => Ok(resp),
-            Ok(RespEnvelope::Bundle(_)) => {
-                unreachable!("a Ticket is only minted for single-call submissions")
-            }
-            Err(e) => Err(e),
-        };
-        self.shared.record_reap(completed_at);
-        Ok(result)
+        let mut ticket = ticket;
+        Ok(self.redeem_one(ticket.defuse()))
     }
 
     /// Waits until *any* of `tickets` completes, removes it from the set,
@@ -968,11 +1119,57 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 "wait_any needs at least one ticket",
             ));
         }
+        let reaped = self.wait_any_inner(tickets, None)?;
+        Ok(reaped.expect("a deadline-free wait_any only returns on a completion"))
+    }
+
+    /// [`RingRequester::wait_any`] bounded by a deadline: returns
+    /// `Ok(None)` — with every ticket left in the set — if nothing
+    /// completes by `deadline` (or the set is empty). The primitive that
+    /// lets async reapers and graceful shutdown stop parking forever on
+    /// an idle plane.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::wait_any`], except that an empty set is
+    /// `Ok(None)` instead of an error.
+    pub fn wait_any_until(
+        &self,
+        tickets: &mut Vec<Ticket>,
+        deadline: Instant,
+    ) -> Result<Option<(u64, Resp)>> {
+        if tickets.is_empty() {
+            return Ok(None);
+        }
+        self.wait_any_inner(tickets, Some(deadline))
+    }
+
+    /// [`RingRequester::wait_any_until`] with a relative timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`RingRequester::wait_any_until`].
+    pub fn wait_any_timeout(
+        &self,
+        tickets: &mut Vec<Ticket>,
+        timeout: Duration,
+    ) -> Result<Option<(u64, Resp)>> {
+        if tickets.is_empty() {
+            return Ok(None);
+        }
+        self.wait_any_inner(tickets, Some(Instant::now() + timeout))
+    }
+
+    fn wait_any_inner(
+        &self,
+        tickets: &mut Vec<Ticket>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(u64, Resp)>> {
         let cap = self.shared.slots.len();
         let gov = &self.shared.governor;
         let mut backoff = Backoff::new();
         let mut grace: u32 = 0;
-        let mut age_polls: u32 = 0;
+        let mut polls: u32 = 0;
         loop {
             // Redeem the *oldest* completed ticket (ring indices are
             // monotonic), never just the first one found. With
@@ -992,21 +1189,20 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                 }
             }
             if let Some(i) = oldest {
-                let slot = &self.shared.slots[tickets[i].index % cap];
-                let ticket = tickets.swap_remove(i);
+                let mut ticket = tickets.swap_remove(i);
                 let seq = ticket.seq();
-                let completed_at = slot.completed_at();
-                // SAFETY: as in `wait` — DONE observed with Acquire by the
-                // submitting requester, for a ticket this requester owns.
-                let result = match unsafe { slot.redeem() } {
-                    Ok(RespEnvelope::One(resp)) => Ok((seq, resp)),
-                    Ok(RespEnvelope::Bundle(_)) => {
-                        unreachable!("a Ticket is only minted for single-call submissions")
+                let index = ticket.defuse();
+                return self.redeem_one(index).map(|resp| Some((seq, resp)));
+            }
+            // Deadline check on a stride: `Instant::now` per spin would
+            // dominate the wait loop. The first iteration checks too, so
+            // an already-expired deadline still gets exactly one scan.
+            if polls.is_multiple_of(DEADLINE_CHECK_POLLS) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Ok(None);
                     }
-                    Err(e) => Err(e),
-                };
-                self.shared.record_reap(completed_at);
-                return result;
+                }
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
                 grace += 1;
@@ -1014,8 +1210,8 @@ impl<Req, Resp> RingRequester<Req, Resp> {
                     return Err(HotCallError::ResponderGone);
                 }
             }
-            age_polls += 1;
-            if gov.adaptive() && age_polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
+            polls = polls.wrapping_add(1);
+            if gov.adaptive() && polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
                 gov.try_raise();
             }
             backoff.snooze();
@@ -1030,10 +1226,11 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     /// [`HotCallError::ResponderGone`] if the server shut down before the
     /// bundle was serviced. Per-call failures stay *inside* the returned
     /// vector.
-    pub fn wait_bundle(&self, ticket: BundleTicket) -> Result<Vec<Result<Resp>>> {
-        self.wait_done(ticket.index)?;
+    pub fn wait_bundle(&self, mut ticket: BundleTicket) -> Result<Vec<Result<Resp>>> {
+        let index = ticket.defuse();
+        self.wait_done(index)?;
         let cap = self.shared.slots.len();
-        let slot = &self.shared.slots[ticket.index % cap];
+        let slot = &self.shared.slots[index % cap];
         let completed_at = slot.completed_at();
         // SAFETY: as in `wait` — DONE observed with Acquire by the
         // submitting requester.
@@ -1081,8 +1278,8 @@ impl<Req, Resp> RingRequester<Req, Resp> {
             self.note_fused_fallback(id as u64);
         }
         // Fusing was declined here; don't re-attempt it inside submit.
-        match self.submit_envelope(id, ReqEnvelope::One(req), false) {
-            Ok(index) => self.wait(Ticket { index }),
+        match self.submit_envelope(id, ReqEnvelope::One(req), false, false) {
+            Ok(index) => self.wait_index(index),
             Err((e, _)) => Err(e),
         }
     }
@@ -1108,8 +1305,8 @@ impl<Req, Resp> RingRequester<Req, Resp> {
     where
         F: FnOnce(Req) -> Resp,
     {
-        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
-            Ok(index) => self.wait(Ticket { index }),
+        match self.submit_envelope(id, ReqEnvelope::One(req), true, false) {
+            Ok(index) => self.wait_index(index),
             Err((HotCallError::ResponderTimeout { .. }, ReqEnvelope::One(req))) => {
                 Ok(fallback(req))
             }

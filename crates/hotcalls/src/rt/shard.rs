@@ -30,7 +30,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::config::{
     FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
@@ -45,8 +47,11 @@ use sgx_sim::{Placement, Topology};
 use super::pool::{service_slot, service_slot_inline, WIN_CREDIT_POLLS};
 use super::ring::{
     Bundle, BundleTicket, GovernorState, ReqEnvelope, RespEnvelope, RingShared, RingSlot, Ticket,
+    DEADLINE_CHECK_POLLS,
 };
-use super::slot::{Backoff, CachePadded, CallSlot, Doze, StatCell, DONE, EMPTY, SUBMITTED};
+use super::slot::{
+    AbandonBoard, Backoff, CachePadded, CallSlot, Doze, StatCell, DONE, EMPTY, SUBMITTED,
+};
 use super::CallTable;
 
 /// Grace polls a waiter grants the shutdown sweep before giving up on a
@@ -73,6 +78,10 @@ struct Shard<Req, Resp> {
     /// Submissions to this shard whose wakeup was redirected to a sibling
     /// responder (home responder parked or saturated).
     cross_shard_wakes: AtomicU64,
+    /// Dropped-unredeemed tickets for this shard's slots (see
+    /// [`AbandonBoard`]); one board per shard because slot sequences are
+    /// per-shard.
+    abandon: Arc<AbandonBoard>,
 }
 
 impl<Req, Resp> Shard<Req, Resp> {
@@ -83,6 +92,26 @@ impl<Req, Resp> Shard<Req, Resp> {
             tail: CachePadded::new(AtomicUsize::new(0)),
             doze: Doze::new(),
             cross_shard_wakes: AtomicU64::new(0),
+            abandon: AbandonBoard::new(capacity),
+        }
+    }
+
+    /// Reaps the slot a claimant at sequence `head` is lapping onto, if
+    /// its occupant is a completed call whose ticket was dropped
+    /// unredeemed (see [`RingShared::try_reap_abandoned`] — same
+    /// exact-sequence discipline, scoped to this shard's board).
+    fn try_reap_abandoned(&self, head: usize) {
+        let cap = self.slots.len();
+        let slot = &self.slots[head % cap];
+        if slot.state() != DONE {
+            return;
+        }
+        let seq = head.wrapping_sub(cap);
+        if self.abandon.try_take(seq) {
+            // SAFETY: winning the exact-sequence CAS transferred the
+            // dropping submitter's redeem ownership to this thread, and
+            // DONE was observed with Acquire above.
+            drop(unsafe { slot.redeem() });
         }
     }
 
@@ -885,12 +914,15 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
     /// failure the envelope is handed back so the caller can recover the
     /// request payloads (the fallback path). With `allow_fuse` (and
     /// [`FusedMode::Always`]), the submission is serviced inline by this
-    /// thread right after publishing — no handoff, no wake.
+    /// thread right after publishing — no handoff, no wake. With `arm`,
+    /// the slot's waker cell is armed before publish so the completing
+    /// side fires the future's waker (the async submit paths).
     fn submit_envelope(
         &self,
         id: u32,
         env: ReqEnvelope<Req>,
         allow_fuse: bool,
+        arm: bool,
     ) -> core::result::Result<usize, (HotCallError, ReqEnvelope<Req>)> {
         let shard = &self.shared.shards[self.home];
         let cap = shard.slots.len();
@@ -918,8 +950,11 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
                 }
                 // The target slot may still hold an un-redeemed DONE
                 // response from the previous lap; never claim a non-empty
-                // slot.
+                // slot — but if its occupant was *abandoned* (ticket
+                // dropped unredeemed), reap it here so the lap can
+                // proceed instead of wedging.
                 if shard.slots[head % cap].state() != EMPTY {
+                    shard.try_reap_abandoned(head);
                     core::hint::spin_loop();
                     continue;
                 }
@@ -934,6 +969,12 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
                 // the single-ring plane.
                 let slot = &shard.slots[head % cap];
                 slot.mark_claimed();
+                if arm {
+                    // Before publish: the SUBMITTED Release store carries
+                    // the armed flag to whichever thread completes the
+                    // call, so its wake cannot be missed.
+                    slot.arm_async();
+                }
                 // Async submissions fuse only under an explicit `Always`.
                 // The caller chose the pipelined API to overlap work, and
                 // under `Auto` an inline completion would collapse
@@ -984,10 +1025,61 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
     /// [`HotCallError::ResponderTimeout`] if no slot frees up within the
     /// retry budget; [`HotCallError::ResponderGone`] after shutdown.
     pub fn submit(&self, id: u32, req: Req) -> Result<Ticket> {
-        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
-            Ok(index) => Ok(Ticket { index }),
+        match self.submit_envelope(id, ReqEnvelope::One(req), true, false) {
+            Ok(index) => Ok(Ticket {
+                index,
+                board: Some(Arc::clone(&self.shared.shards[self.home].abandon)),
+            }),
             Err((e, _)) => Err(e),
         }
+    }
+
+    /// [`ShardedRequester::submit`] with the slot's waker cell armed: the
+    /// completing side (home responder, stealer, fused-inline service or
+    /// the shutdown sweep) fires a waker registered against the returned
+    /// ticket — the `hotcalls::aio` completion hook on the sharded plane.
+    pub(crate) fn submit_async(&self, id: u32, req: Req) -> Result<Ticket> {
+        match self.submit_envelope(id, ReqEnvelope::One(req), true, true) {
+            Ok(index) => Ok(Ticket {
+                index,
+                board: Some(Arc::clone(&self.shared.shards[self.home].abandon)),
+            }),
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    /// The future-side poll: redeem if complete, otherwise register
+    /// `cx`'s waker with the home-shard slot and stay pending. Takes the
+    /// ticket out of `ticket` exactly when it returns `Ready`.
+    pub(crate) fn poll_ticket(
+        &self,
+        ticket: &mut Option<Ticket>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<Resp>> {
+        let index = ticket
+            .as_ref()
+            .expect("future polled after completion")
+            .index;
+        let shard = &self.shared.shards[self.home];
+        let slot = &shard.slots[index % shard.slots.len()];
+        if slot.state() == DONE || slot.register_waker(cx.waker()) {
+            ticket.take().expect("present above").defuse();
+            return Poll::Ready(self.redeem_one(index));
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            // The drain sweep may have completed the call between the
+            // registration above and the flag load; deliver if so.
+            if slot.state() == DONE {
+                ticket.take().expect("present above").defuse();
+                return Poll::Ready(self.redeem_one(index));
+            }
+            // A submission that raced the flag may never be serviced;
+            // abandon the call (the drop marks the slot reapable) and
+            // surface the shutdown.
+            drop(ticket.take());
+            return Poll::Ready(Err(HotCallError::ResponderGone));
+        }
+        Poll::Pending
     }
 
     /// Packs `bundle` into one home-shard submission (one claim, one
@@ -1005,8 +1097,12 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         }
         let len = bundle.len();
         trace("bundle_submit", len as u64, self.home as u64);
-        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls), true) {
-            Ok(index) => Ok(BundleTicket { index, len }),
+        match self.submit_envelope(0, ReqEnvelope::Bundle(bundle.calls), true, false) {
+            Ok(index) => Ok(BundleTicket {
+                index,
+                len,
+                board: Some(Arc::clone(&self.shared.shards[self.home].abandon)),
+            }),
             Err((e, _)) => Err(e),
         }
     }
@@ -1041,21 +1137,17 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         }
     }
 
-    /// Waits for a submitted call and returns its response.
-    ///
-    /// # Errors
-    ///
-    /// [`HotCallError::ResponderGone`] if the server shut down first, or
-    /// the handler's own error.
-    pub fn wait(&self, ticket: Ticket) -> Result<Resp> {
-        self.wait_done(ticket.index)?;
+    /// Redeems the single-call response sitting DONE at `index` on the
+    /// home shard. The caller must be (or act for) the submitter and must
+    /// have observed `DONE` with Acquire.
+    fn redeem_one(&self, index: usize) -> Result<Resp> {
         let shard = &self.shared.shards[self.home];
-        let slot = &shard.slots[ticket.index % shard.slots.len()];
+        let slot = &shard.slots[index % shard.slots.len()];
         // Read the completion stamp before redeeming frees the slot.
         let completed_at = slot.completed_at();
-        // SAFETY: this requester submitted the call at `ticket.index` on
-        // its home shard and observed DONE with Acquire; only the
-        // submitter redeems a slot.
+        // SAFETY: this requester submitted the call at `index` on its
+        // home shard and observed DONE with Acquire; only the submitter
+        // redeems a slot.
         let result = match unsafe { slot.redeem() } {
             Ok(RespEnvelope::One(resp)) => Ok(resp),
             Ok(RespEnvelope::Bundle(_)) => {
@@ -1067,6 +1159,24 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         result
     }
 
+    /// Wait + redeem by raw slot sequence: the synchronous call paths use
+    /// this directly so they never mint a ticket (and never touch the
+    /// abandonment board) at all.
+    fn wait_index(&self, index: usize) -> Result<Resp> {
+        self.wait_done(index)?;
+        self.redeem_one(index)
+    }
+
+    /// Waits for a submitted call and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::ResponderGone`] if the server shut down first, or
+    /// the handler's own error.
+    pub fn wait(&self, mut ticket: Ticket) -> Result<Resp> {
+        self.wait_index(ticket.defuse())
+    }
+
     /// Redeems the response if the call already completed, or hands the
     /// ticket back untouched.
     pub fn try_wait(&self, ticket: Ticket) -> core::result::Result<Result<Resp>, Ticket> {
@@ -1075,18 +1185,8 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
         if slot.state() != DONE {
             return Err(ticket);
         }
-        let completed_at = slot.completed_at();
-        // SAFETY: as in `wait` — DONE observed with Acquire by the
-        // submitting requester.
-        let result = match unsafe { slot.redeem() } {
-            Ok(RespEnvelope::One(resp)) => Ok(resp),
-            Ok(RespEnvelope::Bundle(_)) => {
-                unreachable!("a Ticket is only minted for single-call submissions")
-            }
-            Err(e) => Err(e),
-        };
-        self.shared.record_reap(completed_at);
-        Ok(result)
+        let mut ticket = ticket;
+        Ok(self.redeem_one(ticket.defuse()))
     }
 
     /// Waits until *any* of `tickets` (all from this requester) completes,
@@ -1101,12 +1201,56 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
                 "wait_any needs at least one ticket",
             ));
         }
+        let reaped = self.wait_any_inner(tickets, None)?;
+        Ok(reaped.expect("a deadline-free wait_any only returns on a completion"))
+    }
+
+    /// [`ShardedRequester::wait_any`] bounded by a deadline: returns
+    /// `Ok(None)` — with every ticket left in the set — if nothing
+    /// completes by `deadline` (or the set is empty).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRequester::wait_any`], except that an empty set is
+    /// `Ok(None)` instead of an error.
+    pub fn wait_any_until(
+        &self,
+        tickets: &mut Vec<Ticket>,
+        deadline: Instant,
+    ) -> Result<Option<(u64, Resp)>> {
+        if tickets.is_empty() {
+            return Ok(None);
+        }
+        self.wait_any_inner(tickets, Some(deadline))
+    }
+
+    /// [`ShardedRequester::wait_any_until`] with a relative timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedRequester::wait_any_until`].
+    pub fn wait_any_timeout(
+        &self,
+        tickets: &mut Vec<Ticket>,
+        timeout: Duration,
+    ) -> Result<Option<(u64, Resp)>> {
+        if tickets.is_empty() {
+            return Ok(None);
+        }
+        self.wait_any_inner(tickets, Some(Instant::now() + timeout))
+    }
+
+    fn wait_any_inner(
+        &self,
+        tickets: &mut Vec<Ticket>,
+        deadline: Option<Instant>,
+    ) -> Result<Option<(u64, Resp)>> {
         let shard = &self.shared.shards[self.home];
         let cap = shard.slots.len();
         let gov = &self.shared.governor;
         let mut backoff = Backoff::new();
         let mut grace: u32 = 0;
-        let mut age_polls: u32 = 0;
+        let mut polls: u32 = 0;
         loop {
             // Redeem the *oldest* completed ticket (ring indices are
             // monotonic), never just the first one found. With
@@ -1126,20 +1270,20 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
                 }
             }
             if let Some(i) = oldest {
-                let slot = &shard.slots[tickets[i].index % cap];
-                let ticket = tickets.swap_remove(i);
+                let mut ticket = tickets.swap_remove(i);
                 let seq = ticket.seq();
-                let completed_at = slot.completed_at();
-                // SAFETY: as in `wait`, for a ticket this requester owns.
-                let result = match unsafe { slot.redeem() } {
-                    Ok(RespEnvelope::One(resp)) => Ok((seq, resp)),
-                    Ok(RespEnvelope::Bundle(_)) => {
-                        unreachable!("a Ticket is only minted for single-call submissions")
+                let index = ticket.defuse();
+                return self.redeem_one(index).map(|resp| Some((seq, resp)));
+            }
+            // Deadline check on a stride: `Instant::now` per spin would
+            // dominate the wait loop. The first iteration checks too, so
+            // an already-expired deadline still gets exactly one scan.
+            if polls.is_multiple_of(DEADLINE_CHECK_POLLS) {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Ok(None);
                     }
-                    Err(e) => Err(e),
-                };
-                self.shared.record_reap(completed_at);
-                return result;
+                }
             }
             if self.shared.shutdown.load(Ordering::Acquire) {
                 grace += 1;
@@ -1147,8 +1291,8 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
                     return Err(HotCallError::ResponderGone);
                 }
             }
-            age_polls += 1;
-            if gov.adaptive() && age_polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
+            polls = polls.wrapping_add(1);
+            if gov.adaptive() && polls.is_multiple_of(AGE_POLLS_PER_RAISE) {
                 gov.try_raise();
             }
             backoff.snooze();
@@ -1161,10 +1305,11 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
     /// # Errors
     ///
     /// As [`super::RingRequester::wait_bundle`].
-    pub fn wait_bundle(&self, ticket: BundleTicket) -> Result<Vec<Result<Resp>>> {
-        self.wait_done(ticket.index)?;
+    pub fn wait_bundle(&self, mut ticket: BundleTicket) -> Result<Vec<Result<Resp>>> {
+        let index = ticket.defuse();
+        self.wait_done(index)?;
         let shard = &self.shared.shards[self.home];
-        let slot = &shard.slots[ticket.index % shard.slots.len()];
+        let slot = &shard.slots[index % shard.slots.len()];
         let completed_at = slot.completed_at();
         // SAFETY: as in `wait` — DONE observed with Acquire by the
         // submitting requester.
@@ -1206,8 +1351,8 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
             self.note_fused_fallback(id as u64);
         }
         // Fusing was declined here; don't re-attempt it inside submit.
-        match self.submit_envelope(id, ReqEnvelope::One(req), false) {
-            Ok(index) => self.wait(Ticket { index }),
+        match self.submit_envelope(id, ReqEnvelope::One(req), false, false) {
+            Ok(index) => self.wait_index(index),
             Err((e, _)) => Err(e),
         }
     }
@@ -1229,8 +1374,8 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
     where
         F: FnOnce(Req) -> Resp,
     {
-        match self.submit_envelope(id, ReqEnvelope::One(req), true) {
-            Ok(index) => self.wait(Ticket { index }),
+        match self.submit_envelope(id, ReqEnvelope::One(req), true, false) {
+            Ok(index) => self.wait_index(index),
             Err((HotCallError::ResponderTimeout { .. }, ReqEnvelope::One(req))) => {
                 Ok(fallback(req))
             }

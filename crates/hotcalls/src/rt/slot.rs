@@ -17,6 +17,8 @@
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::Waker;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -61,6 +63,36 @@ pub(crate) const SERVICING: u8 = 3;
 /// Response payload is published; the submitting requester may redeem it.
 pub(crate) const DONE: u8 = 4;
 
+/// Waker-cell states for the async completion protocol (`wake_state`).
+/// Sync calls never leave `W_IDLE`, so the only cost they pay is one
+/// relaxed-ish load in [`CallSlot::finish`] and one in
+/// [`CallSlot::redeem`].
+///
+/// Transitions (all RMWs on one atomic, hence totally ordered):
+///
+/// ```text
+///   submit_async:            IDLE  -> ARMED          (plain store, pre-publish)
+///   future poll (register):  ARMED -> BUSY -> SET    (CAS, write waker, store)
+///   re-register:             SET   -> BUSY -> SET
+///   completer (no waker):    ARMED -> FIRED          (CAS)
+///   completer (waker set):   SET   -> BUSY -> FIRED  (CAS, take+wake, store)
+///   redeem (clear):          FIRED -> IDLE           (after spinning for FIRED)
+/// ```
+///
+/// `FIRED` is terminal for a call: the redeemer spins until the completer
+/// reaches it before releasing the slot, so a descheduled completer can
+/// never touch the *next* call's arming through a recycled slot.
+const W_IDLE: u8 = 0;
+/// An async submitter armed the slot; no waker stored yet.
+const W_ARMED: u8 = 1;
+/// One side holds exclusive access to the waker cell (short critical
+/// section: a clone-store or a take).
+const W_BUSY: u8 = 2;
+/// A waker is stored and will be fired on completion.
+const W_SET: u8 = 3;
+/// Completion ran its half of the protocol; terminal until redeem.
+const W_FIRED: u8 = 4;
+
 /// One call slot: the state word on its own cache line, then the request
 /// and response payload cells.
 ///
@@ -91,6 +123,12 @@ pub(crate) struct CallSlot<Req, Resp> {
     /// requester to measure reap latency. Same ownership argument as
     /// `t_submit`.
     t_complete: AtomicU64,
+    /// Async completion protocol state (`W_*` constants). Guards `waker`.
+    wake_state: AtomicU8,
+    /// The waker a pending future registered, fired exactly once by the
+    /// completing side. Access is granted by holding `W_BUSY` (or by the
+    /// terminal `W_FIRED`/`Drop` exclusivity).
+    waker: UnsafeCell<Option<Waker>>,
     req: UnsafeCell<MaybeUninit<(u32, Req)>>,
     resp: UnsafeCell<MaybeUninit<Result<Resp>>>,
 }
@@ -107,6 +145,8 @@ impl<Req, Resp> CallSlot<Req, Resp> {
             state: CachePadded::new(AtomicU8::new(EMPTY)),
             t_submit: AtomicU64::new(0),
             t_complete: AtomicU64::new(0),
+            wake_state: AtomicU8::new(W_IDLE),
+            waker: UnsafeCell::new(None),
             req: UnsafeCell::new(MaybeUninit::uninit()),
             resp: UnsafeCell::new(MaybeUninit::uninit()),
         }
@@ -206,6 +246,11 @@ impl<Req, Resp> CallSlot<Req, Resp> {
             self.t_complete.store(now_cycles(), Ordering::Relaxed);
         }
         self.state.store(DONE, Ordering::Release);
+        // Fire any waker an async submitter armed. This single hook covers
+        // every completion path — pooled responder, fused inline service,
+        // mailbox responder, and the shutdown sweep — because they all
+        // publish through `finish`.
+        self.wake_async();
     }
 
     /// Takes the response out and frees the slot: `DONE → EMPTY`.
@@ -219,10 +264,132 @@ impl<Req, Resp> CallSlot<Req, Resp> {
     #[inline]
     pub(crate) unsafe fn redeem(&self) -> Result<Resp> {
         let payload = (*self.resp.get()).assume_init_read();
+        // Quiesce the async protocol *before* releasing the slot: a
+        // completer descheduled between its DONE store and its wake-state
+        // transition must not be left able to fire the next call's arming.
+        self.clear_async();
         // Release: the next claimant's Acquire (CAS or counter chain) must
         // see the payload as consumed before it rewrites the cells.
         self.state.store(EMPTY, Ordering::Release);
         payload
+    }
+
+    // ------------------------------------------------ async completion --
+
+    /// Arms the waker cell for an async submission. Must be called while
+    /// holding the claim, *before* [`Self::publish`]: the `SUBMITTED`
+    /// Release store then carries the armed state to whichever thread
+    /// completes the call, so its [`Self::wake_async`] cannot miss it.
+    #[inline]
+    pub(crate) fn arm_async(&self) {
+        debug_assert_eq!(self.state.load(Ordering::Relaxed), CLAIMED);
+        self.wake_state.store(W_ARMED, Ordering::Relaxed);
+    }
+
+    /// Whether this slot's call was submitted with [`Self::arm_async`].
+    #[inline]
+    pub(crate) fn is_armed(&self) -> bool {
+        self.wake_state.load(Ordering::Relaxed) != W_IDLE
+    }
+
+    /// Stores (or replaces) the waker a pending future should be woken
+    /// with. Returns `true` when the completion already fired — the caller
+    /// must not wait for a wake and should poll the slot state directly
+    /// (the `Acquire` load of `W_FIRED` makes the `DONE` store visible).
+    ///
+    /// Only the submitting future's task calls this (one registrant); the
+    /// only contender for `W_BUSY` is the completer taking `SET -> FIRED`.
+    pub(crate) fn register_waker(&self, waker: &Waker) -> bool {
+        debug_assert!(self.is_armed(), "register_waker on an unarmed slot");
+        loop {
+            match self.wake_state.load(Ordering::Acquire) {
+                W_FIRED => return true,
+                cur @ (W_ARMED | W_SET) => {
+                    if self
+                        .wake_state
+                        .compare_exchange(cur, W_BUSY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    // SAFETY: winning the CAS to W_BUSY grants exclusive
+                    // access to the waker cell.
+                    unsafe { *self.waker.get() = Some(waker.clone()) };
+                    self.wake_state.store(W_SET, Ordering::Release);
+                    return false;
+                }
+                // W_BUSY: the completer is mid-take; it finishes in a few
+                // instructions and lands on W_FIRED.
+                _ => core::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// The completer's half of the protocol, run by [`Self::finish`] after
+    /// the `DONE` Release store: fire the registered waker (if any) and
+    /// land on the terminal `W_FIRED` so the redeemer can quiesce.
+    #[inline]
+    fn wake_async(&self) {
+        // Sync fast path: one load, nothing armed.
+        if self.wake_state.load(Ordering::Acquire) == W_IDLE {
+            return;
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            match self.wake_state.load(Ordering::Acquire) {
+                W_ARMED => {
+                    if self
+                        .wake_state
+                        .compare_exchange(W_ARMED, W_FIRED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                W_SET => {
+                    if self
+                        .wake_state
+                        .compare_exchange(W_SET, W_BUSY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // SAFETY: winning the CAS to W_BUSY grants
+                        // exclusive access to the waker cell.
+                        let w = unsafe { (*self.waker.get()).take() };
+                        // FIRED before waking: the woken poll must observe
+                        // the terminal state (and, through it, DONE).
+                        self.wake_state.store(W_FIRED, Ordering::Release);
+                        if let Some(w) = w {
+                            w.wake();
+                        }
+                        return;
+                    }
+                }
+                // W_BUSY: a registrant is mid-store; it reaches W_SET in a
+                // few instructions.
+                _ => backoff.snooze(),
+            }
+        }
+    }
+
+    /// The redeemer's half: wait for the completer to reach `W_FIRED`,
+    /// then reset to `W_IDLE`. Called by [`Self::redeem`] before the
+    /// `EMPTY` release so a recycled slot always starts quiesced.
+    #[inline]
+    fn clear_async(&self) {
+        // Sync fast path: one load, nothing armed.
+        if self.wake_state.load(Ordering::Acquire) == W_IDLE {
+            return;
+        }
+        let mut backoff = Backoff::new();
+        while self.wake_state.load(Ordering::Acquire) != W_FIRED {
+            // The completer is between its DONE store and its wake-state
+            // transition (or a registrant holds W_BUSY); both are bounded.
+            backoff.snooze();
+        }
+        // SAFETY: W_FIRED is terminal — no other thread touches the cell
+        // again this call, and `redeem`'s submitter-exclusivity covers us.
+        unsafe { (*self.waker.get()).take() };
+        self.wake_state.store(W_IDLE, Ordering::Release);
     }
 }
 
@@ -247,6 +414,9 @@ impl<Req, Resp> Drop for CallSlot<Req, Resp> {
             // was already moved out and the response not yet written.
             _ => {}
         }
+        // A waker registered for a call that never completed (shutdown
+        // stranding an armed submission) must be released too.
+        drop(self.waker.get_mut().take());
     }
 }
 
@@ -255,6 +425,49 @@ impl<Req, Resp> core::fmt::Debug for CallSlot<Req, Resp> {
         f.debug_struct("CallSlot")
             .field("state", &self.state.load(Ordering::Relaxed))
             .finish()
+    }
+}
+
+/// Dropped-unredeemed ticket registry, one cell per physical ring slot.
+///
+/// A ticket dropped without being waited used to wedge its slot forever:
+/// the call completes to `DONE`, nobody redeems it, and every claimant
+/// that laps onto the slot spins on the `EMPTY` check until shutdown. The
+/// board makes abandonment explicit: [`Ticket::drop`] marks the cell with
+/// the call's sequence number, and the claimant that next laps onto the
+/// slot reaps the stale response itself.
+///
+/// The cell stores `seq + 1` (`0` = no abandonment). Reaping is an
+/// exact-sequence CAS: the occupant of slot `head % cap` at claim
+/// sequence `head` is exactly `head - cap`, so a mark from any *earlier*
+/// lap can never falsely match, and at most one racing claimant wins the
+/// CAS — the redeem ownership the dropper relinquished transfers to
+/// exactly one thread.
+#[derive(Debug)]
+pub(crate) struct AbandonBoard {
+    cells: Box<[AtomicUsize]>,
+}
+
+impl AbandonBoard {
+    pub(crate) fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(AbandonBoard {
+            cells: (0..capacity).map(|_| AtomicUsize::new(0)).collect(),
+        })
+    }
+
+    /// Records that the ticket for call `seq` was dropped unredeemed.
+    #[inline]
+    pub(crate) fn mark(&self, seq: usize) {
+        self.cells[seq % self.cells.len()].store(seq.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Claims the reap of abandoned call `seq`; `true` transfers the
+    /// dropper's redeem ownership to the caller (exactly once).
+    #[inline]
+    pub(crate) fn try_take(&self, seq: usize) -> bool {
+        self.cells[seq % self.cells.len()]
+            .compare_exchange(seq.wrapping_add(1), 0, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
     }
 }
 
@@ -488,6 +701,61 @@ mod tests {
             unsafe { slot.finish(Ok(Arc::clone(&marker))) };
         }
         assert_eq!(Arc::strong_count(&marker), 1, "response payload leaked");
+    }
+
+    #[test]
+    fn armed_slot_fires_registered_waker() {
+        use std::sync::atomic::AtomicUsize;
+        use std::task::Wake;
+        struct Counter(AtomicUsize);
+        impl Wake for Counter {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        let waker = Waker::from(Arc::clone(&counter));
+
+        // Waker registered before completion: fired exactly once.
+        let slot: CallSlot<u64, u64> = CallSlot::new();
+        assert!(slot.try_claim());
+        slot.arm_async();
+        // SAFETY: claim held.
+        unsafe { slot.publish(0, 1) };
+        assert!(!slot.register_waker(&waker), "not complete yet");
+        // SAFETY: single thread; SUBMITTED observed; sole responder.
+        let (_, req) = unsafe { slot.take_request() };
+        // SAFETY: request taken above.
+        unsafe { slot.finish(Ok(req + 1)) };
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "waker fired once");
+        // Registration after the fire reports completion.
+        assert!(slot.register_waker(&waker));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        // SAFETY: submitter observed DONE.
+        assert_eq!(unsafe { slot.redeem() }.unwrap(), 2);
+        assert!(!slot.is_armed(), "redeem quiesces the waker cell");
+
+        // Completion before any registration: no wake, FIRED reported.
+        assert!(slot.try_claim());
+        slot.arm_async();
+        // SAFETY: claim held.
+        unsafe { slot.publish(0, 5) };
+        // SAFETY: as above — single thread walks the whole state machine.
+        let (_, req) = unsafe { slot.take_request() };
+        unsafe { slot.finish(Ok(req + 1)) };
+        assert!(slot.register_waker(&waker), "already fired");
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "no spurious wake");
+        // SAFETY: submitter observed DONE.
+        assert_eq!(unsafe { slot.redeem() }.unwrap(), 6);
+    }
+
+    #[test]
+    fn abandon_board_matches_exact_sequence_only() {
+        let board = AbandonBoard::new(4);
+        board.mark(6); // occupies cell 6 % 4 == 2
+        assert!(!board.try_take(2), "two-laps-stale seq must not match");
+        assert!(board.try_take(6), "exact seq reaps");
+        assert!(!board.try_take(6), "reap is exactly-once");
     }
 
     #[test]

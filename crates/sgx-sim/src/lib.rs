@@ -53,6 +53,7 @@ mod cycles;
 pub mod enclave;
 pub mod epc;
 mod error;
+pub mod eventloop;
 mod machine;
 pub mod mee;
 pub mod mem;
@@ -68,6 +69,7 @@ pub use config::{
 pub use cycles::{Clock, CycleFeed, CycleLedger, Cycles};
 pub use enclave::{Enclave, EnclaveId, EnclaveState, Measurement, PageType};
 pub use error::{Result, SgxError};
+pub use eventloop::{VirtualEpoll, VirtualEvent};
 pub use machine::{AccessKind, EnclaveBuildOptions, Machine, Measured, Telemetry};
 pub use mem::Addr;
 pub use seal::{SealError, SealPolicy, SealedBlob};

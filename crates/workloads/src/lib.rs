@@ -12,7 +12,9 @@
 //!   vs encrypted memory (Fig. 8), including the EPC-overflow cliff;
 //! * [`link`] — the 1 Gbit/s link model (935 Mbit/s measured ceiling);
 //! * [`phases`] — deterministic phase-shifting arrival plans (bursty →
-//!   idle → saturated) for the control-plane benches.
+//!   idle → saturated) for the control-plane benches;
+//! * [`openloop`] — seeded Poisson open-loop arrival schedules with
+//!   late-arrival accounting, for latency-vs-offered-load curves.
 //!
 //! All drivers run in *virtual time*: throughput and latency come from the
 //! machine model's cycle accounting, with latency derived through Little's
@@ -26,10 +28,12 @@ pub mod http_load;
 pub mod iperf;
 pub mod link;
 pub mod memtier;
+pub mod openloop;
 pub mod phases;
 pub mod ping;
 mod result;
 pub mod spec;
 
 pub use link::LinkModel;
+pub use openloop::{Lateness, OpenLoopPlan, PoissonArrivals};
 pub use result::{KernelResult, RunResult};

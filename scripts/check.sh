@@ -35,4 +35,10 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+# The load-curve harness self-checks its own claims (100k-connection
+# multiplexing witnessed, HotCalls knee >= 2x SDK per app, open-loop
+# tickets conserved) and exits non-zero on any miss.
+echo "==> load_curves --smoke"
+cargo run --release -p bench --bin load_curves -- /tmp/BENCH_load_check.json --smoke
+
 echo "==> all checks passed"
