@@ -4,7 +4,10 @@
 //! memcached (binary-protocol KV cache), lighttpd (static HTTP server),
 //! and openVPN (authenticated-encryption tunnel) — each running against a
 //! pluggable call interface ([`IfaceMode`]): native syscalls, SDK
-//! ocalls/ecalls, HotCalls, or HotCalls with No-Redundant-Zeroing.
+//! ocalls/ecalls, HotCalls, or HotCalls with No-Redundant-Zeroing. A
+//! fourth app, [`storage`], exercises the *bandwidth* side of the
+//! interface: streaming encrypt/authenticate/dedup of large objects over
+//! the scatter-gather data path.
 //!
 //! The [`porting`] module reproduces §6.1's porting framework: every
 //! undefined libc reference of the wholesale port (93 / 131 / 144 symbols)
@@ -40,6 +43,7 @@ pub mod lighttpd;
 pub mod memcached;
 pub mod openvpn;
 pub mod porting;
+pub mod storage;
 
 pub use api::OsApi;
 pub use env::{ApiMix, AppEnv, IfaceMode, RtTransport};

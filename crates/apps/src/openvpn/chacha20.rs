@@ -83,6 +83,32 @@ pub fn chacha20_xor_at(
     }
 }
 
+/// Encrypts or decrypts `data` in place as if it sat at absolute byte
+/// `offset` of one long keystream (initial counter 1, matching
+/// [`chacha20_xor`]). Processing a large buffer piecewise through this
+/// function is byte-identical to one whole-buffer pass, whatever the
+/// piece boundaries — the property the chunked streaming path relies on.
+pub fn chacha20_xor_offset(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    offset: u64,
+    data: &mut [u8],
+) {
+    let mut counter = 1u32.wrapping_add((offset / 64) as u32);
+    let mut skip = (offset % 64) as usize;
+    let mut at = 0;
+    while at < data.len() {
+        let keystream = chacha20_block(key, counter, nonce);
+        let take = (64 - skip).min(data.len() - at);
+        for (byte, k) in data[at..at + take].iter_mut().zip(&keystream[skip..]) {
+            *byte ^= k;
+        }
+        at += take;
+        skip = 0;
+        counter = counter.wrapping_add(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +150,29 @@ mod tests {
         assert_ne!(data, original);
         chacha20_xor(&key, &nonce, &mut data);
         assert_eq!(data, original);
+    }
+
+    #[test]
+    fn offset_keystream_is_chunking_invariant() {
+        let key = [9u8; 32];
+        let nonce = [5u8; 12];
+        let original: Vec<u8> = (0..10_000).map(|i| (i % 253) as u8).collect();
+        let mut whole = original.clone();
+        chacha20_xor_offset(&key, &nonce, 0, &mut whole);
+        // Whole-buffer at offset 0 matches the RFC path.
+        let mut rfc = original.clone();
+        chacha20_xor(&key, &nonce, &mut rfc);
+        assert_eq!(whole, rfc);
+        // Piecewise with odd, block-straddling boundaries matches too.
+        let mut pieces = original.clone();
+        let mut off = 0usize;
+        for take in [1usize, 63, 64, 65, 1000, 4096, 127] {
+            let end = (off + take).min(pieces.len());
+            chacha20_xor_offset(&key, &nonce, off as u64, &mut pieces[off..end]);
+            off = end;
+        }
+        chacha20_xor_offset(&key, &nonce, off as u64, &mut pieces[off..]);
+        assert_eq!(pieces, whole);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 mod chacha20;
 
-pub use chacha20::{chacha20_xor, chacha20_xor_at, KEY_LEN, NONCE_LEN};
+pub use chacha20::{chacha20_xor, chacha20_xor_at, chacha20_xor_offset, KEY_LEN, NONCE_LEN};
 
 use bytes::{BufMut, Bytes, BytesMut};
 use sgx_sdk::BufArg;

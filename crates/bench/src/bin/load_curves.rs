@@ -50,6 +50,7 @@ use apps::porting::ApiDecl;
 use apps::{lighttpd, memcached, openvpn, AppEnv, IfaceMode, RtTransport};
 use bench::artifact::ArtifactSink;
 use bench::report::{banner, Json};
+use bench::stats::{knee_of, rate_grid, CurvePoint};
 use bench::telemetry::append_snapshot;
 use hotcalls::rt::{CallTable, RingServer};
 use hotcalls::telemetry::CycleHist;
@@ -173,14 +174,6 @@ fn probe_mode(app: &AppSpec, mode: &'static str, iface: IfaceMode) -> ModeProbe 
     }
 }
 
-/// One row of a latency-vs-load curve.
-struct CurvePoint {
-    offered_per_sec: f64,
-    p50_ns: u64,
-    p99_ns: u64,
-    p999_ns: u64,
-}
-
 /// Runs one open-loop point of the queue model in virtual time.
 ///
 /// Every connection keeps exactly one armed next-arrival timer in the
@@ -243,17 +236,6 @@ fn simulate_point(
     (hist, ep.peak_pending())
 }
 
-/// The knee: highest offered rate on the leading stretch of the curve
-/// whose p99 stays within [`KNEE_P99_FACTOR`]× the low-load p99.
-fn knee_of(points: &[CurvePoint]) -> f64 {
-    let floor = points.first().map_or(1, |p| p.p99_ns.max(1)) as f64;
-    points
-        .iter()
-        .take_while(|p| p.p99_ns as f64 <= KNEE_P99_FACTOR * floor)
-        .map(|p| p.offered_per_sec)
-        .fold(0.0, f64::max)
-}
-
 /// A full app × interface curve.
 struct ModeCurve {
     probe: ModeProbe,
@@ -286,7 +268,7 @@ fn sweep_mode(probe: ModeProbe, grid: &[f64], events_per_conn: usize, seed: u64)
             p999_ns: hist.percentile(0.999) / CYCLES_PER_NS,
         });
     }
-    let knee_per_sec = knee_of(&points);
+    let knee_per_sec = knee_of(&points, KNEE_P99_FACTOR);
     ModeCurve {
         probe,
         capacity_per_sec,
@@ -294,16 +276,6 @@ fn sweep_mode(probe: ModeProbe, grid: &[f64], events_per_conn: usize, seed: u64)
         peak_pending: peak,
         points,
     }
-}
-
-/// A geometric offered-rate grid shared by both interfaces of one app:
-/// from well under the slower interface's capacity to past the faster
-/// one's, so both knees fall strictly inside the sweep.
-fn rate_grid(capacities: &[f64], points: usize) -> Vec<f64> {
-    let lo = 0.05 * capacities.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = 2.0 * capacities.iter().copied().fold(0.0, f64::max);
-    let step = (hi / lo).powf(1.0 / (points.saturating_sub(1)).max(1) as f64);
-    (0..points).map(|i| lo * step.powi(i as i32)).collect()
 }
 
 // ------------------------------------------------------- section B ------

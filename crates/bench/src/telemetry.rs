@@ -53,8 +53,9 @@ fn hist_object(j: &mut Json, name: &str, h: &CycleHist) {
 
 /// Serializes a snapshot as the `telemetry` section of a bench artifact:
 /// per-plane counters, per-lane queue/service percentiles, reap latency,
-/// arenas, censuses, simulator ledger, and the tracer's drop counter.
-/// This is what `schema_version` 2 added to every `BENCH_*.json`.
+/// arenas, censuses, simulator ledger, EPC paging counters, and the
+/// tracer's drop counter. This is what `schema_version` 2 added to every
+/// `BENCH_*.json`.
 pub fn append_snapshot(j: &mut Json, snap: &Snapshot) {
     j.begin_object("telemetry");
     j.field_u64("telemetry_schema_version", snap.schema_version as u64)
@@ -125,6 +126,16 @@ pub fn append_snapshot(j: &mut Json, snap: &Snapshot) {
         j.begin_item();
         j.field_str("account", &e.name)
             .field_u64("cycles", e.cycles);
+        j.end_item();
+    }
+    j.end_array();
+    j.begin_array("paging");
+    for p in &snap.paging {
+        j.begin_item();
+        j.field_str("name", &p.name)
+            .field_u64("evictions", p.stats.evictions)
+            .field_u64("reloads", p.stats.reloads)
+            .field_u64("cycles", p.stats.cycles);
         j.end_item();
     }
     j.end_array();

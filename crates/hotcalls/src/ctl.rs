@@ -175,6 +175,146 @@ impl CtlPolicy {
     }
 }
 
+/// Tuning of the EPC-aware streaming chunk sizer. The rule is the
+/// bandwidth analog of the router's break-even: a streamed chunk that
+/// fits the resident EPC costs only its marshalling, while one that
+/// pushes the enclave's working set past the paging cliff pays EWB/ELDU
+/// per byte. The sizer watches *paging cycles per streamed byte* and
+/// halves the chunk when the rate crosses [`ChunkPolicy::shrink_above`]
+/// (smaller chunks keep the enclave-side working set resident), doubling
+/// back once the rate falls under [`ChunkPolicy::grow_below`] (bigger
+/// chunks amortize per-chunk call overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkPolicy {
+    /// Smallest chunk the sizer will issue — one EPC page, the paging
+    /// granularity below which shrinking cannot help.
+    pub min_chunk: usize,
+    /// Largest chunk (per-chunk call overhead is fully amortized well
+    /// before this).
+    pub max_chunk: usize,
+    /// Where a stream starts before any paging feedback exists.
+    pub start_chunk: usize,
+    /// Paging cycles per streamed byte above which the chunk halves.
+    pub shrink_above: f64,
+    /// Paging cycles per streamed byte below which the chunk doubles.
+    pub grow_below: f64,
+    /// Observations to hold still after a resize (the paging counters
+    /// need a window at the new size before they mean anything).
+    pub cooldown_ticks: u32,
+}
+
+impl Default for ChunkPolicy {
+    fn default() -> Self {
+        ChunkPolicy {
+            min_chunk: 4 << 10,
+            max_chunk: 4 << 20,
+            start_chunk: 256 << 10,
+            shrink_above: 1.0,
+            grow_below: 0.125,
+            cooldown_ticks: 1,
+        }
+    }
+}
+
+impl ChunkPolicy {
+    /// The zero-config policy (the defaults).
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Rejects contradictory knob combinations.
+    ///
+    /// # Errors
+    ///
+    /// [`HotCallError::InvalidConfig`] when the bounds are empty, the
+    /// start chunk falls outside them, or the watermarks cross.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_chunk == 0 || self.max_chunk < self.min_chunk {
+            return Err(HotCallError::InvalidConfig(
+                "chunk bounds must satisfy 1 <= min <= max",
+            ));
+        }
+        if self.start_chunk < self.min_chunk || self.start_chunk > self.max_chunk {
+            return Err(HotCallError::InvalidConfig(
+                "chunk start must sit inside the bounds",
+            ));
+        }
+        if self.grow_below >= self.shrink_above {
+            return Err(HotCallError::InvalidConfig(
+                "chunk grow watermark must sit below the shrink watermark",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The online chunk sizer: fed each chunk's paging-cycle delta and byte
+/// count, it moves the next chunk size by powers of two inside the
+/// policy bounds. Single-owner by design; the [`Controller`] wraps it in
+/// a mutex for shared use.
+#[derive(Debug)]
+pub struct ChunkSizer {
+    policy: ChunkPolicy,
+    chunk: usize,
+    cooldown: u32,
+    observes: u64,
+    shrinks: u64,
+    grows: u64,
+}
+
+impl ChunkSizer {
+    /// A sizer under `policy`, starting at [`ChunkPolicy::start_chunk`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkPolicy::validate`].
+    pub fn new(policy: ChunkPolicy) -> Result<Self> {
+        policy.validate()?;
+        Ok(ChunkSizer {
+            policy,
+            chunk: policy.start_chunk,
+            cooldown: 0,
+            observes: 0,
+            shrinks: 0,
+            grows: 0,
+        })
+    }
+
+    /// The chunk size the next submission should use.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk
+    }
+
+    /// Reports one streamed window: `paging_cycles` charged by the EPC
+    /// while `bytes` moved. Returns the new chunk size if the observation
+    /// crossed a watermark, `None` on hold. Zero-byte windows are
+    /// ignored (no rate to read).
+    pub fn observe(&mut self, paging_cycles: u64, bytes: u64) -> Option<usize> {
+        if bytes == 0 {
+            return None;
+        }
+        self.observes += 1;
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return None;
+        }
+        let rate = paging_cycles as f64 / bytes as f64;
+        if rate > self.policy.shrink_above && self.chunk > self.policy.min_chunk {
+            self.chunk = (self.chunk / 2).max(self.policy.min_chunk);
+            self.shrinks += 1;
+            self.cooldown = self.policy.cooldown_ticks;
+            Some(self.chunk)
+        } else if rate < self.policy.grow_below && self.chunk < self.policy.max_chunk {
+            self.chunk = (self.chunk * 2).min(self.policy.max_chunk);
+            self.grows += 1;
+            self.cooldown = self.policy.cooldown_ticks;
+            Some(self.chunk)
+        } else {
+            None
+        }
+    }
+}
+
 /// Handle to one registered API in the router's table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ApiId(usize);
@@ -249,6 +389,13 @@ pub struct CtlStats {
     pub shrinks: u64,
     /// Bundle flush-threshold changes issued by the sizer.
     pub bundle_resizes: u64,
+    /// Streaming-chunk halvings issued by the chunk sizer (paging cost
+    /// per byte crossed the shrink watermark).
+    #[serde(default)]
+    pub chunk_shrinks: u64,
+    /// Streaming-chunk doublings issued by the chunk sizer.
+    #[serde(default)]
+    pub chunk_grows: u64,
 }
 
 /// One API's row in the control plane's telemetry export.
@@ -277,6 +424,9 @@ pub struct CtlTelemetry {
     pub routes: Vec<CtlRoute>,
     /// The sizer's current bundle flush threshold.
     pub bundle_flush: usize,
+    /// The chunk sizer's current streaming chunk size, bytes.
+    #[serde(default)]
+    pub chunk_bytes: usize,
 }
 
 /// The per-API break-even router.
@@ -708,10 +858,13 @@ impl AutoSizer {
 pub struct Controller {
     router: ApiRouter,
     sizer: Mutex<AutoSizer>,
+    chunker: Mutex<ChunkSizer>,
 }
 
 impl Controller {
-    /// A controller under the given policies.
+    /// A controller under the given routing and pool-sizing policies,
+    /// with the zero-config chunk policy (see
+    /// [`Controller::with_chunker`] to override it).
     ///
     /// # Errors
     ///
@@ -720,7 +873,18 @@ impl Controller {
         Ok(Controller {
             router: ApiRouter::new(router)?,
             sizer: Mutex::new(AutoSizer::new(sizer)?),
+            chunker: Mutex::new(ChunkSizer::new(ChunkPolicy::auto()).expect("auto chunks valid")),
         })
+    }
+
+    /// Replaces the chunk-sizing policy (builder style, setup time).
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkPolicy::validate`].
+    pub fn with_chunker(mut self, policy: ChunkPolicy) -> Result<Self> {
+        self.chunker = Mutex::new(ChunkSizer::new(policy)?);
+        Ok(self)
     }
 
     /// A controller under the zero-config policies.
@@ -774,9 +938,33 @@ impl Controller {
         self.sizer.lock().expect("sizer lock").bundle_flush()
     }
 
+    /// The streaming chunk size the next submission should use.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunker.lock().expect("chunker lock").chunk_bytes()
+    }
+
+    /// Reports one streamed window's paging bill (see
+    /// [`ChunkSizer::observe`]). Uninstrumented builds hold the chunk
+    /// still — the static-policy fallback, same as [`Controller::tick`].
+    pub fn observe_paging(&self, paging_cycles: u64, bytes: u64) -> Option<usize> {
+        if !TELEMETRY_ENABLED {
+            return None;
+        }
+        let resized = self
+            .chunker
+            .lock()
+            .expect("chunker lock")
+            .observe(paging_cycles, bytes);
+        if let Some(n) = resized {
+            trace("ctl_chunk_resize", n as u64, paging_cycles);
+        }
+        resized
+    }
+
     /// Decision counters so far.
     pub fn stats(&self) -> CtlStats {
         let sizer = self.sizer.lock().expect("sizer lock");
+        let chunker = self.chunker.lock().expect("chunker lock");
         CtlStats {
             decisions: self.router.decisions.load(Ordering::Relaxed),
             flips: self.router.flips.load(Ordering::Relaxed),
@@ -787,6 +975,8 @@ impl Controller {
             grows: sizer.grows,
             shrinks: sizer.shrinks,
             bundle_resizes: sizer.bundle_resizes,
+            chunk_shrinks: chunker.shrinks,
+            chunk_grows: chunker.grows,
         }
     }
 
@@ -797,6 +987,7 @@ impl Controller {
             stats: self.stats(),
             routes: self.router.routes(),
             bundle_flush: self.bundle_flush(),
+            chunk_bytes: self.chunk_bytes(),
         }
     }
 
@@ -998,6 +1189,91 @@ mod tests {
         let d = sizer.tick(&stats_with(201, 10_000, 0, 1));
         assert_eq!(d.bundle_flush, Some(2));
         assert!(sizer.bundle_flush() == 2);
+    }
+
+    #[test]
+    fn chunk_policy_validation_rejects_contradictions() {
+        assert!(ChunkPolicy::auto().validate().is_ok());
+        for bad in [
+            ChunkPolicy {
+                min_chunk: 0,
+                ..ChunkPolicy::auto()
+            },
+            ChunkPolicy {
+                min_chunk: 1 << 20,
+                max_chunk: 1 << 16,
+                start_chunk: 1 << 18,
+                ..ChunkPolicy::auto()
+            },
+            ChunkPolicy {
+                start_chunk: 1 << 30,
+                ..ChunkPolicy::auto()
+            },
+            ChunkPolicy {
+                grow_below: 2.0,
+                shrink_above: 1.0,
+                ..ChunkPolicy::auto()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizer_shrinks_past_cliff_and_grows_back() {
+        let policy = ChunkPolicy {
+            cooldown_ticks: 0,
+            ..ChunkPolicy::auto()
+        };
+        let mut sizer = ChunkSizer::new(policy).unwrap();
+        let start = sizer.chunk_bytes();
+        // Thrashing: 5 paging cycles per byte, far over the watermark.
+        let shrunk = sizer.observe(5 * 1_000_000, 1_000_000).unwrap();
+        assert_eq!(shrunk, start / 2);
+        // Keep thrashing: halves to the floor and then holds.
+        for _ in 0..32 {
+            sizer.observe(5 * 1_000_000, 1_000_000);
+        }
+        assert_eq!(sizer.chunk_bytes(), policy.min_chunk);
+        assert!(sizer.observe(5 * 4096, 4096).is_none(), "floor holds");
+        // Resident again: zero paging cycles per byte, grows to the cap.
+        for _ in 0..32 {
+            sizer.observe(0, 1_000_000);
+        }
+        assert_eq!(sizer.chunk_bytes(), policy.max_chunk);
+        // Zero-byte windows are ignored entirely.
+        assert!(sizer.observe(10_000, 0).is_none());
+    }
+
+    #[test]
+    fn chunk_sizer_cooldown_bounds_resize_rate() {
+        let mut sizer = ChunkSizer::new(ChunkPolicy {
+            cooldown_ticks: 2,
+            ..ChunkPolicy::auto()
+        })
+        .unwrap();
+        assert!(sizer.observe(5_000_000, 1_000_000).is_some());
+        assert!(sizer.observe(5_000_000, 1_000_000).is_none(), "cooldown 1");
+        assert!(sizer.observe(5_000_000, 1_000_000).is_none(), "cooldown 2");
+        assert!(sizer.observe(5_000_000, 1_000_000).is_some());
+    }
+
+    #[test]
+    fn controller_exports_chunk_decisions() {
+        let ctl = Controller::auto();
+        let start = ctl.chunk_bytes();
+        assert_eq!(start, ChunkPolicy::auto().start_chunk);
+        let resized = ctl.observe_paging(10 * (1 << 20), 1 << 20);
+        let tel = ctl.telemetry("unit");
+        if TELEMETRY_ENABLED {
+            assert_eq!(resized, Some(start / 2));
+            assert_eq!(tel.stats.chunk_shrinks, 1);
+            assert_eq!(tel.chunk_bytes, start / 2);
+        } else {
+            // Static fallback: the chunk never moves.
+            assert_eq!(resized, None);
+            assert_eq!(tel.chunk_bytes, start);
+        }
     }
 
     #[test]

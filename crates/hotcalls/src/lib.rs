@@ -62,6 +62,8 @@ pub use config::{
     FusedMode, GovernorStats, HotCallConfig, HotCallStats, ResponderPolicy, RingStats, ShardPolicy,
     ShardStats,
 };
-pub use ctl::{ApiRouter, Controller, CtlPolicy, CtlStats, SizerPolicy, Transport};
+pub use ctl::{
+    ApiRouter, ChunkPolicy, ChunkSizer, Controller, CtlPolicy, CtlStats, SizerPolicy, Transport,
+};
 pub use error::{HotCallError, Result};
-pub use telemetry::{Snapshot, TelemetryRegistry, TELEMETRY_ENABLED};
+pub use telemetry::{PagingStats, Snapshot, TelemetryRegistry, TELEMETRY_ENABLED};

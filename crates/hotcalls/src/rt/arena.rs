@@ -136,6 +136,107 @@ impl HotBuf {
     }
 }
 
+/// A scatter-gather descriptor: one *logical* transfer carried as an
+/// ordered list of arena segments, so a payload of any size marshals
+/// through a ring slot without ever being coalesced into one contiguous
+/// copy. The descriptor also carries a `meta` word — streaming callers
+/// put the chunk's absolute object offset there so a handler processing
+/// chunk *k* can key position-dependent work (keystreams, block tags)
+/// off the object, not the chunk.
+///
+/// Segments may be zero-length (a degenerate but legal descriptor), and
+/// the logical length may be re-declared up to the *capacity* sum with
+/// [`SgList::set_len`] — a response can grow into a segment's size-class
+/// slack exactly like a [`HotBuf`] response can.
+#[derive(Debug, Default)]
+pub struct SgList {
+    segments: Vec<HotBuf>,
+    meta: u64,
+}
+
+impl SgList {
+    /// A descriptor over already-acquired segments (test and adapter
+    /// surface; the zero-copy production path is
+    /// [`SlabArena::acquire_sg`]).
+    pub fn from_segments(segments: Vec<HotBuf>) -> Self {
+        SgList { segments, meta: 0 }
+    }
+
+    /// Logical length: the sum of the segments' valid bytes.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(HotBuf::len).sum()
+    }
+
+    /// No valid bytes in any segment?
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(HotBuf::is_empty)
+    }
+
+    /// Total writable capacity across segments.
+    pub fn capacity(&self) -> usize {
+        self.segments.iter().map(HotBuf::capacity).sum()
+    }
+
+    /// Number of segments (including zero-length ones).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, in logical order.
+    pub fn segments(&self) -> &[HotBuf] {
+        &self.segments
+    }
+
+    /// The segments, mutably — the handler-side surface for in-place
+    /// transforms. Length bookkeeping stays with [`SgList::set_len`].
+    pub fn segments_mut(&mut self) -> &mut [HotBuf] {
+        &mut self.segments
+    }
+
+    /// The caller-assigned metadata word (streaming callers: the chunk's
+    /// absolute offset in its object).
+    pub fn meta(&self) -> u64 {
+        self.meta
+    }
+
+    /// Sets the metadata word.
+    pub fn set_meta(&mut self, meta: u64) {
+        self.meta = meta;
+    }
+
+    /// Appends the logical bytes, in order, to `out` — the gather half,
+    /// used at the stream edge and by equivalence checks. This is the
+    /// *only* place bytes are ever coalesced, and it is the caller's
+    /// choice to pay for it.
+    pub fn gather_into(&self, out: &mut Vec<u8>) {
+        for seg in &self.segments {
+            out.extend_from_slice(seg.as_slice());
+        }
+    }
+
+    /// Re-declares the logical length (a handler's response length),
+    /// distributing it across segments in order: each segment takes up to
+    /// its capacity, the remainder flows into the next. Zero-capacity
+    /// tails end up zero-length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds [`SgList::capacity`].
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            len <= self.capacity(),
+            "len {len} exceeds sg capacity {}",
+            self.capacity()
+        );
+        let mut remaining = len;
+        for seg in &mut self.segments {
+            let take = remaining.min(seg.capacity());
+            seg.set_len(take);
+            remaining -= take;
+        }
+    }
+}
+
 /// A single-owner pool of reusable payload buffers with per-size-class
 /// free lists.
 ///
@@ -166,6 +267,9 @@ pub struct SlabArena {
     generations: Vec<u32>,
     /// Handle slots free for reuse.
     free_handles: Vec<u32>,
+    /// Emptied segment vectors from recycled [`SgList`]s, reused by the
+    /// next `acquire_sg` so steady-state streaming allocates nothing.
+    sg_pool: Vec<Vec<HotBuf>>,
     stats: ArenaStats,
 }
 
@@ -278,6 +382,44 @@ impl SlabArena {
     pub fn stats(&self) -> ArenaStats {
         self.stats
     }
+
+    /// Hands out a scatter-gather descriptor over a copy of `data`, split
+    /// into segments of at most `segment_bytes` — one bounded
+    /// arena-segment copy per piece, never a coalescing copy of the
+    /// whole. Empty `data` yields a descriptor with one empty segment (a
+    /// stream's zero-length tail chunk is still a chunk). The segment
+    /// vector itself is drawn from the pool [`SlabArena::recycle_sg`]
+    /// refills, so a warm stream's per-chunk heap traffic is exactly its
+    /// segments' recycled slabs: zero allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_bytes` is zero.
+    pub fn acquire_sg(&mut self, data: &[u8], segment_bytes: usize) -> SgList {
+        assert!(segment_bytes > 0, "segment size must be positive");
+        let mut segments = self.sg_pool.pop().unwrap_or_default();
+        if data.is_empty() {
+            segments.push(self.acquire(&[], 0));
+        } else {
+            // Every segment gets the full `segment_bytes` capacity — the
+            // tail piece included — so all of a stream's segments share
+            // one size class and recycle into each other.
+            for piece in data.chunks(segment_bytes) {
+                segments.push(self.acquire(piece, segment_bytes));
+            }
+        }
+        SgList { segments, meta: 0 }
+    }
+
+    /// Returns a descriptor's segments to their free lists (see
+    /// [`SlabArena::recycle`]) and pools the emptied segment vector for
+    /// the next [`SlabArena::acquire_sg`].
+    pub fn recycle_sg(&mut self, mut sg: SgList) {
+        for seg in sg.segments.drain(..) {
+            self.recycle(seg);
+        }
+        self.sg_pool.push(sg.segments);
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +516,85 @@ mod tests {
         let again_small = arena.acquire(&[2u8; 129], 129);
         assert!(again_small.capacity() >= 256);
         assert_eq!(arena.stats().recycles, 2, "small class reused");
+    }
+
+    #[test]
+    fn sg_splits_without_coalescing_and_gathers_back() {
+        let mut arena = SlabArena::new();
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let sg = arena.acquire_sg(&data, 256);
+        assert_eq!(sg.segment_count(), 4, "1000 bytes / 256 = 4 segments");
+        assert_eq!(sg.len(), 1000);
+        // Uniform size class: the 232-byte tail still gets 256 capacity.
+        assert!(sg.segments().iter().all(|s| s.capacity() >= 256));
+        let mut back = Vec::new();
+        sg.gather_into(&mut back);
+        assert_eq!(back, data);
+        arena.recycle_sg(sg);
+    }
+
+    #[test]
+    fn sg_steady_state_recycles_everything() {
+        let mut arena = SlabArena::new();
+        let data = [0x42u8; 4096];
+        let warm = arena.acquire_sg(&data, 1024);
+        arena.recycle_sg(warm);
+        let (allocs, _) = (arena.stats().allocs, ());
+        for _ in 0..16 {
+            let sg = arena.acquire_sg(&data, 1024);
+            arena.recycle_sg(sg);
+        }
+        assert_eq!(
+            arena.stats().allocs,
+            allocs,
+            "warm streams allocate no slabs"
+        );
+        assert!(arena.stats().recycles >= 16 * 4);
+    }
+
+    #[test]
+    fn sg_empty_data_is_one_empty_segment() {
+        let mut arena = SlabArena::new();
+        let sg = arena.acquire_sg(&[], 4096);
+        assert_eq!(sg.segment_count(), 1);
+        assert_eq!(sg.len(), 0);
+        assert!(sg.is_empty());
+        arena.recycle_sg(sg);
+    }
+
+    #[test]
+    fn sg_set_len_spills_across_segments() {
+        let mut arena = SlabArena::new();
+        let mut sg = arena.acquire_sg(&[7u8; 600], 256);
+        assert_eq!(sg.segment_count(), 3);
+        // Grow into the capacity slack (3 × 256 = 768).
+        sg.set_len(700);
+        assert_eq!(sg.len(), 700);
+        assert_eq!(sg.segments()[0].len(), 256);
+        assert_eq!(sg.segments()[2].len(), 700 - 512);
+        // Shrink below one segment.
+        sg.set_len(100);
+        assert_eq!(sg.len(), 100);
+        assert_eq!(sg.segments()[1].len(), 0);
+        arena.recycle_sg(sg);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds sg capacity")]
+    fn sg_set_len_beyond_capacity_panics() {
+        let mut arena = SlabArena::new();
+        let mut sg = arena.acquire_sg(&[1u8; 100], 128);
+        sg.set_len(100_000);
+    }
+
+    #[test]
+    fn sg_meta_rides_the_descriptor() {
+        let mut arena = SlabArena::new();
+        let mut sg = arena.acquire_sg(&[1u8; 10], 128);
+        assert_eq!(sg.meta(), 0);
+        sg.set_meta(1 << 40);
+        assert_eq!(sg.meta(), 1 << 40);
+        arena.recycle_sg(sg);
     }
 
     #[test]

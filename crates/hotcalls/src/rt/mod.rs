@@ -24,12 +24,16 @@ mod pool;
 mod ring;
 mod shard;
 mod slot;
+mod stream;
 
-pub use arena::{ArenaStats, HotBuf, SlabArena, INLINE_CAPACITY};
+pub use arena::{ArenaStats, HotBuf, SgList, SlabArena, INLINE_CAPACITY};
 pub use bytes::{ByteBundle, ByteCallTable, ByteCaller, ByteRing};
 pub use calltable::CallTable;
 pub use ring::{Bundle, BundleTicket, RingRequester, RingServer, Ticket};
 pub use shard::{ShardedRequester, ShardedServer};
+pub use stream::{
+    SgCallTable, SgRing, StreamCaller, StreamReport, DEFAULT_SEGMENT_BYTES, DEFAULT_STREAM_WINDOW,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

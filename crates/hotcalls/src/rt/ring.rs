@@ -1197,7 +1197,13 @@ impl<Req, Resp> RingRequester<Req, Resp> {
             // Deadline check on a stride: `Instant::now` per spin would
             // dominate the wait loop. The first iteration checks too, so
             // an already-expired deadline still gets exactly one scan.
-            if polls.is_multiple_of(DEADLINE_CHECK_POLLS) {
+            // Once the backoff has escalated to yielding, every poll
+            // already costs a scheduler quantum, so the stride no longer
+            // buys anything — check every poll instead. On a quiescent
+            // plane the old stride let up to 64 yields (milliseconds of
+            // quanta) pass between deadline reads, overshooting small
+            // timeouts and delaying streaming credit refills.
+            if polls.is_multiple_of(DEADLINE_CHECK_POLLS) || backoff.yields() {
                 if let Some(d) = deadline {
                     if Instant::now() >= d {
                         return Ok(None);
@@ -1403,6 +1409,34 @@ mod tests {
         };
         assert_eq!(resp, 2);
         assert!(polls > 0, "a 30ms handler cannot complete instantly");
+    }
+
+    #[test]
+    fn wait_any_timeout_returns_promptly_on_quiescent_plane() {
+        let mut t: CallTable<u64, u64> = CallTable::new();
+        let slow = t.register(|x| {
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            x
+        });
+        let server = RingServer::spawn(t, 4, generous());
+        let r = server.requester();
+        let mut tickets = vec![r.submit(slow, 7).unwrap()];
+        let start = Instant::now();
+        let timeout = Duration::from_millis(5);
+        // The ticket cannot complete within the timeout, so this must
+        // come back `Ok(None)` near the deadline — not after the old
+        // 64-yield deadline stride let scheduler quanta pile up.
+        let reaped = r.wait_any_timeout(&mut tickets, timeout).unwrap();
+        let elapsed = start.elapsed();
+        assert!(reaped.is_none(), "a 400ms handler beat a 5ms timeout");
+        assert_eq!(tickets.len(), 1, "timeout must leave the ticket in place");
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "timeout overshot: {elapsed:?}"
+        );
+        // Drain the ticket so shutdown doesn't race the in-flight call.
+        let (_, resp) = r.wait_any(&mut tickets).unwrap();
+        assert_eq!(resp, 7);
     }
 
     #[test]

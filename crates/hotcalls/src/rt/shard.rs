@@ -1278,7 +1278,13 @@ impl<Req, Resp> ShardedRequester<Req, Resp> {
             // Deadline check on a stride: `Instant::now` per spin would
             // dominate the wait loop. The first iteration checks too, so
             // an already-expired deadline still gets exactly one scan.
-            if polls.is_multiple_of(DEADLINE_CHECK_POLLS) {
+            // Once the backoff has escalated to yielding, every poll
+            // already costs a scheduler quantum, so the stride no longer
+            // buys anything — check every poll instead. On a quiescent
+            // plane the old stride let up to 64 yields (milliseconds of
+            // quanta) pass between deadline reads, overshooting small
+            // timeouts and delaying streaming credit refills.
+            if polls.is_multiple_of(DEADLINE_CHECK_POLLS) || backoff.yields() {
                 if let Some(d) = deadline {
                     if Instant::now() >= d {
                         return Ok(None);

@@ -529,6 +529,17 @@ impl Backoff {
             std::thread::yield_now();
         }
     }
+
+    /// `true` once [`Backoff::snooze`] has escalated past the `PAUSE`
+    /// ladder and each call costs a scheduler yield. Wait loops that
+    /// amortize an expensive check (e.g. a deadline read) over a poll
+    /// stride use this to drop the stride once polls stop being cheap —
+    /// 64 yields between deadline reads overshoots a small timeout by
+    /// scheduler quanta, not nanoseconds.
+    #[inline]
+    pub(crate) fn yields(&self) -> bool {
+        single_core() || self.step > SPIN_LIMIT
+    }
 }
 
 /// Sleep/wake rendezvous for idle responders (paper §4.2, "Conserving
@@ -766,6 +777,23 @@ mod tests {
         }
         b.reset();
         assert_eq!(b.step, 0);
+    }
+
+    #[test]
+    fn backoff_reports_yield_phase() {
+        let mut b = Backoff::new();
+        if single_core() {
+            assert!(b.yields(), "single-core yields from the first snooze");
+            return;
+        }
+        // The full PAUSE ladder (steps 0..=SPIN_LIMIT) is still cheap.
+        for _ in 0..=SPIN_LIMIT {
+            assert!(!b.yields(), "ladder step {} must not report yield", b.step);
+            b.snooze();
+        }
+        assert!(b.yields(), "past the ladder every snooze is a yield");
+        b.reset();
+        assert!(!b.yields(), "reset re-arms the ladder");
     }
 
     #[test]

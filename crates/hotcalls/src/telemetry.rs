@@ -46,8 +46,9 @@ use serde::{Deserialize, Serialize};
 pub const TELEMETRY_ENABLED: bool = cfg!(not(feature = "telemetry-off"));
 
 /// Schema version of the serialized telemetry [`Snapshot`]. Bumped when a
-/// field is renamed or its meaning changes.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
+/// field is renamed or its meaning changes. v4 added the `paging` section
+/// (EPC eviction/reload counters and cycles).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
 
 /// Reads the current cycle counter (`RDTSC` on x86-64, a monotonic
 /// nanosecond clock elsewhere). Returns 0 under `telemetry-off` so stage
@@ -892,6 +893,38 @@ pub struct ApiCensus {
     pub rows: Vec<ApiCensusRow>,
 }
 
+/// EPC paging counters from one simulated machine — what the paging
+/// cliff costs, made visible. Mirrors `sgx_sim::EpcStats` in
+/// telemetry-neutral terms (an eviction is an EWB, a reload an ELDU).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PagingStats {
+    /// Pages evicted from the EPC (EWB executions).
+    pub evictions: u64,
+    /// Pages reloaded into the EPC (ELDU executions).
+    pub reloads: u64,
+    /// Total cycles charged to paging (fault overhead + ELDU + EWB).
+    pub cycles: u64,
+}
+
+impl From<sgx_sim::EpcStats> for PagingStats {
+    fn from(s: sgx_sim::EpcStats) -> Self {
+        PagingStats {
+            evictions: s.ewb,
+            reloads: s.eldu,
+            cycles: s.paging_cycles,
+        }
+    }
+}
+
+/// One named machine's paging counters in a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PagingTelemetry {
+    /// Machine / workload label.
+    pub name: String,
+    /// The counters.
+    pub stats: PagingStats,
+}
+
 /// The merged, serializable view of everything the registry knows.
 #[derive(Debug)]
 pub struct Snapshot {
@@ -907,6 +940,8 @@ pub struct Snapshot {
     pub censuses: Vec<ApiCensus>,
     /// Simulator cycle-ledger entries.
     pub sim: Vec<SimLedgerEntry>,
+    /// EPC paging counters per simulated machine (schema v4).
+    pub paging: Vec<PagingTelemetry>,
     /// Every registered control plane's decision counters and routing
     /// table (schema v3).
     pub ctl: Vec<crate::ctl::CtlTelemetry>,
@@ -1011,6 +1046,21 @@ impl Snapshot {
                 e.name, e.cycles
             ));
         }
+        for p in &self.paging {
+            let pl = format!("epc=\"{}\"", p.name);
+            out.push_str(&format!(
+                "hotcalls_epc_evictions_total{{{pl}}} {}\n",
+                p.stats.evictions
+            ));
+            out.push_str(&format!(
+                "hotcalls_epc_reloads_total{{{pl}}} {}\n",
+                p.stats.reloads
+            ));
+            out.push_str(&format!(
+                "hotcalls_epc_paging_cycles_total{{{pl}}} {}\n",
+                p.stats.cycles
+            ));
+        }
         for c in &self.ctl {
             let cl = format!("ctl=\"{}\"", c.name);
             out.push_str(&format!(
@@ -1048,6 +1098,18 @@ impl Snapshot {
             out.push_str(&format!(
                 "hotcalls_ctl_bundle_flush{{{cl}}} {}\n",
                 c.bundle_flush
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_chunk_bytes{{{cl}}} {}\n",
+                c.chunk_bytes
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_chunk_resizes_total{{{cl},direction=\"shrink\"}} {}\n",
+                c.stats.chunk_shrinks
+            ));
+            out.push_str(&format!(
+                "hotcalls_ctl_chunk_resizes_total{{{cl},direction=\"grow\"}} {}\n",
+                c.stats.chunk_grows
             ));
             for r in &c.routes {
                 out.push_str(&format!(
@@ -1098,6 +1160,7 @@ struct RegistryInner {
     arenas: Vec<(String, ArenaProvider)>,
     censuses: Vec<ApiCensus>,
     sim: Vec<SimLedgerEntry>,
+    paging: Vec<PagingTelemetry>,
     ctl: Vec<CtlProvider>,
 }
 
@@ -1197,6 +1260,21 @@ impl TelemetryRegistry {
             });
     }
 
+    /// Adds one machine's EPC paging counters (push-style, like
+    /// [`TelemetryRegistry::add_sim_cycles`]: the simulated `Machine` is
+    /// `&mut`-owned by its driver, so there is nothing for a pull provider
+    /// to capture). Accepts `sgx_sim::EpcStats` directly via `Into`.
+    pub fn add_paging(&self, name: impl Into<String>, stats: impl Into<PagingStats>) {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .paging
+            .push(PagingTelemetry {
+                name: name.into(),
+                stats: stats.into(),
+            });
+    }
+
     /// Polls every provider and merges everything into one snapshot.
     pub fn snapshot(&self) -> Snapshot {
         let inner = self.inner.lock().expect("registry lock");
@@ -1214,6 +1292,7 @@ impl TelemetryRegistry {
                 .collect(),
             censuses: inner.censuses.clone(),
             sim: inner.sim.clone(),
+            paging: inner.paging.clone(),
             ctl: inner.ctl.iter().map(|p| p()).collect(),
             tracer_dropped: tracer().dropped_events(),
         }
@@ -1366,14 +1445,45 @@ mod tests {
         });
         reg.add_sim_cycles("machine", 123);
         reg.register_arena("lane0", ArenaStats::default);
+        reg.add_paging(
+            "machine",
+            PagingStats {
+                evictions: 7,
+                reloads: 9,
+                cycles: 140_000,
+            },
+        );
         let snap = reg.snapshot();
         assert_eq!(snap.schema_version, TELEMETRY_SCHEMA_VERSION);
         assert_eq!(snap.censuses.len(), 1);
         assert_eq!(snap.sim[0].cycles, 123);
+        assert_eq!(snap.paging[0].stats.reloads, 9);
         let prom = snap.to_prometheus();
         assert!(prom.contains("hotcalls_api_calls_total"));
         assert!(prom.contains("app=\"memcached\""));
         assert!(prom.contains("hotcalls_sim_cycles_total{account=\"machine\"} 123"));
+        assert!(prom.contains("hotcalls_epc_evictions_total{epc=\"machine\"} 7"));
+        assert!(prom.contains("hotcalls_epc_reloads_total{epc=\"machine\"} 9"));
+        assert!(prom.contains("hotcalls_epc_paging_cycles_total{epc=\"machine\"} 140000"));
+    }
+
+    #[test]
+    fn paging_stats_mirror_sim_counters() {
+        let from: PagingStats = sgx_sim::EpcStats {
+            ewb: 3,
+            eldu: 5,
+            resident_hits: 100,
+            paging_cycles: 60_000,
+        }
+        .into();
+        assert_eq!(
+            from,
+            PagingStats {
+                evictions: 3,
+                reloads: 5,
+                cycles: 60_000,
+            }
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hotcalls::rt::{ByteCallTable, ByteRing, CallTable, RingServer, INLINE_CAPACITY};
+use hotcalls::rt::{
+    ByteCallTable, ByteRing, CallTable, RingServer, SgCallTable, SgRing, INLINE_CAPACITY,
+};
 use hotcalls::{block_on, FusedMode, HotCallConfig};
 
 struct CountingAlloc;
@@ -151,4 +153,27 @@ fn hot_path_makes_zero_heap_allocations() {
         assert_eq!(delta, 0, "async hot path allocated {delta} times");
     });
     server.shutdown();
+
+    // Streaming scatter-gather: after warmup, chunks cycle through the
+    // caller's arena (segments AND list shells recycle) and the in-flight
+    // window's deque is reused across streams — zero allocations per
+    // streamed chunk, with the credit window keeping several in flight.
+    let mut table = SgCallTable::new();
+    let id = table.register(|sg| sg.len());
+    let ring = SgRing::spawn_pool(table, 8, 1, spin_config()).unwrap();
+    let mut caller = ring.caller();
+    let obj = vec![0x7Eu8; 192 << 10];
+    for _ in 0..20 {
+        caller.stream(id, &obj, 2, || 32 << 10, |_, _| {}).unwrap();
+    }
+    let arena_allocs = caller.arena_stats().allocs;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        let report = caller.stream(id, &obj, 2, || 32 << 10, |_, _| {}).unwrap();
+        assert_eq!(report.submitted, report.redeemed);
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "streamed chunks allocated {delta} times");
+    assert_eq!(caller.arena_stats().allocs, arena_allocs);
+    ring.shutdown();
 }

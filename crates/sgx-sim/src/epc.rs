@@ -41,6 +41,10 @@ pub struct EpcStats {
     pub eldu: u64,
     /// Page touches that found the page resident.
     pub resident_hits: u64,
+    /// Total cycles charged to paging (fault overhead + ELDU + EWB), the
+    /// numerator of any paging-cost-per-byte rate an adaptive chunker
+    /// watches.
+    pub paging_cycles: u64,
 }
 
 /// The EPC manager: committed pages, physical residency, FIFO eviction, and
@@ -109,6 +113,7 @@ impl Epc {
             let (c, _victim) = self.make_resident(page)?;
             cost += c;
         }
+        self.stats.paging_cycles += cost.get();
         Ok((base, cost))
     }
 
@@ -151,6 +156,7 @@ impl Epc {
 
         let (make_cost, evicted) = self.make_resident(page)?;
         cost += make_cost;
+        self.stats.paging_cycles += cost.get();
         Ok(PageTouch {
             cost,
             paged_in: true,
@@ -304,5 +310,26 @@ mod tests {
         let s = epc.stats();
         assert!(s.ewb >= 1);
         assert!(s.eldu >= 1);
+    }
+
+    #[test]
+    fn paging_cycles_sum_every_charged_fault() {
+        let mut epc = small_epc(2);
+        let (base, commit_cost) = epc.commit(1, 3).unwrap();
+        assert_eq!(epc.stats().paging_cycles, commit_cost.get());
+        let mut charged = commit_cost.get();
+        for i in 0..3 {
+            charged += epc
+                .touch(base.offset(i * PAGE_SIZE).page())
+                .unwrap()
+                .cost
+                .get();
+        }
+        assert_eq!(epc.stats().paging_cycles, charged);
+        // A resident working set charges nothing more.
+        let mut small = small_epc(8);
+        let (b, _) = small.commit(1, 4).unwrap();
+        small.touch(b.page()).unwrap();
+        assert_eq!(small.stats().paging_cycles, 0);
     }
 }

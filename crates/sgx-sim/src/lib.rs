@@ -68,6 +68,7 @@ pub use config::{
 };
 pub use cycles::{Clock, CycleFeed, CycleLedger, Cycles};
 pub use enclave::{Enclave, EnclaveId, EnclaveState, Measurement, PageType};
+pub use epc::EpcStats;
 pub use error::{Result, SgxError};
 pub use eventloop::{VirtualEpoll, VirtualEvent};
 pub use machine::{AccessKind, EnclaveBuildOptions, Machine, Measured, Telemetry};

@@ -13,6 +13,9 @@
 //! * [`link`] — the 1 Gbit/s link model (935 Mbit/s measured ceiling);
 //! * [`phases`] — deterministic phase-shifting arrival plans (bursty →
 //!   idle → saturated) for the control-plane benches;
+//! * [`stress`] — Stress-SGX-style object workloads for the storage app:
+//!   EPC-cliff-crossing size ramps, cold-cache storms, mixed size
+//!   distributions;
 //! * [`openloop`] — seeded Poisson open-loop arrival schedules with
 //!   late-arrival accounting, for latency-vs-offered-load curves.
 //!
@@ -33,6 +36,7 @@ pub mod phases;
 pub mod ping;
 mod result;
 pub mod spec;
+pub mod stress;
 
 pub use link::LinkModel;
 pub use openloop::{Lateness, OpenLoopPlan, PoissonArrivals};

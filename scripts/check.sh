@@ -41,4 +41,12 @@ cargo test -q
 echo "==> load_curves --smoke"
 cargo run --release -p bench --bin load_curves -- /tmp/BENCH_load_check.json --smoke
 
+# The streaming data-path harness self-checks its claims too (hot+sg
+# bandwidth >= 2x the SDK port at every size including one working set
+# over the EPC, adaptive chunker >= 0.9x the best static on the cliff,
+# storage smoke tickets conserved + roundtrips) and exits non-zero on
+# any miss.
+echo "==> ablation_storage --smoke"
+cargo run --release -p bench --bin ablation_storage -- /tmp/BENCH_storage_check.json --smoke
+
 echo "==> all checks passed"
